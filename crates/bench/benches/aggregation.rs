@@ -1,0 +1,44 @@
+//! Figure 7 micro-benchmark: group-by aggregation under the Shark and Hive
+//! emulations at different group cardinalities.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shark_core::datasets::register_tpch;
+use shark_core::{ExecConfig, SharkConfig, SharkContext};
+use shark_datagen::tpch::TpchConfig;
+
+fn session(exec: ExecConfig) -> SharkContext {
+    let shark = SharkContext::new(SharkConfig::default().with_exec(exec));
+    register_tpch(&shark, &TpchConfig::tiny(), 8, true).unwrap();
+    shark.load_table("lineitem").unwrap();
+    shark
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let shark = session(ExecConfig::shark());
+    let hive = session(ExecConfig::hive());
+    let mut g = c.benchmark_group("aggregation");
+    g.sample_size(10);
+    g.bench_function("shark_7_groups", |b| {
+        b.iter(|| {
+            shark
+                .sql("SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode")
+                .unwrap()
+        })
+    });
+    g.bench_function("shark_many_groups", |b| {
+        b.iter(|| {
+            shark
+                .sql("SELECT l_orderkey, COUNT(*) FROM lineitem GROUP BY l_orderkey")
+                .unwrap()
+        })
+    });
+    g.bench_function("hive_mode_7_groups", |b| {
+        b.iter(|| {
+            hive.sql("SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

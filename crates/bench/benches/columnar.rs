@@ -1,0 +1,30 @@
+//! Micro-benchmarks for the columnar memstore (§3.2): building compressed
+//! columnar partitions vs. plain ones, and decoding a projected column.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shark_columnar::{ColumnarPartition, EncodingChoice};
+use shark_datagen::tpch::{lineitem_partition, lineitem_schema, TpchConfig};
+
+fn bench_columnar(c: &mut Criterion) {
+    let cfg = TpchConfig::default();
+    let rows = lineitem_partition(&cfg, 8, 0);
+    let schema = lineitem_schema();
+    let mut g = c.benchmark_group("columnar");
+    g.sample_size(10);
+    g.bench_function("build_compressed", |b| {
+        b.iter(|| ColumnarPartition::from_rows(&schema, &rows))
+    });
+    g.bench_function("build_plain", |b| {
+        b.iter(|| ColumnarPartition::from_rows_with(&schema, &rows, EncodingChoice::ForcePlain))
+    });
+    let part = ColumnarPartition::from_rows(&schema, &rows);
+    g.bench_function("project_two_columns", |b| {
+        b.iter(|| part.project_rows(&[5, 4]))
+    });
+    g.bench_function("footprint_object_store_model", |b| {
+        b.iter(|| shark_columnar::footprint::object_store_bytes(&rows))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

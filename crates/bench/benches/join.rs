@@ -1,0 +1,33 @@
+//! Figure 6/8 micro-benchmark: shuffle join vs broadcast (map) join vs
+//! co-partitioned join on the same data.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shark_core::datasets::register_tpch;
+use shark_core::{ExecConfig, SharkConfig, SharkContext};
+use shark_datagen::tpch::TpchConfig;
+
+const JOIN: &str = "SELECT l_orderkey, s_name FROM lineitem l JOIN supplier s ON l.l_suppkey = s.s_suppkey";
+
+fn session(exec: ExecConfig) -> SharkContext {
+    let shark = SharkContext::new(SharkConfig::default().with_exec(exec));
+    register_tpch(&shark, &TpchConfig::tiny(), 8, true).unwrap();
+    shark.load_table("lineitem").unwrap();
+    shark.load_table("supplier").unwrap();
+    shark
+}
+
+fn bench_join(c: &mut Criterion) {
+    let adaptive = session(ExecConfig::shark());
+    let static_plan = session(ExecConfig::shark_static());
+    let mut g = c.benchmark_group("join");
+    g.sample_size(10);
+    g.bench_function("pde_adaptive_join", |b| {
+        b.iter(|| adaptive.sql(JOIN).unwrap())
+    });
+    g.bench_function("static_shuffle_join", |b| {
+        b.iter(|| static_plan.sql(JOIN).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figures 11/12 micro-benchmark: one iteration of logistic regression and
+//! k-means over a cached RDD.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shark_datagen::ml::{labeled_points_partition, MlConfig};
+use shark_ml::{KMeans, LogisticRegression};
+use shark_rdd::RddContext;
+
+fn bench_ml(c: &mut Criterion) {
+    let ctx = RddContext::local();
+    let cfg = MlConfig {
+        rows: 20_000,
+        dims: 10,
+        clusters: 5,
+        seed: 5,
+    };
+    let data: Vec<(Vec<f64>, f64)> = (0..8)
+        .flat_map(|p| labeled_points_partition(&cfg, 8, p))
+        .map(|p| (p.features, p.label))
+        .collect();
+    let points = ctx.parallelize(data, 16).cache();
+    points.count().unwrap(); // populate the cache
+    let features = points.map(|(f, _)| f).cache();
+    features.count().unwrap();
+
+    let mut g = c.benchmark_group("ml");
+    g.sample_size(10);
+    g.bench_function("logistic_regression_1_iter", |b| {
+        b.iter(|| {
+            LogisticRegression {
+                iterations: 1,
+                learning_rate: 1.0,
+                seed: 1,
+            }
+            .train(&points)
+            .unwrap()
+        })
+    });
+    g.bench_function("kmeans_1_iter", |b| {
+        b.iter(|| {
+            KMeans {
+                k: 5,
+                iterations: 1,
+                reduce_partitions: 8,
+            }
+            .train(&features)
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Partial DAG Execution primitives: bucket coalescing (bin packing) and
+//! join-strategy selection over shuffle statistics.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shark_sql::{choose_join_strategy, coalesce_buckets};
+
+fn bench_pde(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pde");
+    g.sample_size(20);
+    let skewed: Vec<u64> = (0..2000)
+        .map(|i| if i % 97 == 0 { 1_000_000 } else { (i % 50 + 1) * 100 })
+        .collect();
+    g.bench_function("coalesce_2000_buckets", |b| {
+        b.iter(|| coalesce_buckets(&skewed, 500_000, 200))
+    });
+    g.bench_function("join_strategy_choice", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for i in 0..1000u64 {
+                if choose_join_strategy(i * 1000, 1 << 30, 1 << 20)
+                    == shark_sql::JoinStrategy::Shuffle
+                {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pde);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Map pruning micro-benchmark (§3.5): the same selective query with and
+//! without partition statistics available.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shark_core::datasets::register_warehouse;
+use shark_core::{ExecConfig, SharkConfig, SharkContext};
+use shark_datagen::warehouse::WarehouseConfig;
+
+const QUERY: &str = "SELECT COUNT(*) FROM sessions WHERE day = 15001 AND country = 'US'";
+
+fn bench_pruning(c: &mut Criterion) {
+    let cached = SharkContext::new(SharkConfig::default().with_exec(ExecConfig::shark()));
+    register_warehouse(&cached, &WarehouseConfig::tiny(), true).unwrap();
+    cached.load_table("sessions").unwrap();
+    let uncached = SharkContext::new(SharkConfig::default().with_exec(ExecConfig::shark_disk()));
+    register_warehouse(&uncached, &WarehouseConfig::tiny(), false).unwrap();
+
+    let mut g = c.benchmark_group("pruning");
+    g.sample_size(10);
+    g.bench_function("with_map_pruning", |b| b.iter(|| cached.sql(QUERY).unwrap()));
+    g.bench_function("full_scan_no_stats", |b| b.iter(|| uncached.sql(QUERY).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,621 @@
+//! Regenerates every table and figure of the Shark paper's evaluation (§6)
+//! on the simulated cluster and prints paper-vs-measured comparisons.
+//!
+//! Usage:
+//!   cargo run --release -p shark-bench --bin experiments            # all figures
+//!   cargo run --release -p shark-bench --bin experiments -- figure8 # one figure
+//!
+//! Figures: figure1, figure5, figure6, loading, figure7, figure8, figure9,
+//! figure10, figure11, figure12, figure13, memory, pruning, skew.
+
+use shark_cluster::{ClusterConfig, DfsModel, EngineProfile};
+use shark_columnar::ColumnarPartition;
+use shark_core::datasets::{register_ml_points, register_pavlo, register_tpch, register_warehouse};
+use shark_core::{ExecConfig, SharkConfig, SharkContext};
+use shark_datagen::ml::MlConfig;
+use shark_datagen::pavlo::PavloConfig;
+use shark_datagen::tpch::TpchConfig;
+use shark_datagen::warehouse::WarehouseConfig;
+use shark_ml::{KMeans, LogisticRegression};
+
+/// Scale factor: how many paper-scale rows each in-process row represents.
+const SCALE: f64 = 50_000.0;
+
+fn shark_ctx(exec: ExecConfig, cached: bool) -> SharkContext {
+    let cfg = SharkConfig::paper_shark()
+        .with_sim_scale(SCALE)
+        .with_exec(exec);
+    let shark = SharkContext::new(cfg);
+    let _ = cached;
+    shark
+}
+
+fn hive_ctx() -> SharkContext {
+    SharkContext::new(SharkConfig::paper_hive().with_sim_scale(SCALE))
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn row(label: &str, seconds: f64, extra: &str) {
+    println!("  {label:<46} {seconds:>10.2} s   {extra}");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1 / 5 / 6: Pavlo benchmark + real queries headline
+// ---------------------------------------------------------------------------
+
+fn pavlo_session(exec: ExecConfig, cached: bool, hive: bool) -> SharkContext {
+    let shark = if hive { hive_ctx() } else { shark_ctx(exec, cached) };
+    register_pavlo(&shark, &PavloConfig::default(), 32, cached).unwrap();
+    if cached {
+        shark.load_table("rankings").unwrap();
+        shark.load_table("uservisits").unwrap();
+    }
+    shark
+}
+
+fn run_query(shark: &SharkContext, sql: &str) -> (f64, usize, Vec<String>) {
+    shark.reset_simulation();
+    let r = shark.sql(sql).expect("query failed");
+    (r.sim_seconds, r.rows.len(), r.notes)
+}
+
+const PAVLO_SELECTION: &str = "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 300";
+const PAVLO_AGG_FINE: &str =
+    "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP";
+const PAVLO_AGG_COARSE: &str =
+    "SELECT SUBSTR(sourceIP, 1, 7), SUM(adRevenue) FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 7)";
+const PAVLO_JOIN: &str = "SELECT sourceIP, AVG(pageRank), SUM(adRevenue) AS totalRevenue \
+     FROM rankings R, uservisits UV \
+     WHERE R.pageURL = UV.destURL AND UV.visitDate BETWEEN 10971 AND 10978 \
+     GROUP BY UV.sourceIP";
+
+fn figure5() {
+    header("Figure 5 — Pavlo selection & aggregation (paper: Shark 1.1s/147s/32s, Hive ~hundreds of seconds)");
+    let shark = pavlo_session(ExecConfig::shark(), true, false);
+    let shark_disk = pavlo_session(ExecConfig::shark_disk(), false, false);
+    let hive = pavlo_session(ExecConfig::hive(), false, true);
+    for (name, sql) in [
+        ("selection", PAVLO_SELECTION),
+        ("aggregation, many groups", PAVLO_AGG_FINE),
+        ("aggregation, ~1K groups", PAVLO_AGG_COARSE),
+    ] {
+        println!("  -- {name}");
+        row("Shark (memstore)", run_query(&shark, sql).0, "");
+        row("Shark (disk)", run_query(&shark_disk, sql).0, "");
+        row("Hive", run_query(&hive, sql).0, "");
+    }
+}
+
+fn figure6() {
+    header("Figure 6 — Pavlo join query (paper: copartitioned < Shark ~ Shark(disk) << Hive ~1500s)");
+    let shark = pavlo_session(ExecConfig::shark(), true, false);
+    let (secs, rows, notes) = run_query(&shark, PAVLO_JOIN);
+    row("Shark (memstore)", secs, &format!("{rows} groups"));
+    for n in &notes {
+        println!("      note: {n}");
+    }
+    let shark_disk = pavlo_session(ExecConfig::shark_disk(), false, false);
+    row("Shark (disk)", run_query(&shark_disk, PAVLO_JOIN).0, "");
+    let hive = pavlo_session(ExecConfig::hive(), false, true);
+    row("Hive", run_query(&hive, PAVLO_JOIN).0, "");
+
+    // Co-partitioned variant: CTAS both tables DISTRIBUTE BY the join key.
+    let cop = pavlo_session(ExecConfig::shark(), true, false);
+    cop.sql(
+        "CREATE TABLE r_mem TBLPROPERTIES(\"shark.cache\"=\"true\") AS \
+         SELECT pageURL, pageRank FROM rankings DISTRIBUTE BY pageURL",
+    )
+    .unwrap();
+    cop.sql(
+        "CREATE TABLE uv_mem TBLPROPERTIES(\"shark.cache\"=\"true\", \"copartition\"=\"r_mem\") AS \
+         SELECT destURL, sourceIP, adRevenue, visitDate FROM uservisits DISTRIBUTE BY destURL",
+    )
+    .unwrap();
+    let (secs, _, notes) = run_query(
+        &cop,
+        "SELECT sourceIP, SUM(adRevenue) FROM r_mem R, uv_mem UV \
+         WHERE R.pageURL = UV.destURL AND UV.visitDate BETWEEN 10971 AND 10978 \
+         GROUP BY UV.sourceIP",
+    );
+    row("Shark (co-partitioned)", secs, "");
+    for n in notes.iter().filter(|n| n.contains("co-partitioned")) {
+        println!("      note: {n}");
+    }
+}
+
+fn loading() {
+    header("§6.2.4 — data loading throughput (paper: memstore ingest ~5x HDFS ingest)");
+    let cluster = ClusterConfig::paper_shark_cluster();
+    let dfs = DfsModel::default();
+    let bytes: u64 = 2 << 40; // the 2 TB uservisits table
+    let rows: u64 = 15_500_000_000;
+    let hdfs_secs = dfs.write_seconds(&cluster, bytes);
+    let mem_secs = shark_cluster::hdfs::memstore_load_seconds(&cluster, bytes, rows);
+    row("load 2 TB into HDFS (3x replication)", hdfs_secs, "");
+    row("load 2 TB into Shark memstore", mem_secs, "");
+    println!("  ratio: {:.1}x (paper: ~5x)", hdfs_secs / mem_secs);
+}
+
+fn figure1() {
+    header("Figure 1 — headline: two warehouse queries + 1 logistic regression iteration (paper: 0.7s/0.96s/1.0s Shark vs 30-110s Hive/Hadoop)");
+    figure10_inner(true);
+    figure11_inner(true);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: TPC-H aggregation micro-benchmark
+// ---------------------------------------------------------------------------
+
+fn figure7() {
+    header("Figure 7 — TPC-H lineitem group-bys (paper: Shark ~1-6s in memory, Hive(tuned) 80-700s)");
+    let queries = [
+        ("1 group (global count)", "SELECT COUNT(*) FROM lineitem"),
+        (
+            "7 groups (SHIPMODE)",
+            "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode",
+        ),
+        (
+            "~2.5K groups (RECEIPTDATE)",
+            "SELECT l_receiptdate, COUNT(*) FROM lineitem GROUP BY l_receiptdate",
+        ),
+        (
+            "high-cardinality groups (ORDERKEY)",
+            "SELECT l_orderkey, COUNT(*) FROM lineitem GROUP BY l_orderkey",
+        ),
+    ];
+    let shark = shark_ctx(ExecConfig::shark(), true);
+    register_tpch(&shark, &TpchConfig::default(), 32, true).unwrap();
+    shark.load_table("lineitem").unwrap();
+    let shark_disk = shark_ctx(ExecConfig::shark_disk(), false);
+    register_tpch(&shark_disk, &TpchConfig::default(), 32, false).unwrap();
+    let hive = hive_ctx();
+    register_tpch(&hive, &TpchConfig::default(), 32, false).unwrap();
+    for (name, sql) in queries {
+        println!("  -- {name}");
+        row("Shark (memstore)", run_query(&shark, sql).0, "");
+        row("Shark (disk)", run_query(&shark_disk, sql).0, "");
+        row("Hive", run_query(&hive, sql).0, "");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: join strategy selection at run time
+// ---------------------------------------------------------------------------
+
+fn figure8() {
+    header("Figure 8 — join strategies chosen by optimizers (paper: static 105s, adaptive ~65s, static+adaptive ~35s => ~3x)");
+    let sql = "SELECT l_orderkey, s_name FROM lineitem l JOIN supplier s \
+               ON l.l_suppkey = s.s_suppkey WHERE is_special(s.s_address)";
+    let tpch = TpchConfig {
+        supplier_rows: 20_000,
+        ..TpchConfig::default()
+    };
+    let run_mode = |label: &str, exec: ExecConfig| {
+        let mut shark = shark_ctx(exec, true);
+        shark.register_udf("is_special", |args| {
+            shark_common::Value::Bool(
+                args[0]
+                    .as_str()
+                    .map(|s| s.contains("SPECIAL"))
+                    .unwrap_or(false),
+            )
+        });
+        register_tpch(&shark, &tpch, 32, true).unwrap();
+        shark.load_table("lineitem").unwrap();
+        shark.load_table("supplier").unwrap();
+        let (secs, rows, notes) = run_query(&shark, sql);
+        row(label, secs, &format!("{rows} rows"));
+        for n in notes.iter().filter(|n| n.contains("join")) {
+            println!("      note: {n}");
+        }
+    };
+    run_mode("Static plan (shuffle join)", ExecConfig::shark_static());
+    let adaptive = ExecConfig {
+        pde_prioritize_small_side: false,
+        ..ExecConfig::shark()
+    };
+    run_mode("Adaptive (PDE, pre-shuffle both sides)", adaptive);
+    run_mode("Static + adaptive (pre-shuffle small side only)", ExecConfig::shark());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: fault tolerance
+// ---------------------------------------------------------------------------
+
+fn figure9() {
+    header("Figure 9 — query time with failures (paper: full reload ~38s, no-failure ~12s, single failure ~15s, post-recovery ~11s)");
+    let mut cluster = ClusterConfig::paper_shark_cluster();
+    cluster.num_nodes = 50;
+    let shark = SharkContext::new(
+        SharkConfig {
+            cluster,
+            default_partitions: 100,
+            ..SharkConfig::default()
+        }
+        .with_sim_scale(SCALE),
+    );
+    register_tpch(&shark, &TpchConfig::default(), 100, true).unwrap();
+    let query = "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode";
+
+    shark.reset_simulation();
+    let load = shark.load_table("lineitem").unwrap();
+    row("Full reload of the table", load.sim_seconds, "");
+    row("No failures", run_query(&shark, query).0, "");
+    let lost = shark.fail_node(7);
+    row(
+        "Single failure (recover via lineage)",
+        run_query(&shark, query).0,
+        &format!("{lost} partitions lost"),
+    );
+    row("Post-recovery", run_query(&shark, query).0, "");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: real warehouse queries
+// ---------------------------------------------------------------------------
+
+fn figure10_inner(headline_only: bool) {
+    let queries = [
+        (
+            "Q1 (per-customer daily summary)",
+            "SELECT customer_id, COUNT(*), AVG(buffering_ms), AVG(startup_ms), AVG(bitrate_kbps), SUM(play_seconds) \
+             FROM sessions WHERE day = 15003 AND customer_id = 7 GROUP BY customer_id",
+        ),
+        (
+            "Q2 (sessions by country, filtered)",
+            "SELECT country, COUNT(*), COUNT(DISTINCT customer_id) FROM sessions \
+             WHERE is_live = false AND errors = 0 AND rebuffer_count <= 10 AND play_seconds > 60 GROUP BY country",
+        ),
+        (
+            "Q3 (all but two countries)",
+            "SELECT country, COUNT(*), COUNT(DISTINCT customer_id) FROM sessions \
+             WHERE country NOT IN ('US', 'CA') GROUP BY country",
+        ),
+        (
+            "Q4 (top devices by quality)",
+            "SELECT device, COUNT(*), AVG(quality_score) FROM sessions GROUP BY device ORDER BY 3 DESC LIMIT 10",
+        ),
+    ];
+    let shark = shark_ctx(ExecConfig::shark(), true);
+    register_warehouse(&shark, &WarehouseConfig::default(), true).unwrap();
+    shark.load_table("sessions").unwrap();
+    let hive = hive_ctx();
+    register_warehouse(&hive, &WarehouseConfig::default(), false).unwrap();
+    let limit = if headline_only { 2 } else { queries.len() };
+    for (name, sql) in queries.iter().take(limit) {
+        println!("  -- {name}");
+        let (secs, _, notes) = run_query(&shark, sql);
+        row("Shark (memstore)", secs, "");
+        for n in notes.iter().filter(|n| n.contains("pruning")) {
+            println!("      note: {n}");
+        }
+        if !headline_only {
+            let shark_disk = shark_ctx(ExecConfig::shark_disk(), false);
+            register_warehouse(&shark_disk, &WarehouseConfig::default(), false).unwrap();
+            row("Shark (disk)", run_query(&shark_disk, sql).0, "");
+        }
+        row("Hive", run_query(&hive, sql).0, "");
+    }
+}
+
+fn figure10() {
+    header("Figure 10 — real Hive warehouse queries (paper: Shark 0.7-1.1s, Hive 40-100s)");
+    figure10_inner(false);
+}
+
+// ---------------------------------------------------------------------------
+// Figures 11 & 12: machine learning per-iteration times
+// ---------------------------------------------------------------------------
+
+fn ml_points_rdd(shark: &SharkContext, dims: usize) -> shark_rdd::Rdd<(Vec<f64>, f64)> {
+    let table = shark.sql_to_rdd("SELECT * FROM points").unwrap();
+    table
+        .rdd
+        .map(move |row| {
+            let label = row.get_float(0).unwrap_or(0.0);
+            let features: Vec<f64> = (1..=dims)
+                .map(|i| row.get_float(i).unwrap_or(0.0))
+                .collect();
+            (features, label)
+        })
+        .cache()
+}
+
+fn figure11_inner(headline_only: bool) {
+    let cfg = MlConfig::default();
+    // Shark: data cached in the memstore, iterations reuse the cached RDD.
+    let shark = shark_ctx(ExecConfig::shark(), true);
+    register_ml_points(&shark, &cfg, 32, true).unwrap();
+    shark.load_table("points").unwrap();
+    let points = ml_points_rdd(&shark, cfg.dims);
+    shark.reset_simulation();
+    let (_, report) = LogisticRegression::default().train(&points).unwrap();
+    row(
+        "Shark — logistic regression / iteration",
+        report.mean_iteration_seconds(),
+        "",
+    );
+    if headline_only {
+        return;
+    }
+    // Hadoop baselines: every iteration re-reads the input from the DFS.
+    for (label, profile) in [
+        ("Hadoop (binary input) / iteration", EngineProfile::hadoop_binary()),
+        ("Hadoop (text input) / iteration", EngineProfile::hadoop()),
+    ] {
+        let mut cluster = ClusterConfig::paper_hive_cluster();
+        cluster.profile = profile;
+        let hadoop = SharkContext::new(
+            SharkConfig {
+                cluster,
+                default_partitions: 200,
+                exec: ExecConfig::hive(),
+                ..SharkConfig::default()
+            }
+            .with_sim_scale(SCALE),
+        );
+        register_ml_points(&hadoop, &cfg, 32, false).unwrap();
+        let points = {
+            let table = hadoop.sql_to_rdd("SELECT * FROM points").unwrap();
+            let dims = cfg.dims;
+            table.rdd.map(move |row| {
+                let label = row.get_float(0).unwrap_or(0.0);
+                let features: Vec<f64> =
+                    (1..=dims).map(|i| row.get_float(i).unwrap_or(0.0)).collect();
+                (features, label)
+            })
+            // note: NOT cached — Hadoop re-reads the input every iteration
+        };
+        hadoop.reset_simulation();
+        let (_, report) = LogisticRegression {
+            iterations: 3,
+            ..LogisticRegression::default()
+        }
+        .train(&points)
+        .unwrap();
+        row(label, report.mean_iteration_seconds(), "");
+    }
+}
+
+fn figure11() {
+    header("Figure 11 — logistic regression per-iteration (paper: Shark 0.96s, Hadoop binary ~60s, Hadoop text ~120s)");
+    figure11_inner(false);
+}
+
+fn figure12() {
+    header("Figure 12 — k-means per-iteration (paper: Shark 4.1s, Hadoop binary ~125s, Hadoop text ~185s)");
+    let cfg = MlConfig::default();
+    let shark = shark_ctx(ExecConfig::shark(), true);
+    register_ml_points(&shark, &cfg, 32, true).unwrap();
+    shark.load_table("points").unwrap();
+    let features = ml_points_rdd(&shark, cfg.dims).map(|(f, _)| f).cache();
+    shark.reset_simulation();
+    let (_, report) = KMeans::default().train(&features).unwrap();
+    row("Shark — k-means / iteration", report.mean_iteration_seconds(), "");
+    for (label, profile) in [
+        ("Hadoop (binary input) / iteration", EngineProfile::hadoop_binary()),
+        ("Hadoop (text input) / iteration", EngineProfile::hadoop()),
+    ] {
+        let mut cluster = ClusterConfig::paper_hive_cluster();
+        cluster.profile = profile;
+        let hadoop = SharkContext::new(
+            SharkConfig {
+                cluster,
+                default_partitions: 200,
+                exec: ExecConfig::hive(),
+                ..SharkConfig::default()
+            }
+            .with_sim_scale(SCALE),
+        );
+        register_ml_points(&hadoop, &cfg, 32, false).unwrap();
+        let table = hadoop.sql_to_rdd("SELECT * FROM points").unwrap();
+        let dims = cfg.dims;
+        let features = table
+            .rdd
+            .map(move |row| (1..=dims).map(|i| row.get_float(i).unwrap_or(0.0)).collect());
+        hadoop.reset_simulation();
+        let (_, report) = KMeans {
+            iterations: 3,
+            ..KMeans::default()
+        }
+        .train(&features)
+        .unwrap();
+        row(label, report.mean_iteration_seconds(), "");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: task launching overhead
+// ---------------------------------------------------------------------------
+
+fn figure13() {
+    header("Figure 13 — job time vs number of reduce tasks (paper: Hadoop blows up past ~1000 tasks, Spark stays flat)");
+    let total_work_seconds = 4000.0;
+    println!("  {:<12} {:>16} {:>16}", "reduce tasks", "Hadoop (s)", "Spark (s)");
+    for n in [50usize, 200, 1000, 2000, 5000] {
+        let per_task = total_work_seconds / n as f64;
+        let mut hcfg = ClusterConfig::paper_hive_cluster();
+        hcfg.straggler_probability = 0.0;
+        let mut scfg = ClusterConfig::paper_shark_cluster();
+        scfg.straggler_probability = 0.0;
+        let mut hadoop = shark_cluster::ClusterSim::new(hcfg);
+        let mut spark = shark_cluster::ClusterSim::new(scfg);
+        let h = hadoop.simulate_uniform_stage(n, per_task).duration;
+        let s = spark.simulate_uniform_stage(n, per_task).duration;
+        println!("  {n:<12} {h:>16.1} {s:>16.1}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §3.2 memory footprint, §3.5 pruning, §3.1.2 skew
+// ---------------------------------------------------------------------------
+
+fn memory() {
+    header("§3.2 — storage format footprint (paper: 270MB lineitem = 971MB JVM objects vs 289MB serialized)");
+    let cfg = TpchConfig::default();
+    let rows: Vec<shark_common::Row> = (0..8)
+        .flat_map(|p| shark_datagen::tpch::lineitem_partition(&cfg, 8, p))
+        .collect();
+    let schema = shark_datagen::tpch::lineitem_schema();
+    let objects = shark_columnar::footprint::object_store_bytes(&rows);
+    let serialized = shark_columnar::footprint::serialized_bytes(&rows);
+    let columnar = ColumnarPartition::from_rows(&schema, &rows);
+    println!("  rows: {}", rows.len());
+    println!("  deserialized row objects : {:>12} bytes", objects);
+    println!("  serialized rows          : {:>12} bytes ({:.2}x smaller)", serialized, objects as f64 / serialized as f64);
+    println!(
+        "  columnar + compression   : {:>12} bytes ({:.2}x smaller, compression ratio {:.2}x)",
+        columnar.memory_bytes(),
+        objects as f64 / columnar.memory_bytes() as f64,
+        columnar.compression_ratio()
+    );
+}
+
+fn pruning() {
+    header("§3.5 — map pruning selectivity (paper: ~30x less data scanned on the warehouse trace)");
+    let shark = shark_ctx(ExecConfig::shark(), true);
+    register_warehouse(&shark, &WarehouseConfig::default(), true).unwrap();
+    shark.load_table("sessions").unwrap();
+    let (_, _, notes) = run_query(
+        &shark,
+        "SELECT COUNT(*) FROM sessions WHERE day = 15003 AND country = 'US'",
+    );
+    for n in notes.iter().filter(|n| n.contains("pruning")) {
+        println!("  {n}");
+    }
+    let (_, _, notes) = run_query(
+        &shark,
+        "SELECT COUNT(*) FROM sessions WHERE day BETWEEN 15000 AND 15002",
+    );
+    for n in notes.iter().filter(|n| n.contains("pruning")) {
+        println!("  {n}");
+    }
+}
+
+fn skew() {
+    header("§3.1.2 — skew handling: PDE bucket coalescing vs fixed reducers");
+    // A skewed aggregation: 80% of rows share one key.
+    let shark = shark_ctx(ExecConfig::shark(), true);
+    let nodes = shark.config().cluster.num_nodes;
+    shark.register_table(
+        shark_sql::TableMeta::new(
+            "events",
+            shark_common::Schema::from_pairs(&[
+                ("key", shark_common::DataType::Str),
+                ("v", shark_common::DataType::Int),
+            ]),
+            32,
+            |p| {
+                (0..2000)
+                    .map(|i| {
+                        let key = if i % 5 != 0 {
+                            "hot-key".to_string()
+                        } else {
+                            format!("key-{}", (p * 2000 + i) % 500)
+                        };
+                        shark_common::row![key, i as i64]
+                    })
+                    .collect()
+            },
+        )
+        .with_cache(nodes),
+    );
+    shark.load_table("events").unwrap();
+    let (pde_secs, _, notes) =
+        run_query(&shark, "SELECT key, SUM(v) FROM events GROUP BY key");
+    row("PDE (coalesced reducers)", pde_secs, "");
+    for n in notes.iter().filter(|n| n.contains("coalesced")) {
+        println!("      note: {n}");
+    }
+    let mut static_cfg = ExecConfig::shark_static();
+    static_cfg.default_reducers = 8;
+    let shark_static = {
+        let s = shark_ctx(static_cfg, true);
+        let nodes = s.config().cluster.num_nodes;
+        s.register_table(
+            shark_sql::TableMeta::new(
+                "events",
+                shark_common::Schema::from_pairs(&[
+                    ("key", shark_common::DataType::Str),
+                    ("v", shark_common::DataType::Int),
+                ]),
+                32,
+                |p| {
+                    (0..2000)
+                        .map(|i| {
+                            let key = if i % 5 != 0 {
+                                "hot-key".to_string()
+                            } else {
+                                format!("key-{}", (p * 2000 + i) % 500)
+                            };
+                            shark_common::row![key, i as i64]
+                        })
+                        .collect()
+                },
+            )
+            .with_cache(nodes),
+        );
+        s.load_table("events").unwrap();
+        s
+    };
+    let (static_secs, _, _) =
+        run_query(&shark_static, "SELECT key, SUM(v) FROM events GROUP BY key");
+    row("Static plan (8 reducers)", static_secs, "");
+}
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| filter.is_empty() || filter.iter().any(|f| f.contains(name));
+
+    println!("Shark (SIGMOD 2013) reproduction — experiment harness");
+    println!("simulated cluster: 100 nodes x 8 cores (§6.1); scale factor {SCALE}");
+
+    if want("figure1") {
+        figure1();
+    }
+    if want("figure5") {
+        figure5();
+    }
+    if want("figure6") {
+        figure6();
+    }
+    if want("loading") {
+        loading();
+    }
+    if want("figure7") {
+        figure7();
+    }
+    if want("figure8") {
+        figure8();
+    }
+    if want("figure9") {
+        figure9();
+    }
+    if want("figure10") {
+        figure10();
+    }
+    if want("figure11") {
+        figure11();
+    }
+    if want("figure12") {
+        figure12();
+    }
+    if want("figure13") {
+        figure13();
+    }
+    if want("memory") {
+        memory();
+    }
+    if want("pruning") {
+        pruning();
+    }
+    if want("skew") {
+        skew();
+    }
+    println!("\ndone.");
+}

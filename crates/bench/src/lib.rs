@@ -1,0 +1,1 @@
+//! Shark benchmark harness: Criterion micro-benchmarks and the `experiments` binary.

@@ -1,0 +1,354 @@
+//! Physical column encodings.
+//!
+//! Each cached partition stores every column as one [`EncodedColumn`]:
+//! a single contiguous allocation (the paper's "each column creates only one
+//! JVM object" observation translated to Rust), optionally compressed with
+//! the cheap, CPU-friendly schemes of §3.2: run-length encoding, dictionary
+//! encoding and bit packing.
+
+use std::sync::Arc;
+
+use shark_common::{DataType, Value};
+
+/// Null sentinel handling: columns keep an optional validity mask; a `None`
+/// mask means the column contains no NULLs.
+pub type NullMask = Option<Vec<bool>>;
+
+fn is_null(mask: &NullMask, i: usize) -> bool {
+    mask.as_ref().map(|m| !m[i]).unwrap_or(false)
+}
+
+fn mask_bytes(mask: &NullMask) -> usize {
+    mask.as_ref().map(|m| m.len()).unwrap_or(0)
+}
+
+/// A physically encoded column of one partition.
+///
+/// Integer and date columns share the integer encodings; the logical type is
+/// carried by the enclosing partition's schema and re-applied on decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedColumn {
+    /// Uncompressed 64-bit integers (also used for dates).
+    IntPlain { values: Vec<i64>, nulls: NullMask },
+    /// Run-length encoded integers: `(value, run_length)` pairs.
+    IntRle { runs: Vec<(i64, u32)>, len: usize, nulls: NullMask },
+    /// Frame-of-reference bit packing: `value = min + unpack(bits)`.
+    IntBitPacked {
+        min: i64,
+        bits: u8,
+        len: usize,
+        words: Vec<u64>,
+        nulls: NullMask,
+    },
+    /// Uncompressed 64-bit floats.
+    FloatPlain { values: Vec<f64>, nulls: NullMask },
+    /// Booleans packed one bit per value.
+    BoolPacked { len: usize, words: Vec<u64>, nulls: NullMask },
+    /// Uncompressed strings.
+    StrPlain { values: Vec<Arc<str>>, nulls: NullMask },
+    /// Dictionary-encoded strings: distinct values plus per-row codes.
+    StrDict {
+        dict: Vec<Arc<str>>,
+        codes: Vec<u32>,
+        nulls: NullMask,
+    },
+    /// Run-length encoded strings.
+    StrRle {
+        runs: Vec<(Arc<str>, u32)>,
+        len: usize,
+        nulls: NullMask,
+    },
+    /// A column consisting only of NULLs.
+    AllNull { len: usize },
+}
+
+impl EncodedColumn {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedColumn::IntPlain { values, .. } => values.len(),
+            EncodedColumn::IntRle { len, .. } => *len,
+            EncodedColumn::IntBitPacked { len, .. } => *len,
+            EncodedColumn::FloatPlain { values, .. } => values.len(),
+            EncodedColumn::BoolPacked { len, .. } => *len,
+            EncodedColumn::StrPlain { values, .. } => values.len(),
+            EncodedColumn::StrDict { codes, .. } => codes.len(),
+            EncodedColumn::StrRle { len, .. } => *len,
+            EncodedColumn::AllNull { len } => *len,
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap footprint of the encoded column in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            EncodedColumn::IntPlain { values, nulls } => values.len() * 8 + mask_bytes(nulls),
+            EncodedColumn::IntRle { runs, nulls, .. } => runs.len() * 12 + mask_bytes(nulls),
+            EncodedColumn::IntBitPacked { words, nulls, .. } => {
+                16 + words.len() * 8 + mask_bytes(nulls)
+            }
+            EncodedColumn::FloatPlain { values, nulls } => values.len() * 8 + mask_bytes(nulls),
+            EncodedColumn::BoolPacked { words, nulls, .. } => words.len() * 8 + mask_bytes(nulls),
+            EncodedColumn::StrPlain { values, nulls } => {
+                values.iter().map(|s| s.len() + 16).sum::<usize>() + mask_bytes(nulls)
+            }
+            EncodedColumn::StrDict { dict, codes, nulls } => {
+                dict.iter().map(|s| s.len() + 16).sum::<usize>()
+                    + codes.len() * 4
+                    + mask_bytes(nulls)
+            }
+            EncodedColumn::StrRle { runs, nulls, .. } => {
+                runs.iter().map(|(s, _)| s.len() + 20).sum::<usize>() + mask_bytes(nulls)
+            }
+            EncodedColumn::AllNull { .. } => 8,
+        }
+    }
+
+    /// Decode the whole column back to values, applying the logical type.
+    pub fn decode(&self, data_type: DataType) -> Vec<Value> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.value_at(i, data_type));
+        }
+        out
+    }
+
+    /// Random access to one value (linear in run count for RLE columns).
+    pub fn value_at(&self, i: usize, data_type: DataType) -> Value {
+        let make_int = |v: i64| -> Value {
+            if data_type == DataType::Date {
+                Value::Date(v as i32)
+            } else {
+                Value::Int(v)
+            }
+        };
+        match self {
+            EncodedColumn::AllNull { .. } => Value::Null,
+            EncodedColumn::IntPlain { values, nulls } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    make_int(values[i])
+                }
+            }
+            EncodedColumn::IntRle { runs, nulls, .. } => {
+                if is_null(nulls, i) {
+                    return Value::Null;
+                }
+                let mut remaining = i;
+                for (v, run) in runs {
+                    if remaining < *run as usize {
+                        return make_int(*v);
+                    }
+                    remaining -= *run as usize;
+                }
+                Value::Null
+            }
+            EncodedColumn::IntBitPacked {
+                min,
+                bits,
+                words,
+                nulls,
+                ..
+            } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    make_int(min + unpack_bits(words, *bits, i) as i64)
+                }
+            }
+            EncodedColumn::FloatPlain { values, nulls } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Float(values[i])
+                }
+            }
+            EncodedColumn::BoolPacked { words, nulls, .. } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Bool(words[i / 64] >> (i % 64) & 1 == 1)
+                }
+            }
+            EncodedColumn::StrPlain { values, nulls } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Str(values[i].clone())
+                }
+            }
+            EncodedColumn::StrDict { dict, codes, nulls } => {
+                if is_null(nulls, i) {
+                    Value::Null
+                } else {
+                    Value::Str(dict[codes[i] as usize].clone())
+                }
+            }
+            EncodedColumn::StrRle { runs, nulls, .. } => {
+                if is_null(nulls, i) {
+                    return Value::Null;
+                }
+                let mut remaining = i;
+                for (v, run) in runs {
+                    if remaining < *run as usize {
+                        return Value::Str(v.clone());
+                    }
+                    remaining -= *run as usize;
+                }
+                Value::Null
+            }
+        }
+    }
+}
+
+/// Pack unsigned deltas into `bits`-wide slots inside `u64` words.
+pub(crate) fn pack_bits(deltas: &[u64], bits: u8) -> Vec<u64> {
+    if bits == 0 {
+        return Vec::new();
+    }
+    let bits = bits as usize;
+    let total_bits = deltas.len() * bits;
+    let mut words = vec![0u64; total_bits.div_ceil(64)];
+    for (i, &d) in deltas.iter().enumerate() {
+        let bit_pos = i * bits;
+        let word = bit_pos / 64;
+        let offset = bit_pos % 64;
+        words[word] |= d << offset;
+        if offset + bits > 64 {
+            words[word + 1] |= d >> (64 - offset);
+        }
+    }
+    words
+}
+
+/// Extract the `i`-th `bits`-wide slot.
+pub(crate) fn unpack_bits(words: &[u64], bits: u8, i: usize) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let bitsz = bits as usize;
+    let bit_pos = i * bitsz;
+    let word = bit_pos / 64;
+    let offset = bit_pos % 64;
+    let mask = if bitsz == 64 { u64::MAX } else { (1u64 << bitsz) - 1 };
+    let mut v = words[word] >> offset;
+    if offset + bitsz > 64 {
+        v |= words[word + 1] << (64 - offset);
+    }
+    v & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_packing_roundtrip() {
+        let deltas: Vec<u64> = (0..1000).map(|i| (i * 37) % 1000).collect();
+        for bits in [10u8, 13, 32, 63] {
+            let words = pack_bits(&deltas, bits);
+            for (i, &d) in deltas.iter().enumerate() {
+                assert_eq!(unpack_bits(&words, bits, i), d, "bits={bits} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_plain_and_rle_decode() {
+        let plain = EncodedColumn::IntPlain {
+            values: vec![5, 5, 7],
+            nulls: None,
+        };
+        assert_eq!(plain.decode(DataType::Int), vec![
+            Value::Int(5),
+            Value::Int(5),
+            Value::Int(7)
+        ]);
+        let rle = EncodedColumn::IntRle {
+            runs: vec![(5, 2), (7, 1)],
+            len: 3,
+            nulls: None,
+        };
+        assert_eq!(rle.decode(DataType::Int), plain.decode(DataType::Int));
+        assert!(rle.memory_bytes() <= plain.memory_bytes() + 8);
+    }
+
+    #[test]
+    fn date_type_is_restored_on_decode() {
+        let col = EncodedColumn::IntPlain {
+            values: vec![100, 200],
+            nulls: None,
+        };
+        assert_eq!(col.decode(DataType::Date), vec![Value::Date(100), Value::Date(200)]);
+    }
+
+    #[test]
+    fn null_mask_respected() {
+        let col = EncodedColumn::IntPlain {
+            values: vec![1, 0, 3],
+            nulls: Some(vec![true, false, true]),
+        };
+        assert_eq!(
+            col.decode(DataType::Int),
+            vec![Value::Int(1), Value::Null, Value::Int(3)]
+        );
+        let all = EncodedColumn::AllNull { len: 2 };
+        assert_eq!(all.decode(DataType::Str), vec![Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn bool_packed_roundtrip() {
+        let bools: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let mut words = vec![0u64; 130usize.div_ceil(64)];
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let col = EncodedColumn::BoolPacked {
+            len: bools.len(),
+            words,
+            nulls: None,
+        };
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(col.value_at(i, DataType::Bool), Value::Bool(b));
+        }
+    }
+
+    #[test]
+    fn string_dict_and_rle_decode() {
+        let dict = vec![Arc::from("air"), Arc::from("ship")];
+        let col = EncodedColumn::StrDict {
+            dict,
+            codes: vec![0, 1, 1, 0],
+            nulls: None,
+        };
+        let decoded = col.decode(DataType::Str);
+        assert_eq!(decoded[1], Value::str("ship"));
+        assert_eq!(decoded[3], Value::str("air"));
+
+        let rle = EncodedColumn::StrRle {
+            runs: vec![(Arc::from("a"), 3), (Arc::from("b"), 1)],
+            len: 4,
+            nulls: None,
+        };
+        assert_eq!(rle.value_at(2, DataType::Str), Value::str("a"));
+        assert_eq!(rle.value_at(3, DataType::Str), Value::str("b"));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(EncodedColumn::AllNull { len: 5 }.len(), 5);
+        assert!(EncodedColumn::IntPlain {
+            values: vec![],
+            nulls: None
+        }
+        .is_empty());
+    }
+}

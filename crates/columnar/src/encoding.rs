@@ -1,0 +1,332 @@
+//! Per-column, per-partition compression selection.
+//!
+//! §3.3 of the paper: "Each data loading task tracks metadata to decide
+//! whether each column in a partition should be compressed … This allows
+//! each task to choose the best compression scheme for each partition,
+//! rather than conforming to a global compression scheme." This module
+//! implements that local decision: given one column's values it picks plain,
+//! run-length, dictionary or bit-packed encoding, and builds the encoded
+//! column.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use shark_common::{DataType, Value};
+
+use crate::column::{pack_bits, EncodedColumn, NullMask};
+
+/// The compression family chosen for one column of one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingKind {
+    /// Uncompressed array.
+    Plain,
+    /// Run-length encoding.
+    RunLength,
+    /// Dictionary encoding.
+    Dictionary,
+    /// Frame-of-reference bit packing.
+    BitPacked,
+    /// Column contains only NULLs.
+    AllNull,
+}
+
+/// Forces or delegates the encoding decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingChoice {
+    /// Let the loader pick the best encoding from the column contents.
+    #[default]
+    Auto,
+    /// Store everything uncompressed (the "naïve columnar" ablation).
+    ForcePlain,
+}
+
+/// Distinct-value threshold below which dictionary encoding is used for
+/// strings (mirrors the paper's "if its number of distinct values is below a
+/// threshold" rule).
+pub const DICT_THRESHOLD: usize = 256;
+
+/// Minimum average run length for RLE to be considered worthwhile.
+const RLE_MIN_AVG_RUN: f64 = 4.0;
+
+/// Pick an encoding and build the encoded column for `values` of logical
+/// type `data_type`.
+pub fn choose_encoding(
+    data_type: DataType,
+    values: &[Value],
+    choice: EncodingChoice,
+) -> EncodedColumn {
+    let nulls = build_null_mask(values);
+    let non_null = values.iter().filter(|v| !v.is_null()).count();
+    if non_null == 0 {
+        return EncodedColumn::AllNull { len: values.len() };
+    }
+
+    match data_type {
+        DataType::Int | DataType::Date => encode_int(values, nulls, choice),
+        DataType::Float => EncodedColumn::FloatPlain {
+            values: values.iter().map(|v| v.as_float().unwrap_or(0.0)).collect(),
+            nulls,
+        },
+        DataType::Bool => encode_bool(values, nulls),
+        DataType::Str | DataType::Null => encode_str(values, nulls, choice),
+    }
+}
+
+/// The encoding family of an already-encoded column (for tests/benches).
+pub fn kind_of(col: &EncodedColumn) -> EncodingKind {
+    match col {
+        EncodedColumn::IntPlain { .. }
+        | EncodedColumn::FloatPlain { .. }
+        | EncodedColumn::StrPlain { .. } => EncodingKind::Plain,
+        EncodedColumn::IntRle { .. } | EncodedColumn::StrRle { .. } => EncodingKind::RunLength,
+        EncodedColumn::StrDict { .. } => EncodingKind::Dictionary,
+        EncodedColumn::IntBitPacked { .. } | EncodedColumn::BoolPacked { .. } => {
+            EncodingKind::BitPacked
+        }
+        EncodedColumn::AllNull { .. } => EncodingKind::AllNull,
+    }
+}
+
+fn build_null_mask(values: &[Value]) -> NullMask {
+    if values.iter().any(|v| v.is_null()) {
+        Some(values.iter().map(|v| !v.is_null()).collect())
+    } else {
+        None
+    }
+}
+
+fn avg_run_length(n: usize, runs: usize) -> f64 {
+    if runs == 0 {
+        0.0
+    } else {
+        n as f64 / runs as f64
+    }
+}
+
+fn encode_int(values: &[Value], nulls: NullMask, choice: EncodingChoice) -> EncodedColumn {
+    let ints: Vec<i64> = values.iter().map(|v| v.as_int().unwrap_or(0)).collect();
+    if choice == EncodingChoice::ForcePlain {
+        return EncodedColumn::IntPlain { values: ints, nulls };
+    }
+
+    // Count runs to evaluate RLE.
+    let mut runs = 0usize;
+    let mut prev: Option<i64> = None;
+    for &v in &ints {
+        if prev != Some(v) {
+            runs += 1;
+            prev = Some(v);
+        }
+    }
+    if avg_run_length(ints.len(), runs) >= RLE_MIN_AVG_RUN {
+        let mut encoded: Vec<(i64, u32)> = Vec::with_capacity(runs);
+        for &v in &ints {
+            match encoded.last_mut() {
+                Some((lv, count)) if *lv == v && *count < u32::MAX => *count += 1,
+                _ => encoded.push((v, 1)),
+            }
+        }
+        return EncodedColumn::IntRle {
+            runs: encoded,
+            len: ints.len(),
+            nulls,
+        };
+    }
+
+    // Frame-of-reference bit packing if the value range is narrow.
+    let min = *ints.iter().min().unwrap();
+    let max = *ints.iter().max().unwrap();
+    let range = (max as i128 - min as i128) as u128;
+    let bits = (128 - range.leading_zeros()).max(1) as u8;
+    if bits <= 32 {
+        let deltas: Vec<u64> = ints.iter().map(|&v| (v - min) as u64).collect();
+        return EncodedColumn::IntBitPacked {
+            min,
+            bits,
+            len: ints.len(),
+            words: pack_bits(&deltas, bits),
+            nulls,
+        };
+    }
+
+    EncodedColumn::IntPlain { values: ints, nulls }
+}
+
+fn encode_bool(values: &[Value], nulls: NullMask) -> EncodedColumn {
+    let len = values.len();
+    let mut words = vec![0u64; len.div_ceil(64).max(1)];
+    for (i, v) in values.iter().enumerate() {
+        if v.as_bool().unwrap_or(false) {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    EncodedColumn::BoolPacked { len, words, nulls }
+}
+
+fn encode_str(values: &[Value], nulls: NullMask, choice: EncodingChoice) -> EncodedColumn {
+    let strs: Vec<Arc<str>> = values
+        .iter()
+        .map(|v| match v {
+            Value::Str(s) => s.clone(),
+            Value::Null => Arc::from(""),
+            other => Arc::from(other.render().as_str()),
+        })
+        .collect();
+    if choice == EncodingChoice::ForcePlain {
+        return EncodedColumn::StrPlain { values: strs, nulls };
+    }
+
+    // RLE when values repeat consecutively (sorted / clustered columns).
+    let mut runs = 0usize;
+    let mut prev: Option<&str> = None;
+    for s in &strs {
+        if prev != Some(s.as_ref()) {
+            runs += 1;
+            prev = Some(s.as_ref());
+        }
+    }
+    if avg_run_length(strs.len(), runs) >= RLE_MIN_AVG_RUN {
+        let mut encoded: Vec<(Arc<str>, u32)> = Vec::with_capacity(runs);
+        for s in &strs {
+            match encoded.last_mut() {
+                Some((lv, count)) if lv.as_ref() == s.as_ref() && *count < u32::MAX => *count += 1,
+                _ => encoded.push((s.clone(), 1)),
+            }
+        }
+        return EncodedColumn::StrRle {
+            runs: encoded,
+            len: strs.len(),
+            nulls,
+        };
+    }
+
+    // Dictionary when the distinct count is small.
+    let distinct: BTreeSet<&str> = strs.iter().map(|s| s.as_ref()).collect();
+    if distinct.len() <= DICT_THRESHOLD && distinct.len() < strs.len() {
+        let dict: Vec<Arc<str>> = distinct.iter().map(|s| Arc::from(*s)).collect();
+        let codes: Vec<u32> = strs
+            .iter()
+            .map(|s| dict.binary_search_by(|d| d.as_ref().cmp(s.as_ref())).unwrap() as u32)
+            .collect();
+        return EncodedColumn::StrDict { dict, codes, nulls };
+    }
+
+    EncodedColumn::StrPlain { values: strs, nulls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn strs(vals: &[&str]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::str(v)).collect()
+    }
+
+    #[test]
+    fn sorted_ints_use_rle() {
+        let vals = ints(&[1; 100]);
+        let col = choose_encoding(DataType::Int, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::RunLength);
+        assert_eq!(col.decode(DataType::Int), vals);
+        assert!(col.memory_bytes() < 100);
+    }
+
+    #[test]
+    fn narrow_range_ints_use_bitpacking() {
+        let raw: Vec<i64> = (0..1000).map(|i| 1_000_000 + (i * 7919) % 1000).collect();
+        let vals = ints(&raw);
+        let col = choose_encoding(DataType::Int, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::BitPacked);
+        assert_eq!(col.decode(DataType::Int), vals);
+        assert!(col.memory_bytes() < raw.len() * 8 / 2, "{}", col.memory_bytes());
+    }
+
+    #[test]
+    fn wide_random_ints_stay_plain() {
+        let raw: Vec<i64> = (0..100)
+            .map(|i| i64::MAX / 3 - (i * 982_451_653i64))
+            .collect();
+        let vals = ints(&raw);
+        let col = choose_encoding(DataType::Int, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::Plain);
+        assert_eq!(col.decode(DataType::Int), vals);
+    }
+
+    #[test]
+    fn low_cardinality_strings_use_dictionary() {
+        let raw: Vec<&str> = (0..500)
+            .map(|i| match i * 31 % 7 {
+                0 => "AIR",
+                1 => "SHIP",
+                2 => "TRUCK",
+                3 => "RAIL",
+                4 => "MAIL",
+                5 => "FOB",
+                _ => "REG",
+            })
+            .collect();
+        let vals = strs(&raw);
+        let col = choose_encoding(DataType::Str, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::Dictionary);
+        assert_eq!(col.decode(DataType::Str), vals);
+        let plain = choose_encoding(DataType::Str, &vals, EncodingChoice::ForcePlain);
+        assert!(col.memory_bytes() < plain.memory_bytes() / 2);
+    }
+
+    #[test]
+    fn clustered_strings_use_rle() {
+        let mut raw = Vec::new();
+        for country in ["US", "FR", "JP"] {
+            for _ in 0..100 {
+                raw.push(country);
+            }
+        }
+        let vals = strs(&raw);
+        let col = choose_encoding(DataType::Str, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::RunLength);
+        assert_eq!(col.decode(DataType::Str), vals);
+    }
+
+    #[test]
+    fn unique_strings_stay_plain() {
+        let raw: Vec<String> = (0..400).map(|i| format!("user-{i}")).collect();
+        let vals: Vec<Value> = raw.iter().map(Value::str).collect();
+        let col = choose_encoding(DataType::Str, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::Plain);
+    }
+
+    #[test]
+    fn bools_are_bitpacked() {
+        let vals: Vec<Value> = (0..200).map(|i| Value::Bool(i % 2 == 0)).collect();
+        let col = choose_encoding(DataType::Bool, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::BitPacked);
+        assert_eq!(col.decode(DataType::Bool), vals);
+        assert!(col.memory_bytes() < 64);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let vals = vec![Value::Null; 10];
+        let col = choose_encoding(DataType::Str, &vals, EncodingChoice::Auto);
+        assert_eq!(kind_of(&col), EncodingKind::AllNull);
+        assert_eq!(col.decode(DataType::Str), vals);
+    }
+
+    #[test]
+    fn nulls_survive_roundtrip_in_numeric_column() {
+        let vals = vec![Value::Int(5), Value::Null, Value::Int(7), Value::Null];
+        let col = choose_encoding(DataType::Int, &vals, EncodingChoice::Auto);
+        assert_eq!(col.decode(DataType::Int), vals);
+    }
+
+    #[test]
+    fn dates_roundtrip() {
+        let vals: Vec<Value> = (0..50).map(|i| Value::Date(10_000 + i / 10)).collect();
+        let col = choose_encoding(DataType::Date, &vals, EncodingChoice::Auto);
+        assert_eq!(col.decode(DataType::Date), vals);
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all shark crates.
+pub type Result<T> = std::result::Result<T, SharkError>;
+
+/// Unified error type for the shark workspace.
+///
+/// Errors carry a coarse category plus a human-readable message; the
+/// categories mirror the phases a query passes through (parsing, analysis,
+/// planning, execution) plus infrastructure failures surfaced by the
+/// simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SharkError {
+    /// The SQL text could not be tokenized or parsed.
+    Parse(String),
+    /// The query referenced unknown tables/columns or mis-typed expressions.
+    Analysis(String),
+    /// The optimizer or physical planner could not produce a plan.
+    Plan(String),
+    /// A failure during query or job execution.
+    Execution(String),
+    /// A catalog/metastore problem (missing table, duplicate table, ...).
+    Catalog(String),
+    /// An error raised by the simulated cluster (e.g. all replicas lost).
+    Cluster(String),
+    /// Invalid configuration.
+    Config(String),
+    /// An unsupported feature was requested.
+    Unsupported(String),
+}
+
+impl SharkError {
+    /// Short, stable label for the error category (useful in tests/metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SharkError::Parse(_) => "parse",
+            SharkError::Analysis(_) => "analysis",
+            SharkError::Plan(_) => "plan",
+            SharkError::Execution(_) => "execution",
+            SharkError::Catalog(_) => "catalog",
+            SharkError::Cluster(_) => "cluster",
+            SharkError::Config(_) => "config",
+            SharkError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message carried by this error.
+    pub fn message(&self) -> &str {
+        match self {
+            SharkError::Parse(m)
+            | SharkError::Analysis(m)
+            | SharkError::Plan(m)
+            | SharkError::Execution(m)
+            | SharkError::Catalog(m)
+            | SharkError::Cluster(m)
+            | SharkError::Config(m)
+            | SharkError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for SharkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for SharkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = SharkError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds = [
+            SharkError::Parse(String::new()).kind(),
+            SharkError::Analysis(String::new()).kind(),
+            SharkError::Plan(String::new()).kind(),
+            SharkError::Execution(String::new()).kind(),
+            SharkError::Catalog(String::new()).kind(),
+            SharkError::Cluster(String::new()).kind(),
+            SharkError::Config(String::new()).kind(),
+            SharkError::Unsupported(String::new()).kind(),
+        ];
+        let unique: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(unique.len(), kinds.len());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SharkError::Catalog("t".into()),
+            SharkError::Catalog("t".into())
+        );
+        assert_ne!(
+            SharkError::Catalog("t".into()),
+            SharkError::Execution("t".into())
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Fast, deterministic hashing and hash partitioning.
+//!
+//! Shuffle partitioning must be deterministic across re-executions of a task
+//! (the lineage-based recovery story of §2.2 depends on it), so this module
+//! provides an FxHash-style hasher with a fixed seed rather than the
+//! randomly seeded `SipHash` used by `std::collections`.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// A fast, deterministic, non-cryptographic hasher (FxHash-style).
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; use with `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the deterministic fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the deterministic fast hasher.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash an arbitrary value with the deterministic hasher.
+pub fn fx_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Deterministically map a key to one of `num_partitions` shuffle partitions.
+///
+/// This is the hash partitioner used by `reduce_by_key`, `group_by_key` and
+/// shuffle joins. It is stable across processes and re-executions.
+pub fn hash_partition<T: Hash + ?Sized>(key: &T, num_partitions: usize) -> usize {
+    debug_assert!(num_partitions > 0, "partition count must be positive");
+    (fx_hash(key) % num_partitions as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(fx_hash("hello"), fx_hash("hello"));
+        assert_eq!(fx_hash(&42u64), fx_hash(&42u64));
+        assert_ne!(fx_hash("hello"), fx_hash("world"));
+    }
+
+    #[test]
+    fn partitioning_stays_in_range() {
+        for n in 1..20usize {
+            for key in 0..200u64 {
+                assert!(hash_partition(&key, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_spreads_keys() {
+        let n = 16;
+        let mut counts = vec![0usize; n];
+        for key in 0..10_000u64 {
+            counts[hash_partition(&key, n)] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        // Reasonably balanced: no partition more than 2x another.
+        assert!(max < min * 2, "unbalanced partitioning: {counts:?}");
+    }
+
+    #[test]
+    fn fx_map_works() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        assert_eq!(m.get("a"), Some(&1));
+    }
+}

@@ -1,0 +1,23 @@
+//! # shark-common
+//!
+//! Shared data model and utilities for the `shark-rs` workspace, a Rust
+//! reproduction of *Shark: SQL and Rich Analytics at Scale* (SIGMOD 2013).
+//!
+//! This crate defines the relational [`Value`] / [`Row`] / [`Schema`] types
+//! used throughout the system, the workspace-wide error type
+//! [`SharkError`], size-estimation helpers used by the cluster cost model,
+//! the fast non-cryptographic hash used by partitioners, and the lossy
+//! statistics sketches (log-encoded sizes, heavy hitters, approximate
+//! histograms) that Partial DAG Execution collects at shuffle boundaries.
+
+pub mod error;
+pub mod hash;
+pub mod row;
+pub mod size;
+pub mod sketch;
+pub mod value;
+
+pub use error::{Result, SharkError};
+pub use row::{Field, Row, Schema};
+pub use size::EstimateSize;
+pub use value::{DataType, Value};

@@ -1,0 +1,200 @@
+//! Synthetic machine-learning datasets (§6.5).
+//!
+//! The paper's ML experiments use a synthetic dataset of 1 billion rows ×
+//! 10 columns (100 GB): logistic regression separates two point clouds,
+//! k-means clusters them. The generators below produce the same structure
+//! at configurable scale: labelled points drawn from two Gaussians for
+//! classification, and a mixture of `k` Gaussians for clustering. They are
+//! also exposed in relational form (a `points` table) so the SQL → feature
+//! extraction → iterative ML pipeline of Listing 1 can be reproduced
+//! end-to-end.
+
+use rand::Rng;
+use shark_common::{DataType, Row, Schema, Value};
+
+use crate::partition_rng;
+
+/// Configuration for the synthetic ML dataset.
+#[derive(Debug, Clone)]
+pub struct MlConfig {
+    /// Number of points generated.
+    pub rows: usize,
+    /// Dimensionality of each point (10 in the paper).
+    pub dims: usize,
+    /// Number of clusters for the k-means variant.
+    pub clusters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlConfig {
+    fn default() -> Self {
+        MlConfig {
+            rows: 50_000,
+            dims: 10,
+            clusters: 10,
+            seed: 0x4D4C,
+        }
+    }
+}
+
+impl MlConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> MlConfig {
+        MlConfig {
+            rows: 2_000,
+            dims: 4,
+            clusters: 3,
+            seed: 77,
+        }
+    }
+}
+
+/// A labelled point for classification (`label` is ±1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPoint {
+    /// The feature vector.
+    pub features: Vec<f64>,
+    /// +1.0 or -1.0.
+    pub label: f64,
+}
+
+impl shark_common::EstimateSize for LabeledPoint {
+    fn estimated_size(&self) -> usize {
+        8 + self.features.len() * 8
+    }
+}
+
+/// Generate one partition of labelled points for logistic regression: two
+/// Gaussian clouds separated along every dimension, labels ±1.
+pub fn labeled_points_partition(
+    cfg: &MlConfig,
+    num_partitions: usize,
+    partition: usize,
+) -> Vec<LabeledPoint> {
+    let mut rng = partition_rng(cfg.seed, partition);
+    let per = cfg.rows / num_partitions.max(1);
+    (0..per)
+        .map(|_| {
+            let label = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let features = (0..cfg.dims)
+                .map(|_| {
+                    let noise: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+                    label * 0.8 + noise
+                })
+                .collect();
+            LabeledPoint { features, label }
+        })
+        .collect()
+}
+
+/// Generate one partition of unlabelled points drawn from `clusters`
+/// well-separated Gaussians (for k-means).
+pub fn cluster_points_partition(
+    cfg: &MlConfig,
+    num_partitions: usize,
+    partition: usize,
+) -> Vec<Vec<f64>> {
+    let mut rng = partition_rng(cfg.seed.wrapping_add(9), partition);
+    let per = cfg.rows / num_partitions.max(1);
+    (0..per)
+        .map(|_| {
+            let c = rng.gen_range(0..cfg.clusters.max(1));
+            (0..cfg.dims)
+                .map(|d| {
+                    let center = (c as f64 * 10.0) + d as f64;
+                    center + rng.gen::<f64>() - 0.5
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Schema of the relational form of the dataset (`label` plus `f0..f{d-1}`),
+/// used by the SQL → ML pipeline example.
+pub fn points_schema(dims: usize) -> Schema {
+    let mut fields = vec![("label".to_string(), DataType::Float)];
+    for d in 0..dims {
+        fields.push((format!("f{d}"), DataType::Float));
+    }
+    Schema::new(
+        fields
+            .into_iter()
+            .map(|(n, t)| shark_common::Field::new(n, t))
+            .collect(),
+    )
+}
+
+/// Relational form of one partition of the classification dataset.
+pub fn points_table_partition(cfg: &MlConfig, num_partitions: usize, partition: usize) -> Vec<Row> {
+    labeled_points_partition(cfg, num_partitions, partition)
+        .into_iter()
+        .map(|p| {
+            let mut values = vec![Value::Float(p.label)];
+            values.extend(p.features.into_iter().map(Value::Float));
+            Row::new(values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_points_are_separable_on_average() {
+        let cfg = MlConfig::tiny();
+        let pts = labeled_points_partition(&cfg, 1, 0);
+        assert_eq!(pts.len(), cfg.rows);
+        let pos_mean: f64 = pts
+            .iter()
+            .filter(|p| p.label > 0.0)
+            .map(|p| p.features[0])
+            .sum::<f64>()
+            / pts.iter().filter(|p| p.label > 0.0).count() as f64;
+        let neg_mean: f64 = pts
+            .iter()
+            .filter(|p| p.label < 0.0)
+            .map(|p| p.features[0])
+            .sum::<f64>()
+            / pts.iter().filter(|p| p.label < 0.0).count() as f64;
+        assert!(pos_mean > 0.0 && neg_mean < 0.0, "{pos_mean} {neg_mean}");
+    }
+
+    #[test]
+    fn cluster_points_have_k_modes() {
+        let cfg = MlConfig::tiny();
+        let pts = cluster_points_partition(&cfg, 2, 0);
+        assert!(!pts.is_empty());
+        assert_eq!(pts[0].len(), cfg.dims);
+        // First coordinate clusters near multiples of 10.
+        let near_mode = pts
+            .iter()
+            .filter(|p| (p[0] / 10.0).fract().abs() < 0.2 || (p[0] / 10.0).fract().abs() > 0.8)
+            .count();
+        assert!(near_mode as f64 / pts.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn relational_form_matches_schema() {
+        let cfg = MlConfig::tiny();
+        let rows = points_table_partition(&cfg, 4, 1);
+        let schema = points_schema(cfg.dims);
+        assert_eq!(rows[0].len(), schema.len());
+        assert_eq!(schema.field(0).name, "label");
+        assert_eq!(schema.field(1).name, "f0");
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = MlConfig::tiny();
+        assert_eq!(
+            labeled_points_partition(&cfg, 4, 2),
+            labeled_points_partition(&cfg, 4, 2)
+        );
+        assert_eq!(
+            cluster_points_partition(&cfg, 4, 2),
+            cluster_points_partition(&cfg, 4, 2)
+        );
+    }
+}

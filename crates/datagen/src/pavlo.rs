@@ -1,0 +1,224 @@
+//! The Pavlo et al. benchmark tables (§6.2).
+//!
+//! * `rankings(pageURL STRING, pageRank INT, avgDuration INT)` — 1 GB/node
+//!   in the paper (1.8 billion rows at 100 nodes).
+//! * `uservisits(sourceIP STRING, destURL STRING, visitDate DATE,
+//!   adRevenue DOUBLE, userAgent STRING, countryCode STRING, languageCode
+//!   STRING, searchWord STRING, duration INT)` — 20 GB/node (15.5 billion
+//!   rows at 100 nodes).
+//!
+//! The generator preserves the properties the queries rely on: `pageRank`
+//! follows a skewed distribution so the selection predicate
+//! `pageRank > 300` is selective; `sourceIP` has ~2.5 M distinct values at
+//! paper scale (scaled down proportionally here) so the two aggregation
+//! queries produce "many groups" vs. "few groups" (via the 7-character
+//! prefix); `destURL` references `pageURL` so the join has matches; and
+//! `visitDate` spans one year so the join query's date filter is selective.
+
+use rand::Rng;
+use shark_common::{row, DataType, Row, Schema, Value};
+
+use crate::partition_rng;
+
+/// Configuration of the scaled-down Pavlo dataset.
+#[derive(Debug, Clone)]
+pub struct PavloConfig {
+    /// Rows of the `rankings` table actually generated.
+    pub rankings_rows: usize,
+    /// Rows of the `uservisits` table actually generated.
+    pub uservisits_rows: usize,
+    /// Number of distinct source IPs (drives the group count of the first
+    /// aggregation query).
+    pub distinct_source_ips: usize,
+    /// Dataset RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PavloConfig {
+    fn default() -> Self {
+        PavloConfig {
+            rankings_rows: 20_000,
+            uservisits_rows: 60_000,
+            distinct_source_ips: 5_000,
+            seed: 0x5A5A,
+        }
+    }
+}
+
+impl PavloConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> PavloConfig {
+        PavloConfig {
+            rankings_rows: 2_000,
+            uservisits_rows: 6_000,
+            distinct_source_ips: 500,
+            seed: 7,
+        }
+    }
+}
+
+/// Schema of the `rankings` table.
+pub fn rankings_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("pageurl", DataType::Str),
+        ("pagerank", DataType::Int),
+        ("avgduration", DataType::Int),
+    ])
+}
+
+/// Schema of the `uservisits` table.
+pub fn uservisits_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("sourceip", DataType::Str),
+        ("desturl", DataType::Str),
+        ("visitdate", DataType::Date),
+        ("adrevenue", DataType::Float),
+        ("useragent", DataType::Str),
+        ("countrycode", DataType::Str),
+        ("languagecode", DataType::Str),
+        ("searchword", DataType::Str),
+        ("duration", DataType::Int),
+    ])
+}
+
+/// The URL for page `i` (shared by `rankings.pageURL` and
+/// `uservisits.destURL` so the join has matches).
+fn page_url(i: usize) -> String {
+    format!("http://example.com/page{i}")
+}
+
+/// A source IP with `distinct` possible values.
+fn source_ip(i: usize, distinct: usize) -> String {
+    let v = i % distinct.max(1);
+    format!(
+        "{}.{}.{}.{}",
+        10 + (v >> 24) & 0xFF,
+        (v >> 16) & 0xFF,
+        (v >> 8) & 0xFF,
+        v & 0xFF
+    )
+}
+
+/// Generate partition `partition` of `num_partitions` of the `rankings` table.
+pub fn rankings_partition(cfg: &PavloConfig, num_partitions: usize, partition: usize) -> Vec<Row> {
+    let mut rng = partition_rng(cfg.seed, partition);
+    let per = cfg.rankings_rows / num_partitions.max(1);
+    let start = partition * per;
+    (0..per)
+        .map(|i| {
+            let page = start + i;
+            // Zipf-ish page rank: most pages have low rank, few have high.
+            let r: f64 = rng.gen::<f64>();
+            let rank = (1000.0 * r * r * r) as i64;
+            let duration = rng.gen_range(1..120i64);
+            row![page_url(page), rank, duration]
+        })
+        .collect()
+}
+
+/// Generate partition `partition` of `num_partitions` of the `uservisits`
+/// table.
+pub fn uservisits_partition(
+    cfg: &PavloConfig,
+    num_partitions: usize,
+    partition: usize,
+) -> Vec<Row> {
+    let mut rng = partition_rng(cfg.seed.wrapping_add(1), partition);
+    let per = cfg.uservisits_rows / num_partitions.max(1);
+    let countries = ["US", "GB", "DE", "FR", "JP", "BR", "IN", "CN", "RU", "AU"];
+    let agents = ["Mozilla", "Chrome", "Safari", "Opera"];
+    let words = ["shark", "spark", "hive", "hadoop", "sql"];
+    (0..per)
+        .map(|_| {
+            let ip_idx: usize = rng.gen_range(0..cfg.distinct_source_ips.max(1));
+            let page: usize = rng.gen_range(0..cfg.rankings_rows.max(1));
+            // visitDate: days since epoch in the year 2000 (the join query
+            // filters BETWEEN 2000-01-15 AND 2000-01-22).
+            let date = 10_957 + rng.gen_range(0..365i32);
+            let revenue: f64 = rng.gen::<f64>() * 100.0;
+            let country = countries[rng.gen_range(0..countries.len())];
+            let agent = agents[rng.gen_range(0..agents.len())];
+            let word = words[rng.gen_range(0..words.len())];
+            let duration = rng.gen_range(1..600i64);
+            row![
+                source_ip(ip_idx, cfg.distinct_source_ips),
+                page_url(page),
+                Value::Date(date),
+                revenue,
+                agent,
+                country,
+                format!("{}-{}", country.to_lowercase(), "std"),
+                word,
+                duration
+            ]
+        })
+        .collect()
+}
+
+/// Day-number (days since the Unix epoch) of 2000-01-01, used to express the
+/// paper's join-query date filter.
+pub const DATE_2000_01_01: i32 = 10_957;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rankings_match_schema_and_are_deterministic() {
+        let cfg = PavloConfig::tiny();
+        let a = rankings_partition(&cfg, 4, 2);
+        let b = rankings_partition(&cfg, 4, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), cfg.rankings_rows / 4);
+        let schema = rankings_schema();
+        assert_eq!(a[0].len(), schema.len());
+        assert!(a.iter().all(|r| r.get_int(1).unwrap() >= 0));
+    }
+
+    #[test]
+    fn pagerank_predicate_is_selective() {
+        let cfg = PavloConfig::tiny();
+        let rows: Vec<Row> = (0..4).flat_map(|p| rankings_partition(&cfg, 4, p)).collect();
+        let selective = rows
+            .iter()
+            .filter(|r| r.get_int(1).unwrap() > 300)
+            .count() as f64
+            / rows.len() as f64;
+        assert!(
+            selective > 0.01 && selective < 0.5,
+            "pageRank > 300 selects {selective}"
+        );
+    }
+
+    #[test]
+    fn uservisits_reference_existing_pages_and_dates_span_a_year() {
+        let cfg = PavloConfig::tiny();
+        let visits = uservisits_partition(&cfg, 4, 0);
+        assert_eq!(visits[0].len(), uservisits_schema().len());
+        let pages: HashSet<String> = (0..4)
+            .flat_map(|p| rankings_partition(&cfg, 4, p))
+            .map(|r| r.get_str(0).unwrap().to_string())
+            .collect();
+        let hits = visits
+            .iter()
+            .filter(|v| pages.contains(v.get_str(1).unwrap().as_ref()))
+            .count();
+        assert!(hits > 0, "destURL should reference rankings pages");
+        for v in &visits {
+            let d = v.get_int(2).unwrap() as i32;
+            assert!((DATE_2000_01_01..DATE_2000_01_01 + 365).contains(&d));
+        }
+    }
+
+    #[test]
+    fn source_ip_cardinality_is_bounded() {
+        let cfg = PavloConfig::tiny();
+        let ips: HashSet<String> = (0..4)
+            .flat_map(|p| uservisits_partition(&cfg, 4, p))
+            .map(|r| r.get_str(0).unwrap().to_string())
+            .collect();
+        assert!(ips.len() <= cfg.distinct_source_ips);
+        assert!(ips.len() > cfg.distinct_source_ips / 4);
+    }
+}

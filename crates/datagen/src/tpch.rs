@@ -1,0 +1,237 @@
+//! TPC-H-like tables (§6.3 micro-benchmarks).
+//!
+//! The aggregation micro-benchmark (Figure 7) groups `lineitem` by columns
+//! of very different cardinalities (SHIPMODE: 7 groups, RECEIPTDATE: ~2500
+//! groups, ORDERKEY-like: hundreds of millions at paper scale). The join
+//! micro-benchmark (Figure 8) joins `lineitem` with `supplier` under a
+//! selective UDF on the supplier address. This module generates scaled-down
+//! tables preserving those cardinality relationships.
+
+use rand::Rng;
+use shark_common::{row, DataType, Row, Schema, Value};
+
+use crate::partition_rng;
+
+/// Configuration of the scaled-down TPC-H-like dataset.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Rows of `lineitem` actually generated.
+    pub lineitem_rows: usize,
+    /// Rows of `supplier` actually generated.
+    pub supplier_rows: usize,
+    /// Rows of `orders` actually generated.
+    pub orders_rows: usize,
+    /// Number of distinct receipt dates (~2500 in the paper's query).
+    pub receipt_dates: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            lineitem_rows: 60_000,
+            supplier_rows: 2_000,
+            orders_rows: 15_000,
+            receipt_dates: 2_500,
+            seed: 0x7C,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny() -> TpchConfig {
+        TpchConfig {
+            lineitem_rows: 4_000,
+            supplier_rows: 200,
+            orders_rows: 1_000,
+            receipt_dates: 250,
+            seed: 3,
+        }
+    }
+}
+
+/// The seven TPC-H ship modes (the "7 groups" aggregation).
+pub const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+
+/// Schema of the `lineitem` table (subset of TPC-H columns used by the
+/// paper's queries).
+pub fn lineitem_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("l_orderkey", DataType::Int),
+        ("l_partkey", DataType::Int),
+        ("l_suppkey", DataType::Int),
+        ("l_quantity", DataType::Float),
+        ("l_extendedprice", DataType::Float),
+        ("l_shipmode", DataType::Str),
+        ("l_receiptdate", DataType::Date),
+        ("l_shipdate", DataType::Date),
+    ])
+}
+
+/// Schema of the `supplier` table.
+pub fn supplier_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("s_suppkey", DataType::Int),
+        ("s_name", DataType::Str),
+        ("s_address", DataType::Str),
+        ("s_nationkey", DataType::Int),
+        ("s_acctbal", DataType::Float),
+    ])
+}
+
+/// Schema of the `orders` table.
+pub fn orders_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("o_orderkey", DataType::Int),
+        ("o_custkey", DataType::Int),
+        ("o_totalprice", DataType::Float),
+        ("o_orderdate", DataType::Date),
+    ])
+}
+
+/// Generate one partition of `lineitem`.
+pub fn lineitem_partition(cfg: &TpchConfig, num_partitions: usize, partition: usize) -> Vec<Row> {
+    let mut rng = partition_rng(cfg.seed, partition);
+    let per = cfg.lineitem_rows / num_partitions.max(1);
+    let start = partition * per;
+    (0..per)
+        .map(|i| {
+            let key = (start + i) as i64;
+            let orderkey = key / 4; // ~4 line items per order
+            let suppkey = rng.gen_range(0..cfg.supplier_rows.max(1)) as i64;
+            let quantity = rng.gen_range(1..51) as f64;
+            let price = quantity * rng.gen_range(900.0..1100.0);
+            let mode = SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())];
+            let receipt = 9_000 + rng.gen_range(0..cfg.receipt_dates.max(1)) as i32;
+            let ship = receipt - rng.gen_range(1..30);
+            row![
+                orderkey,
+                key % 10_000,
+                suppkey,
+                quantity,
+                price,
+                mode,
+                Value::Date(receipt),
+                Value::Date(ship)
+            ]
+        })
+        .collect()
+}
+
+/// Generate one partition of `supplier`. A small, configurable fraction of
+/// suppliers carry the "SPECIAL" marker in their address, which the
+/// Figure 8 UDF selects.
+pub fn supplier_partition(cfg: &TpchConfig, num_partitions: usize, partition: usize) -> Vec<Row> {
+    let mut rng = partition_rng(cfg.seed.wrapping_add(2), partition);
+    let per = cfg.supplier_rows / num_partitions.max(1);
+    let start = partition * per;
+    (0..per)
+        .map(|i| {
+            let key = (start + i) as i64;
+            // 1 in 1000 suppliers is "of interest" (paper: 1000 of 10M).
+            let special = rng.gen_range(0..1000) == 0;
+            let address = if special {
+                format!("{key} SPECIAL interest street")
+            } else {
+                format!("{key} ordinary avenue")
+            };
+            row![
+                key,
+                format!("Supplier#{key:09}"),
+                address,
+                rng.gen_range(0..25i64),
+                rng.gen_range(-999.0..9999.0f64)
+            ]
+        })
+        .collect()
+}
+
+/// Generate one partition of `orders`.
+pub fn orders_partition(cfg: &TpchConfig, num_partitions: usize, partition: usize) -> Vec<Row> {
+    let mut rng = partition_rng(cfg.seed.wrapping_add(3), partition);
+    let per = cfg.orders_rows / num_partitions.max(1);
+    let start = partition * per;
+    (0..per)
+        .map(|i| {
+            let key = (start + i) as i64;
+            row![
+                key,
+                rng.gen_range(0..cfg.orders_rows.max(1) as i64 / 2 + 1),
+                rng.gen_range(1000.0..500_000.0f64),
+                Value::Date(9_000 + rng.gen_range(0..2_400i32))
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lineitem_shape_and_determinism() {
+        let cfg = TpchConfig::tiny();
+        let a = lineitem_partition(&cfg, 8, 3);
+        assert_eq!(a, lineitem_partition(&cfg, 8, 3));
+        assert_eq!(a.len(), cfg.lineitem_rows / 8);
+        assert_eq!(a[0].len(), lineitem_schema().len());
+        let modes: HashSet<String> = a
+            .iter()
+            .map(|r| r.get_str(5).unwrap().to_string())
+            .collect();
+        assert!(modes.len() <= 7);
+        assert!(modes.len() >= 3);
+    }
+
+    #[test]
+    fn receiptdate_cardinality_matches_config() {
+        let cfg = TpchConfig::tiny();
+        let dates: HashSet<i64> = (0..8)
+            .flat_map(|p| lineitem_partition(&cfg, 8, p))
+            .map(|r| r.get_int(6).unwrap())
+            .collect();
+        assert!(dates.len() <= cfg.receipt_dates);
+        assert!(dates.len() > cfg.receipt_dates / 3);
+    }
+
+    #[test]
+    fn special_suppliers_are_rare_but_present_at_scale() {
+        let cfg = TpchConfig {
+            supplier_rows: 20_000,
+            ..TpchConfig::default()
+        };
+        let special = (0..10)
+            .flat_map(|p| supplier_partition(&cfg, 10, p))
+            .filter(|r| r.get_str(2).unwrap().contains("SPECIAL"))
+            .count();
+        let frac = special as f64 / cfg.supplier_rows as f64;
+        assert!(frac < 0.01, "special fraction {frac}");
+        assert!(special > 0);
+    }
+
+    #[test]
+    fn lineitem_suppkeys_reference_suppliers() {
+        let cfg = TpchConfig::tiny();
+        let suppliers: HashSet<i64> = (0..4)
+            .flat_map(|p| supplier_partition(&cfg, 4, p))
+            .map(|r| r.get_int(0).unwrap())
+            .collect();
+        let rows = lineitem_partition(&cfg, 4, 0);
+        let hit = rows
+            .iter()
+            .filter(|r| suppliers.contains(&r.get_int(2).unwrap()))
+            .count();
+        assert!(hit as f64 / rows.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn orders_shape() {
+        let cfg = TpchConfig::tiny();
+        let o = orders_partition(&cfg, 4, 1);
+        assert_eq!(o.len(), cfg.orders_rows / 4);
+        assert_eq!(o[0].len(), orders_schema().len());
+    }
+}

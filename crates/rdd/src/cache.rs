@@ -1,0 +1,170 @@
+//! The cache ("memstore") manager.
+//!
+//! Shark keeps exactly one in-memory copy of each cached RDD partition and
+//! relies on lineage, not replication, for fault tolerance (§2.2). The cache
+//! manager therefore records which simulated node holds each partition so
+//! that a node failure can invalidate exactly the partitions that lived
+//! there; the scheduler then recomputes them from their lineage (Figure 9).
+
+use std::any::Any;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use shark_common::hash::FxHashMap;
+
+/// One cached partition.
+#[derive(Clone)]
+struct CachedPartition {
+    data: Arc<dyn Any + Send + Sync>,
+    node: usize,
+    bytes: u64,
+    rows: u64,
+}
+
+/// Tracks cached RDD partitions, their sizes and their node placement.
+#[derive(Default)]
+pub struct CacheManager {
+    entries: RwLock<FxHashMap<(usize, usize), CachedPartition>>,
+}
+
+impl CacheManager {
+    /// Create an empty cache manager.
+    pub fn new() -> CacheManager {
+        CacheManager::default()
+    }
+
+    /// Store a computed partition. `node` is the simulated worker that holds
+    /// the only copy.
+    pub fn put<T: Send + Sync + 'static>(
+        &self,
+        rdd_id: usize,
+        partition: usize,
+        data: Arc<Vec<T>>,
+        node: usize,
+        bytes: u64,
+    ) {
+        let rows = data.len() as u64;
+        self.entries.write().insert(
+            (rdd_id, partition),
+            CachedPartition {
+                data,
+                node,
+                bytes,
+                rows,
+            },
+        );
+    }
+
+    /// Fetch a cached partition if present.
+    pub fn get<T: Send + Sync + 'static>(
+        &self,
+        rdd_id: usize,
+        partition: usize,
+    ) -> Option<Arc<Vec<T>>> {
+        let guard = self.entries.read();
+        let entry = guard.get(&(rdd_id, partition))?;
+        entry.data.clone().downcast::<Vec<T>>().ok()
+    }
+
+    /// The node holding a cached partition, if cached.
+    pub fn location(&self, rdd_id: usize, partition: usize) -> Option<usize> {
+        self.entries.read().get(&(rdd_id, partition)).map(|e| e.node)
+    }
+
+    /// Whether a partition is cached.
+    pub fn contains(&self, rdd_id: usize, partition: usize) -> bool {
+        self.entries.read().contains_key(&(rdd_id, partition))
+    }
+
+    /// Number of partitions cached for an RDD.
+    pub fn cached_partitions(&self, rdd_id: usize) -> usize {
+        self.entries
+            .read()
+            .keys()
+            .filter(|(id, _)| *id == rdd_id)
+            .count()
+    }
+
+    /// Total bytes cached across all RDDs.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.read().values().map(|e| e.bytes).sum()
+    }
+
+    /// Total rows cached across all RDDs.
+    pub fn total_rows(&self) -> u64 {
+        self.entries.read().values().map(|e| e.rows).sum()
+    }
+
+    /// Drop every partition cached on `node` (simulating the node's death),
+    /// returning the number of partitions lost.
+    pub fn drop_node(&self, node: usize) -> usize {
+        let mut guard = self.entries.write();
+        let before = guard.len();
+        guard.retain(|_, e| e.node != node);
+        before - guard.len()
+    }
+
+    /// Drop all cached partitions of one RDD (uncache / table drop).
+    pub fn drop_rdd(&self, rdd_id: usize) -> usize {
+        let mut guard = self.entries.write();
+        let before = guard.len();
+        guard.retain(|(id, _), _| *id != rdd_id);
+        before - guard.len()
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64, 2, 3]), 5, 24);
+        let got: Arc<Vec<i64>> = cache.get(1, 0).unwrap();
+        assert_eq!(*got, vec![1, 2, 3]);
+        assert_eq!(cache.location(1, 0), Some(5));
+        assert!(cache.contains(1, 0));
+        assert!(!cache.contains(1, 1));
+        assert_eq!(cache.total_bytes(), 24);
+        assert_eq!(cache.total_rows(), 3);
+    }
+
+    #[test]
+    fn wrong_type_returns_none() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 8);
+        let got: Option<Arc<Vec<String>>> = cache.get(1, 0);
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn drop_node_removes_only_that_nodes_partitions() {
+        let cache = CacheManager::new();
+        for p in 0..10usize {
+            cache.put(7, p, Arc::new(vec![p]), p % 3, 8);
+        }
+        let lost = cache.drop_node(0);
+        assert_eq!(lost, 4); // partitions 0,3,6,9
+        assert_eq!(cache.cached_partitions(7), 6);
+        assert!(!cache.contains(7, 0));
+        assert!(cache.contains(7, 1));
+    }
+
+    #[test]
+    fn drop_rdd_and_clear() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 8);
+        cache.put(2, 0, Arc::new(vec![2i64]), 0, 8);
+        assert_eq!(cache.drop_rdd(1), 1);
+        assert_eq!(cache.cached_partitions(1), 0);
+        assert_eq!(cache.cached_partitions(2), 1);
+        cache.clear();
+        assert_eq!(cache.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! The driver-side context.
+//!
+//! [`RddContext`] plays the role of Spark's `SparkContext`: it owns the
+//! simulated cluster, the shuffle and cache managers, and the cost model,
+//! hands out RDD and shuffle identifiers, creates source RDDs, and records a
+//! [`JobReport`] (stage timings, simulated duration) for every job it runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use shark_cluster::{ClusterConfig, ClusterSim, CostModel, FailurePlan, InputSource};
+
+use crate::cache::CacheManager;
+use crate::rdd::{Data, GeneratorRdd, Rdd};
+use crate::shuffle::ShuffleManager;
+
+/// Configuration of an [`RddContext`].
+#[derive(Debug, Clone)]
+pub struct RddConfig {
+    /// The simulated cluster (size + engine cost profile).
+    pub cluster: ClusterConfig,
+    /// Default number of partitions for sources and shuffles.
+    pub default_partitions: usize,
+    /// Ratio between the data volume being *simulated* and the volume
+    /// actually processed in-process. Metrics are multiplied by this factor
+    /// before entering the cost model, letting laptop-sized runs reproduce
+    /// cluster-scale timings.
+    pub sim_scale: f64,
+    /// Execute the tasks of a stage on multiple OS threads.
+    pub parallel_tasks: bool,
+}
+
+impl Default for RddConfig {
+    fn default() -> Self {
+        RddConfig {
+            cluster: ClusterConfig::small(4, 2),
+            default_partitions: 8,
+            sim_scale: 1.0,
+            parallel_tasks: false,
+        }
+    }
+}
+
+impl RddConfig {
+    /// A config that simulates the paper's 100-node Shark cluster.
+    pub fn paper_shark() -> RddConfig {
+        RddConfig {
+            cluster: ClusterConfig::paper_shark_cluster(),
+            default_partitions: 64,
+            sim_scale: 1.0,
+            parallel_tasks: false,
+        }
+    }
+
+    /// Set the simulation scale factor.
+    pub fn with_sim_scale(mut self, scale: f64) -> RddConfig {
+        self.sim_scale = scale;
+        self
+    }
+
+    /// Set the default partition count.
+    pub fn with_default_partitions(mut self, n: usize) -> RddConfig {
+        self.default_partitions = n.max(1);
+        self
+    }
+}
+
+/// Timing record for one stage of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Descriptive stage name (e.g. `"shuffle-map(3)"` or `"result"`).
+    pub name: String,
+    /// Number of tasks in the stage.
+    pub num_tasks: usize,
+    /// Simulated stage duration in seconds.
+    pub sim_duration: f64,
+    /// Number of speculative copies the simulator launched.
+    pub speculative_copies: usize,
+    /// Number of task executions lost to failures and re-run.
+    pub tasks_rerun: usize,
+    /// Total rows read by the stage's tasks (unscaled).
+    pub rows_in: u64,
+    /// Total bytes read by the stage's tasks (unscaled).
+    pub bytes_in: u64,
+}
+
+/// Timing record for one job (action) run by the context.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JobReport {
+    /// Human-readable description of the action.
+    pub name: String,
+    /// Per-stage breakdown, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Total simulated duration in seconds.
+    pub sim_duration: f64,
+    /// Wall-clock seconds spent actually executing the scaled-down job.
+    pub real_duration: f64,
+}
+
+impl JobReport {
+    /// Total number of tasks across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.num_tasks).sum()
+    }
+}
+
+pub(crate) struct ContextState {
+    pub(crate) config: RddConfig,
+    pub(crate) cost: CostModel,
+    pub(crate) cluster: Mutex<ClusterSim>,
+    pub(crate) shuffle: ShuffleManager,
+    pub(crate) cache: CacheManager,
+    next_rdd_id: AtomicUsize,
+    next_shuffle_id: AtomicUsize,
+    pub(crate) reports: Mutex<Vec<JobReport>>,
+}
+
+/// The driver: creates RDDs, runs jobs, owns cluster/shuffle/cache state.
+///
+/// Cloning an `RddContext` is cheap and shares all state.
+#[derive(Clone)]
+pub struct RddContext {
+    pub(crate) state: Arc<ContextState>,
+}
+
+impl RddContext {
+    /// Create a context with the given configuration.
+    pub fn new(config: RddConfig) -> RddContext {
+        config
+            .cluster
+            .validate()
+            .expect("invalid cluster configuration");
+        let cost = CostModel::new(config.cluster.profile.clone());
+        let cluster = ClusterSim::new(config.cluster.clone());
+        RddContext {
+            state: Arc::new(ContextState {
+                config,
+                cost,
+                cluster: Mutex::new(cluster),
+                shuffle: ShuffleManager::new(),
+                cache: CacheManager::new(),
+                next_rdd_id: AtomicUsize::new(0),
+                next_shuffle_id: AtomicUsize::new(0),
+                reports: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Create a context over a specific cluster with default settings.
+    pub fn with_cluster(cluster: ClusterConfig) -> RddContext {
+        RddContext::new(RddConfig {
+            cluster,
+            ..RddConfig::default()
+        })
+    }
+
+    /// A small local context suitable for tests.
+    pub fn local() -> RddContext {
+        RddContext::new(RddConfig::default())
+    }
+
+    /// The context configuration.
+    pub fn config(&self) -> &RddConfig {
+        &self.state.config
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.state.cost
+    }
+
+    /// The cache (memstore) manager.
+    pub fn cache(&self) -> &CacheManager {
+        &self.state.cache
+    }
+
+    /// The shuffle manager.
+    pub fn shuffle_manager(&self) -> &ShuffleManager {
+        &self.state.shuffle
+    }
+
+    /// Allocate a fresh RDD id.
+    pub fn next_rdd_id(&self) -> usize {
+        self.state.next_rdd_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate a fresh shuffle id.
+    pub fn next_shuffle_id(&self) -> usize {
+        self.state.next_shuffle_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current simulated time of the cluster (seconds since last reset).
+    pub fn simulated_time(&self) -> f64 {
+        self.state.cluster.lock().now()
+    }
+
+    /// Reset the simulated clock (start timing a new experiment/query).
+    pub fn reset_simulation(&self) {
+        self.state.cluster.lock().reset();
+    }
+
+    /// Install a failure plan on the simulated cluster and immediately drop
+    /// the cached partitions of nodes whose failure time has already passed.
+    pub fn set_failure_plan(&self, plan: FailurePlan) {
+        let now = self.state.cluster.lock().now();
+        for node in plan.failed_nodes_by(now) {
+            self.state.cache.drop_node(node);
+        }
+        self.state.cluster.lock().set_failure_plan(plan);
+    }
+
+    /// Kill a node *now*: drops its cached partitions and marks it failed
+    /// for the remainder of the simulation.
+    pub fn fail_node(&self, node: usize) -> usize {
+        let now = self.state.cluster.lock().now();
+        let lost = self.state.cache.drop_node(node);
+        self.state
+            .cluster
+            .lock()
+            .set_failure_plan(FailurePlan::single(node, now));
+        lost
+    }
+
+    /// Number of worker nodes currently alive.
+    pub fn alive_nodes(&self) -> usize {
+        self.state.cluster.lock().alive_nodes().len()
+    }
+
+    /// Charge the simulated cost of broadcasting `bytes` bytes from the
+    /// master to every worker (tree broadcast), advancing the clock.
+    pub fn charge_broadcast(&self, bytes: u64) -> f64 {
+        let nodes = self.state.config.cluster.num_nodes.max(2) as f64;
+        let bw = self.state.config.cluster.profile.network_bw;
+        let scaled = bytes as f64 * self.state.config.sim_scale;
+        let cost = (scaled / bw) * nodes.log2().max(1.0);
+        self.state.cluster.lock().advance(cost);
+        cost
+    }
+
+    /// Advance the simulated clock by an externally computed cost (e.g. a
+    /// DFS bulk load modelled by [`shark_cluster::DfsModel`]).
+    pub fn advance_simulation(&self, seconds: f64) {
+        self.state.cluster.lock().advance(seconds);
+    }
+
+    /// Simulate an externally constructed stage (e.g. a table-load stage
+    /// built by the SQL layer) on the cluster, advancing the clock.
+    pub fn simulate_external_stage(
+        &self,
+        specs: &[shark_cluster::TaskSpec],
+    ) -> shark_cluster::StageSimResult {
+        self.state.cluster.lock().simulate_stage(specs)
+    }
+
+    /// Record a completed job report.
+    pub(crate) fn record_job(&self, report: JobReport) {
+        self.state.reports.lock().push(report);
+    }
+
+    /// The report of the most recently completed job, if any.
+    pub fn last_job(&self) -> Option<JobReport> {
+        self.state.reports.lock().last().cloned()
+    }
+
+    /// All job reports recorded so far.
+    pub fn job_history(&self) -> Vec<JobReport> {
+        self.state.reports.lock().clone()
+    }
+
+    /// Clear recorded job reports.
+    pub fn clear_job_history(&self) {
+        self.state.reports.lock().clear();
+    }
+
+    // ----- source RDD creation -------------------------------------------------
+
+    /// Distribute an in-memory collection across `partitions` partitions.
+    pub fn parallelize<T: Data>(&self, data: Vec<T>, partitions: usize) -> Rdd<T> {
+        let partitions = partitions.max(1);
+        let chunks: Vec<Vec<T>> = split_into(data, partitions);
+        let chunks = Arc::new(chunks);
+        self.generate(partitions, InputSource::Local, move |p| {
+            chunks[p].clone()
+        })
+    }
+
+    /// Create a source RDD whose partition `p` is produced by `f(p)`.
+    ///
+    /// `source` declares where the data conceptually lives (DFS file,
+    /// cached columnar partition, …) so the cost model charges the right
+    /// I/O. Data generators use this to avoid materializing whole datasets
+    /// on the driver.
+    pub fn generate<T: Data, F>(
+        &self,
+        partitions: usize,
+        source: InputSource,
+        f: F,
+    ) -> Rdd<T>
+    where
+        F: Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    {
+        let inner = GeneratorRdd {
+            id: self.next_rdd_id(),
+            partitions: partitions.max(1),
+            source,
+            f: Arc::new(f),
+        };
+        Rdd::new(self.clone(), Arc::new(inner))
+    }
+}
+
+/// Split a vector into `n` nearly equal chunks (used by `parallelize`).
+fn split_into<T>(mut data: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let total = data.len();
+    let mut out = Vec::with_capacity(n);
+    let base = total / n;
+    let extra = total % n;
+    // Draining from the front keeps order stable.
+    let mut rest = data.split_off(0);
+    for i in 0..n {
+        let take = base + usize::from(i < extra);
+        let tail = rest.split_off(take.min(rest.len()));
+        out.push(rest);
+        rest = tail;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_into_balances_sizes() {
+        let parts = split_into((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6]);
+        assert_eq!(parts[2], vec![7, 8, 9]);
+        let empty = split_into(Vec::<i32>::new(), 4);
+        assert_eq!(empty.len(), 4);
+        assert!(empty.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let ctx = RddContext::local();
+        let a = ctx.next_rdd_id();
+        let b = ctx.next_rdd_id();
+        assert_ne!(a, b);
+        assert_ne!(ctx.next_shuffle_id(), ctx.next_shuffle_id());
+    }
+
+    #[test]
+    fn fail_node_drops_cache_and_shrinks_cluster() {
+        let ctx = RddContext::local();
+        ctx.cache().put(1, 0, Arc::new(vec![1i64]), 2, 8);
+        ctx.cache().put(1, 1, Arc::new(vec![2i64]), 3, 8);
+        let before = ctx.alive_nodes();
+        let lost = ctx.fail_node(2);
+        assert_eq!(lost, 1);
+        assert_eq!(ctx.alive_nodes(), before - 1);
+        assert!(ctx.cache().contains(1, 1));
+        assert!(!ctx.cache().contains(1, 0));
+    }
+
+    #[test]
+    fn broadcast_advances_clock() {
+        let ctx = RddContext::local();
+        let before = ctx.simulated_time();
+        let cost = ctx.charge_broadcast(1 << 30);
+        assert!(cost > 0.0);
+        assert!(ctx.simulated_time() > before);
+        ctx.reset_simulation();
+        assert_eq!(ctx.simulated_time(), 0.0);
+    }
+
+    #[test]
+    fn job_history_roundtrip() {
+        let ctx = RddContext::local();
+        assert!(ctx.last_job().is_none());
+        ctx.record_job(JobReport {
+            name: "test".into(),
+            ..JobReport::default()
+        });
+        assert_eq!(ctx.last_job().unwrap().name, "test");
+        assert_eq!(ctx.job_history().len(), 1);
+        ctx.clear_job_history();
+        assert!(ctx.job_history().is_empty());
+    }
+}

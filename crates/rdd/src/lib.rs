@@ -1,0 +1,42 @@
+//! # shark-rdd
+//!
+//! Resilient Distributed Datasets — the distributed-memory abstraction Shark
+//! builds on (§2.2 of the paper) — implemented over the simulated cluster of
+//! [`shark_cluster`].
+//!
+//! An [`Rdd<T>`] is an immutable, partitioned collection created either from
+//! a source (generator or in-memory data) or by applying deterministic
+//! operators (`map`, `filter`, `reduce_by_key`, `join`, …) to other RDDs.
+//! Lineage is tracked per RDD; lost cached partitions are recomputed by
+//! re-running the deterministic operators that produced them, which is the
+//! fault-tolerance story evaluated in Figure 9.
+//!
+//! Key pieces:
+//!
+//! * [`RddContext`] — the driver: owns the shuffle manager, cache manager,
+//!   cluster simulator, and cost model; creates source RDDs and runs jobs.
+//! * [`Rdd`] — lazily evaluated transformations plus actions (`collect`,
+//!   `count`, `reduce`, …) that trigger job execution.
+//! * Pair-RDD operations (`reduce_by_key`, `group_by_key`, `join`,
+//!   `partition_by`, `pre_shuffle`) in [`pair`].
+//! * [`pair::PreShuffledRdd`] + [`pair::ShuffleReadRdd`] — the hooks Partial
+//!   DAG Execution uses: materialize the map side of a shuffle, inspect the
+//!   per-bucket statistics, then decide the reduce-side plan (join strategy,
+//!   reducer count, bucket coalescing).
+//! * [`cache::CacheManager`] — per-partition caching with node placement so
+//!   simulated node failures invalidate the right partitions.
+
+pub mod cache;
+pub mod context;
+pub mod metrics;
+pub mod pair;
+pub mod rdd;
+pub mod scheduler;
+pub mod shuffle;
+
+pub use cache::CacheManager;
+pub use context::{JobReport, RddConfig, RddContext, StageReport};
+pub use metrics::TaskMetrics;
+pub use pair::{Aggregator, PreShuffledRdd};
+pub use rdd::{Data, Lineage, Rdd, RddImpl, ShuffleDepHandle};
+pub use shuffle::{MapOutputStats, ShuffleManager, ShuffleSummary};

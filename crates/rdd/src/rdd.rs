@@ -1,0 +1,709 @@
+//! The RDD abstraction: lineage-tracked, immutable, partitioned collections.
+//!
+//! [`Rdd<T>`] is a cheap handle (an `Arc` to the underlying implementation
+//! plus the driver context). Transformations (`map`, `filter`, `union`,
+//! `zip_partitions`, …) build new RDDs lazily; actions (`collect`, `count`,
+//! `reduce`, …) trigger the scheduler in [`crate::scheduler`], which runs
+//! every required shuffle map stage and then the result stage, timing both
+//! on the simulated cluster.
+//!
+//! Wide (shuffle) operations on key/value RDDs live in [`crate::pair`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use shark_cluster::{InputSource, OutputSink};
+use shark_common::size::estimate_slice;
+use shark_common::{EstimateSize, Result};
+
+use crate::context::RddContext;
+use crate::metrics::TaskMetrics;
+use crate::scheduler;
+
+/// Marker trait for types that can be RDD elements.
+///
+/// Blanket-implemented for anything cloneable, thread-safe and size-estimable.
+pub trait Data: Clone + Send + Sync + EstimateSize + 'static {}
+impl<T: Clone + Send + Sync + EstimateSize + 'static> Data for T {}
+
+/// Type-erased view of an RDD used for lineage traversal by the scheduler.
+pub trait Lineage: Send + Sync {
+    /// Unique id of the RDD.
+    fn id(&self) -> usize;
+    /// Descriptive name (operator type).
+    fn name(&self) -> String;
+    /// Number of partitions.
+    fn num_partitions(&self) -> usize;
+    /// Direct parent RDDs (narrow dependencies).
+    fn parents(&self) -> Vec<Arc<dyn Lineage>>;
+    /// Direct shuffle (wide) dependencies.
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>>;
+}
+
+/// Type-erased handle to a shuffle dependency: knows how to run its map
+/// stage and whether its output is already materialized.
+pub trait ShuffleDepHandle: Send + Sync {
+    /// The shuffle's id in the shuffle manager.
+    fn shuffle_id(&self) -> usize;
+    /// Number of reduce-side buckets the map stage produces.
+    fn num_buckets(&self) -> usize;
+    /// The lineage of the map-side parent RDD.
+    fn parent_lineage(&self) -> Arc<dyn Lineage>;
+    /// Whether all map output for this shuffle is present.
+    fn is_materialized(&self, ctx: &RddContext) -> bool;
+    /// Execute the map stage, writing buckets + statistics to the shuffle
+    /// manager and timing the stage on the simulated cluster.
+    fn run_map_stage(&self, ctx: &RddContext) -> Result<crate::context::StageReport>;
+}
+
+/// The implementation trait behind [`Rdd<T>`].
+pub trait RddImpl<T: Data>: Send + Sync {
+    /// Unique id of the RDD.
+    fn id(&self) -> usize;
+    /// Descriptive operator name.
+    fn name(&self) -> String;
+    /// Number of partitions.
+    fn num_partitions(&self) -> usize;
+    /// Compute one partition, accumulating metrics for the cost model.
+    fn compute(
+        &self,
+        ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<T>>;
+    /// Direct narrow parents (for lineage traversal).
+    fn parents(&self) -> Vec<Arc<dyn Lineage>>;
+    /// Direct shuffle dependencies.
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        Vec::new()
+    }
+    /// Preferred node for a partition (data locality), if any.
+    fn preferred_node(&self, _ctx: &RddContext, _partition: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// A Resilient Distributed Dataset: an immutable, partitioned, lineage-
+/// tracked collection of `T` values.
+pub struct Rdd<T: Data> {
+    pub(crate) ctx: RddContext,
+    pub(crate) inner: Arc<dyn RddImpl<T>>,
+    cache_flag: Arc<AtomicBool>,
+}
+
+impl<T: Data> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd {
+            ctx: self.ctx.clone(),
+            inner: self.inner.clone(),
+            cache_flag: self.cache_flag.clone(),
+        }
+    }
+}
+
+impl<T: Data> Lineage for Rdd<T> {
+    fn id(&self) -> usize {
+        self.inner.id()
+    }
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn num_partitions(&self) -> usize {
+        self.inner.num_partitions()
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        self.inner.parents()
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        self.inner.shuffle_deps()
+    }
+}
+
+impl<T: Data> Rdd<T> {
+    /// Wrap an implementation into an RDD handle.
+    pub fn new(ctx: RddContext, inner: Arc<dyn RddImpl<T>>) -> Rdd<T> {
+        Rdd {
+            ctx,
+            inner,
+            cache_flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The driver context this RDD belongs to.
+    pub fn context(&self) -> &RddContext {
+        &self.ctx
+    }
+
+    /// Unique id of this RDD.
+    pub fn id(&self) -> usize {
+        self.inner.id()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.inner.num_partitions()
+    }
+
+    /// Descriptive name of the producing operator.
+    pub fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    /// A type-erased lineage handle for this RDD.
+    pub fn lineage(&self) -> Arc<dyn Lineage> {
+        Arc::new(self.clone())
+    }
+
+    /// Mark this RDD to be cached in the memstore after its next computation.
+    /// Returns a handle sharing the same underlying dataset.
+    pub fn cache(&self) -> Rdd<T> {
+        self.cache_flag.store(true, Ordering::Relaxed);
+        self.clone()
+    }
+
+    /// Whether this RDD is marked for caching.
+    pub fn is_cached(&self) -> bool {
+        self.cache_flag.load(Ordering::Relaxed)
+    }
+
+    /// Remove this RDD's partitions from the cache.
+    pub fn uncache(&self) {
+        self.cache_flag.store(false, Ordering::Relaxed);
+        self.ctx.cache().drop_rdd(self.id());
+    }
+
+    /// Preferred node for `partition`: the node caching it, or a parent's
+    /// preference.
+    pub fn preferred_node(&self, ctx: &RddContext, partition: usize) -> Option<usize> {
+        ctx.cache()
+            .location(self.id(), partition)
+            .or_else(|| self.inner.preferred_node(ctx, partition))
+    }
+
+    /// Compute one partition, consulting and populating the cache.
+    pub fn compute_partition(
+        &self,
+        ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<T>> {
+        if let Some(cached) = ctx.cache().get::<T>(self.id(), partition) {
+            let bytes = estimate_slice(cached.as_slice()) as u64;
+            metrics.record_input(cached.len() as u64, bytes, InputSource::CachedRows);
+            return Ok((*cached).clone());
+        }
+        let data = self.inner.compute(ctx, partition, metrics)?;
+        if self.is_cached() {
+            let bytes = estimate_slice(&data) as u64;
+            let alive = {
+                let sim = ctx.state.cluster.lock();
+                sim.alive_nodes()
+            };
+            let node = if alive.is_empty() {
+                0
+            } else {
+                alive[partition % alive.len()]
+            };
+            ctx.cache()
+                .put(self.id(), partition, Arc::new(data.clone()), node, bytes);
+        }
+        Ok(data)
+    }
+
+    // ----- transformations ----------------------------------------------------
+
+    /// Apply a function to every element.
+    pub fn map<U: Data, F>(&self, f: F) -> Rdd<U>
+    where
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        self.map_partitions_named("map", 1.0, move |_, part| {
+            part.into_iter().map(&f).collect()
+        })
+    }
+
+    /// Keep only elements satisfying the predicate.
+    pub fn filter<F>(&self, f: F) -> Rdd<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        self.map_partitions_named("filter", 1.0, move |_, part| {
+            part.into_iter().filter(|x| f(x)).collect()
+        })
+    }
+
+    /// Apply a function producing zero or more outputs per element.
+    pub fn flat_map<U: Data, F>(&self, f: F) -> Rdd<U>
+    where
+        F: Fn(T) -> Vec<U> + Send + Sync + 'static,
+    {
+        self.map_partitions_named("flat_map", 1.5, move |_, part| {
+            part.into_iter().flat_map(&f).collect()
+        })
+    }
+
+    /// Apply a function to each whole partition.
+    pub fn map_partitions<U: Data, F>(&self, f: F) -> Rdd<U>
+    where
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        self.map_partitions_named("map_partitions", 1.0, move |_, part| f(part))
+    }
+
+    /// Apply a function to each whole partition, receiving the partition index.
+    pub fn map_partitions_with_index<U: Data, F>(&self, f: F) -> Rdd<U>
+    where
+        F: Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        self.map_partitions_named("map_partitions_with_index", 1.0, f)
+    }
+
+    /// Internal: named partition-wise transformation charging `ops_per_row`
+    /// expression operations per input row.
+    pub fn map_partitions_named<U: Data, F>(
+        &self,
+        name: &str,
+        ops_per_row: f64,
+        f: F,
+    ) -> Rdd<U>
+    where
+        F: Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        let inner = MapPartitionsRdd {
+            id: self.ctx.next_rdd_id(),
+            name: name.to_string(),
+            parent: self.clone(),
+            f: Arc::new(f),
+            ops_per_row,
+        };
+        Rdd::new(self.ctx.clone(), Arc::new(inner))
+    }
+
+    /// Concatenate this RDD with another (partitions are appended).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        let inner = UnionRdd {
+            id: self.ctx.next_rdd_id(),
+            parents: vec![self.clone(), other.clone()],
+        };
+        Rdd::new(self.ctx.clone(), Arc::new(inner))
+    }
+
+    /// Combine corresponding partitions of two RDDs with a function. Both
+    /// RDDs must have the same number of partitions. This is the narrow
+    /// (no-shuffle) join primitive used for co-partitioned and broadcast
+    /// joins (§3.4).
+    pub fn zip_partitions<B: Data, U: Data, F>(&self, other: &Rdd<B>, f: F) -> Rdd<U>
+    where
+        F: Fn(Vec<T>, Vec<B>) -> Vec<U> + Send + Sync + 'static,
+    {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "zip_partitions requires equal partition counts"
+        );
+        let inner = ZipPartitionsRdd {
+            id: self.ctx.next_rdd_id(),
+            left: self.clone(),
+            right: other.clone(),
+            f: Arc::new(f),
+        };
+        Rdd::new(self.ctx.clone(), Arc::new(inner))
+    }
+
+    /// Turn each element into a `(key, element)` pair.
+    pub fn key_by<K: Data, F>(&self, f: F) -> Rdd<(K, T)>
+    where
+        F: Fn(&T) -> K + Send + Sync + 'static,
+    {
+        self.map(move |x| (f(&x), x))
+    }
+
+    // ----- actions --------------------------------------------------------------
+
+    /// Gather all elements to the driver, in partition order.
+    pub fn collect(&self) -> Result<Vec<T>> {
+        let parts = scheduler::run_job(&self.ctx, self, "collect", OutputSink::Collect, |v| v)?;
+        Ok(parts.into_iter().flatten().collect())
+    }
+
+    /// Count the elements.
+    pub fn count(&self) -> Result<u64> {
+        let counts = scheduler::run_job(&self.ctx, self, "count", OutputSink::None, |v| {
+            v.len() as u64
+        })?;
+        Ok(counts.into_iter().sum())
+    }
+
+    /// Reduce all elements with a binary function. Returns `None` for an
+    /// empty RDD.
+    pub fn reduce<F>(&self, f: F) -> Result<Option<T>>
+    where
+        F: Fn(T, T) -> T + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let g = f.clone();
+        let partials = scheduler::run_job(&self.ctx, self, "reduce", OutputSink::Collect, {
+            move |v: Vec<T>| v.into_iter().reduce(|a, b| g(a, b))
+        })?;
+        Ok(partials.into_iter().flatten().reduce(|a, b| f(a, b)))
+    }
+
+    /// Return up to `n` elements (collects, then truncates — acceptable at
+    /// simulation scale).
+    pub fn take(&self, n: usize) -> Result<Vec<T>> {
+        let mut all = self.collect()?;
+        all.truncate(n);
+        Ok(all)
+    }
+
+    /// The first element, if any.
+    pub fn first(&self) -> Result<Option<T>> {
+        Ok(self.take(1)?.into_iter().next())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Narrow RDD implementations
+// ---------------------------------------------------------------------------
+
+/// Source RDD whose partitions are produced by a generator function.
+pub struct GeneratorRdd<T: Data> {
+    pub(crate) id: usize,
+    pub(crate) partitions: usize,
+    pub(crate) source: InputSource,
+    #[allow(clippy::type_complexity)]
+    pub(crate) f: Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>,
+}
+
+impl<T: Data> RddImpl<T> for GeneratorRdd<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> String {
+        format!("source({:?})", self.source)
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+    fn compute(
+        &self,
+        _ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<T>> {
+        let data = (self.f)(partition);
+        let bytes = estimate_slice(&data) as u64;
+        metrics.record_input(data.len() as u64, bytes, self.source);
+        Ok(data)
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        Vec::new()
+    }
+}
+
+/// Narrow transformation applying a closure to each partition.
+pub struct MapPartitionsRdd<T: Data, U: Data> {
+    id: usize,
+    name: String,
+    parent: Rdd<T>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(usize, Vec<T>) -> Vec<U> + Send + Sync>,
+    ops_per_row: f64,
+}
+
+impl<T: Data, U: Data> RddImpl<U> for MapPartitionsRdd<T, U> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(
+        &self,
+        ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<U>> {
+        let input = self.parent.compute_partition(ctx, partition, metrics)?;
+        metrics.add_ops(input.len() as f64 * self.ops_per_row);
+        Ok((self.f)(partition, input))
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        vec![self.parent.lineage()]
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        self.parent.shuffle_deps()
+    }
+    fn preferred_node(&self, ctx: &RddContext, partition: usize) -> Option<usize> {
+        self.parent.preferred_node(ctx, partition)
+    }
+}
+
+/// Union of several RDDs: partitions are concatenated in order.
+pub struct UnionRdd<T: Data> {
+    id: usize,
+    parents: Vec<Rdd<T>>,
+}
+
+impl<T: Data> UnionRdd<T> {
+    fn locate(&self, partition: usize) -> (usize, usize) {
+        let mut p = partition;
+        for (i, parent) in self.parents.iter().enumerate() {
+            if p < parent.num_partitions() {
+                return (i, p);
+            }
+            p -= parent.num_partitions();
+        }
+        panic!("partition {partition} out of range for union");
+    }
+}
+
+impl<T: Data> RddImpl<T> for UnionRdd<T> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> String {
+        "union".to_string()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn compute(
+        &self,
+        ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<T>> {
+        let (pi, pp) = self.locate(partition);
+        self.parents[pi].compute_partition(ctx, pp, metrics)
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        self.parents.iter().map(|p| p.lineage()).collect()
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        self.parents
+            .iter()
+            .flat_map(|p| p.shuffle_deps())
+            .collect()
+    }
+    fn preferred_node(&self, ctx: &RddContext, partition: usize) -> Option<usize> {
+        let (pi, pp) = self.locate(partition);
+        self.parents[pi].preferred_node(ctx, pp)
+    }
+}
+
+/// Narrow, partition-wise combination of two RDDs (co-partitioned joins,
+/// broadcast joins, zipping features with labels, …).
+pub struct ZipPartitionsRdd<A: Data, B: Data, U: Data> {
+    id: usize,
+    left: Rdd<A>,
+    right: Rdd<B>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(Vec<A>, Vec<B>) -> Vec<U> + Send + Sync>,
+}
+
+impl<A: Data, B: Data, U: Data> RddImpl<U> for ZipPartitionsRdd<A, B, U> {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> String {
+        "zip_partitions".to_string()
+    }
+    fn num_partitions(&self) -> usize {
+        self.left.num_partitions()
+    }
+    fn compute(
+        &self,
+        ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<U>> {
+        let l = self.left.compute_partition(ctx, partition, metrics)?;
+        let r = self.right.compute_partition(ctx, partition, metrics)?;
+        metrics.add_ops((l.len() + r.len()) as f64);
+        Ok((self.f)(l, r))
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        vec![self.left.lineage(), self.right.lineage()]
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        let mut deps = self.left.shuffle_deps();
+        deps.extend(self.right.shuffle_deps());
+        deps
+    }
+    fn preferred_node(&self, ctx: &RddContext, partition: usize) -> Option<usize> {
+        self.left
+            .preferred_node(ctx, partition)
+            .or_else(|| self.right.preferred_node(ctx, partition))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::RddContext;
+
+    fn ctx() -> RddContext {
+        RddContext::local()
+    }
+
+    #[test]
+    fn parallelize_collect_roundtrip() {
+        let ctx = ctx();
+        let data: Vec<i64> = (0..100).collect();
+        let rdd = ctx.parallelize(data.clone(), 7);
+        assert_eq!(rdd.num_partitions(), 7);
+        assert_eq!(rdd.collect().unwrap(), data);
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let ctx = ctx();
+        let rdd = ctx.parallelize((0i64..10).collect(), 3);
+        let out = rdd
+            .map(|x| x * 2)
+            .filter(|x| *x % 4 == 0)
+            .flat_map(|x| vec![x, x + 1])
+            .collect()
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 4, 5, 8, 9, 12, 13, 16, 17]);
+    }
+
+    #[test]
+    fn count_and_reduce() {
+        let ctx = ctx();
+        let rdd = ctx.parallelize((1i64..=100).collect(), 5);
+        assert_eq!(rdd.count().unwrap(), 100);
+        assert_eq!(rdd.reduce(|a, b| a + b).unwrap(), Some(5050));
+        let empty = ctx.parallelize(Vec::<i64>::new(), 3);
+        assert_eq!(empty.reduce(|a, b| a + b).unwrap(), None);
+        assert_eq!(empty.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn take_and_first() {
+        let ctx = ctx();
+        let rdd = ctx.parallelize((0i64..10).collect(), 4);
+        assert_eq!(rdd.take(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(rdd.first().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let ctx = ctx();
+        let a = ctx.parallelize(vec![1i64, 2], 2);
+        let b = ctx.parallelize(vec![3i64, 4, 5], 2);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 4);
+        assert_eq!(u.collect().unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(u.count().unwrap(), 5);
+    }
+
+    #[test]
+    fn zip_partitions_joins_aligned_data() {
+        let ctx = ctx();
+        let a = ctx.parallelize((0i64..6).collect(), 3);
+        let b = ctx.parallelize((100i64..106).collect(), 3);
+        let z = a.zip_partitions(&b, |l, r| {
+            l.into_iter().zip(r).map(|(x, y)| x + y).collect::<Vec<i64>>()
+        });
+        assert_eq!(z.collect().unwrap(), vec![100, 102, 104, 106, 108, 110]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal partition counts")]
+    fn zip_partitions_rejects_mismatched_counts() {
+        let ctx = ctx();
+        let a = ctx.parallelize((0i64..6).collect(), 3);
+        let b = ctx.parallelize((0i64..6).collect(), 2);
+        let _ = a.zip_partitions(&b, |l, _| l);
+    }
+
+    #[test]
+    fn key_by_builds_pairs() {
+        let ctx = ctx();
+        let rdd = ctx.parallelize(vec![1i64, 2, 3], 1);
+        let pairs = rdd.key_by(|x| x % 2).collect().unwrap();
+        assert_eq!(pairs, vec![(1, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn caching_avoids_recomputation_and_uncache_restores_it() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ctx = ctx();
+        let computed = Arc::new(AtomicUsize::new(0));
+        let counter = computed.clone();
+        let rdd = ctx
+            .generate(4, InputSource::Dfs, move |p| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                vec![p as i64]
+            })
+            .cache();
+        assert!(rdd.is_cached());
+        rdd.collect().unwrap();
+        assert_eq!(computed.load(Ordering::SeqCst), 4);
+        rdd.collect().unwrap();
+        // Served from cache: no extra generator invocations.
+        assert_eq!(computed.load(Ordering::SeqCst), 4);
+        assert_eq!(ctx.cache().cached_partitions(rdd.id()), 4);
+        rdd.uncache();
+        assert_eq!(ctx.cache().cached_partitions(rdd.id()), 0);
+        rdd.collect().unwrap();
+        assert_eq!(computed.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn lost_cached_partitions_are_recomputed_from_lineage() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ctx = ctx();
+        let computed = Arc::new(AtomicUsize::new(0));
+        let counter = computed.clone();
+        let rdd = ctx
+            .generate(8, InputSource::Dfs, move |p| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                vec![p as i64, p as i64 + 1]
+            })
+            .cache();
+        let full: Vec<i64> = rdd.collect().unwrap();
+        assert_eq!(computed.load(Ordering::SeqCst), 8);
+
+        // Kill a node: its cached partitions disappear.
+        let lost = ctx.fail_node(1);
+        assert!(lost > 0, "node 1 should have held cached partitions");
+
+        // Re-running the query recomputes only the lost partitions and
+        // produces the same result (lineage-based recovery, §2.3).
+        let again: Vec<i64> = rdd.collect().unwrap();
+        let mut a = full.clone();
+        let mut b = again.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(computed.load(Ordering::SeqCst), 8 + lost);
+    }
+
+    #[test]
+    fn job_reports_are_recorded() {
+        let ctx = ctx();
+        let rdd = ctx.parallelize((0i64..50).collect(), 5);
+        rdd.map(|x| x + 1).collect().unwrap();
+        let report = ctx.last_job().expect("job report");
+        assert_eq!(report.name, "collect");
+        assert_eq!(report.total_tasks(), 5);
+        assert!(report.sim_duration > 0.0);
+    }
+
+    #[test]
+    fn lineage_exposes_parents() {
+        let ctx = ctx();
+        let rdd = ctx.parallelize((0i64..10).collect(), 2);
+        let mapped = rdd.map(|x| x * 2);
+        let lin = mapped.lineage();
+        assert_eq!(lin.parents().len(), 1);
+        assert_eq!(lin.parents()[0].id(), rdd.id());
+        assert!(lin.shuffle_deps().is_empty());
+    }
+}

@@ -1,0 +1,394 @@
+//! The DAG scheduler.
+//!
+//! Actions call [`run_job`]: the scheduler walks the target RDD's lineage,
+//! runs the map stage of every shuffle dependency that is not yet
+//! materialized (in dependency order), then runs the result stage. Every
+//! task executes for real in-process; its measured metrics are converted to
+//! a simulated duration by the cost model and the whole stage is placed on
+//! the simulated cluster to obtain paper-scale timings, which are recorded
+//! in a [`JobReport`].
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use shark_cluster::{OutputSink, TaskSpec};
+use shark_common::size::estimate_slice;
+use shark_common::{EstimateSize, Result, SharkError};
+
+use crate::context::{JobReport, RddContext, StageReport};
+use crate::metrics::TaskMetrics;
+use crate::pair::Aggregator;
+use crate::rdd::{Data, Lineage, Rdd};
+use crate::shuffle::MapOutputStats;
+
+/// The result of executing one task in-process.
+pub(crate) struct TaskOutcome<U> {
+    pub value: U,
+    pub duration: f64,
+    pub preferred: Option<usize>,
+    pub rows_in: u64,
+    pub bytes_in: u64,
+}
+
+/// Execute `n` tasks (optionally on multiple threads), preserving order.
+pub(crate) fn run_tasks<U, F>(parallel: bool, n: usize, f: F) -> Result<Vec<TaskOutcome<U>>>
+where
+    U: Send,
+    F: Fn(usize) -> Result<TaskOutcome<U>> + Send + Sync,
+{
+    if !parallel || n <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let slots: Mutex<Vec<Option<Result<TaskOutcome<U>>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    let counter = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(4)
+        .min(n);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = counter.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    })
+    .map_err(|_| SharkError::Execution("a task thread panicked".into()))?;
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("task result missing"))
+        .collect()
+}
+
+/// Simulate the stage on the cluster and build its report plus the ordered
+/// task outputs.
+fn finish_stage<U>(
+    ctx: &RddContext,
+    name: &str,
+    outcomes: Vec<TaskOutcome<U>>,
+) -> (StageReport, Vec<U>) {
+    let specs: Vec<TaskSpec> = outcomes
+        .iter()
+        .map(|o| TaskSpec {
+            duration: o.duration,
+            preferred_node: o.preferred,
+        })
+        .collect();
+    let sim = ctx.state.cluster.lock().simulate_stage(&specs);
+    let report = StageReport {
+        name: name.to_string(),
+        num_tasks: outcomes.len(),
+        sim_duration: sim.duration,
+        speculative_copies: sim.speculative_copies,
+        tasks_rerun: sim.tasks_rerun,
+        rows_in: outcomes.iter().map(|o| o.rows_in).sum(),
+        bytes_in: outcomes.iter().map(|o| o.bytes_in).sum(),
+    };
+    (report, outcomes.into_iter().map(|o| o.value).collect())
+}
+
+/// Run the map stage of every shuffle dependency reachable from `lineage`
+/// that has not been materialized yet, in dependency order. Returns the
+/// reports of the stages that were actually executed.
+pub fn ensure_shuffle_deps(ctx: &RddContext, lineage: &dyn Lineage) -> Result<Vec<StageReport>> {
+    let mut reports = Vec::new();
+    for parent in lineage.parents() {
+        reports.extend(ensure_shuffle_deps(ctx, parent.as_ref())?);
+    }
+    for dep in lineage.shuffle_deps() {
+        reports.extend(ensure_shuffle_deps(ctx, dep.parent_lineage().as_ref())?);
+        if !dep.is_materialized(ctx) {
+            reports.push(dep.run_map_stage(ctx)?);
+        }
+    }
+    Ok(reports)
+}
+
+/// Run an action over `rdd`: materialize its shuffle dependencies, execute
+/// the result stage applying `f` to each partition, time everything on the
+/// simulated cluster, record a [`JobReport`], and return the per-partition
+/// results in partition order.
+pub fn run_job<T, U, F>(
+    ctx: &RddContext,
+    rdd: &Rdd<T>,
+    name: &str,
+    sink: OutputSink,
+    f: F,
+) -> Result<Vec<U>>
+where
+    T: Data,
+    U: Send + EstimateSize,
+    F: Fn(Vec<T>) -> U + Send + Sync,
+{
+    let wall = Instant::now();
+    let mut stages = ensure_shuffle_deps(ctx, rdd)?;
+    let scale = ctx.config().sim_scale;
+    let outcomes = run_tasks(
+        ctx.config().parallel_tasks,
+        rdd.num_partitions(),
+        |partition| {
+            let mut metrics = TaskMetrics::new();
+            let data = rdd.compute_partition(ctx, partition, &mut metrics)?;
+            let rows = data.len() as u64;
+            let value = f(data);
+            metrics.record_output(rows, value.estimated_size() as u64);
+            let cost = metrics.to_cost_input(scale, sink);
+            let duration = ctx.cost_model().task_duration(&cost);
+            Ok(TaskOutcome {
+                value,
+                duration,
+                preferred: rdd.preferred_node(ctx, partition),
+                rows_in: metrics.rows_in,
+                bytes_in: metrics.bytes_in,
+            })
+        },
+    )?;
+    let (report, values) = finish_stage(ctx, "result", outcomes);
+    stages.push(report);
+    let sim_duration = stages.iter().map(|s| s.sim_duration).sum();
+    ctx.record_job(JobReport {
+        name: name.to_string(),
+        stages,
+        sim_duration,
+        real_duration: wall.elapsed().as_secs_f64(),
+    });
+    Ok(values)
+}
+
+/// Shared implementation of the shuffle map stages: compute each parent
+/// partition, bucket its records, store the buckets plus per-bucket
+/// statistics in the shuffle manager, and time the stage.
+fn run_map_stage_generic<K, PV, S, F>(
+    ctx: &RddContext,
+    parent: &Rdd<(K, PV)>,
+    shuffle_id: usize,
+    num_buckets: usize,
+    name: &str,
+    bucketize: F,
+) -> Result<StageReport>
+where
+    K: Data + Hash + Eq,
+    PV: Data,
+    S: Data,
+    F: Fn(Vec<(K, PV)>, usize) -> Vec<Vec<(K, S)>> + Send + Sync,
+{
+    let num_map_tasks = parent.num_partitions();
+    ctx.shuffle_manager()
+        .register(shuffle_id, num_map_tasks, num_buckets);
+    let scale = ctx.config().sim_scale;
+    let sort_shuffle = ctx.config().cluster.profile.sort_based_shuffle;
+
+    let outcomes = run_tasks(ctx.config().parallel_tasks, num_map_tasks, |partition| {
+        let mut metrics = TaskMetrics::new();
+        let data = parent.compute_partition(ctx, partition, &mut metrics)?;
+        let input_rows = data.len() as u64;
+        let buckets = bucketize(data, num_buckets);
+        let bucket_bytes: Vec<u64> = buckets
+            .iter()
+            .map(|b| estimate_slice(b) as u64)
+            .collect();
+        let bucket_rows: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
+        let total_bytes: u64 = bucket_bytes.iter().sum();
+        let total_rows: u64 = bucket_rows.iter().sum();
+        // Hash-partitioning each record costs roughly one operation per row.
+        metrics.add_ops(input_rows as f64);
+        if sort_shuffle {
+            metrics.add_sort(total_rows);
+        }
+        metrics.record_output(total_rows, total_bytes);
+        ctx.shuffle_manager().put_map_output(
+            shuffle_id,
+            partition,
+            buckets,
+            MapOutputStats {
+                bucket_bytes,
+                bucket_rows,
+            },
+        )?;
+        let cost = metrics.to_cost_input(scale, OutputSink::Shuffle);
+        let duration = ctx.cost_model().task_duration(&cost);
+        Ok(TaskOutcome {
+            value: (),
+            duration,
+            preferred: parent.preferred_node(ctx, partition),
+            rows_in: metrics.rows_in,
+            bytes_in: metrics.bytes_in,
+        })
+    })?;
+
+    let (report, _) = finish_stage(ctx, name, outcomes);
+    Ok(report)
+}
+
+/// Map stage that hash-partitions records without combining.
+pub(crate) fn run_shuffle_map_stage_raw<K, V>(
+    ctx: &RddContext,
+    parent: &Rdd<(K, V)>,
+    shuffle_id: usize,
+    num_buckets: usize,
+) -> Result<StageReport>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+{
+    run_map_stage_generic(
+        ctx,
+        parent,
+        shuffle_id,
+        num_buckets,
+        &format!("shuffle-map({shuffle_id})"),
+        |data, buckets| {
+            let mut out: Vec<Vec<(K, V)>> = (0..buckets).map(|_| Vec::new()).collect();
+            for (k, v) in data {
+                let b = shark_common::hash::hash_partition(&k, buckets);
+                out[b].push((k, v));
+            }
+            out
+        },
+    )
+}
+
+/// Map stage that hash-partitions records and combines values per key
+/// map-side with an [`Aggregator`] (partial aggregation, §3.1).
+pub(crate) fn run_shuffle_map_stage_combined<K, V, C>(
+    ctx: &RddContext,
+    parent: &Rdd<(K, V)>,
+    shuffle_id: usize,
+    num_buckets: usize,
+    agg: &Aggregator<V, C>,
+) -> Result<StageReport>
+where
+    K: Data + Hash + Eq,
+    V: Data,
+    C: Data,
+{
+    let agg = agg.clone();
+    run_map_stage_generic(
+        ctx,
+        parent,
+        shuffle_id,
+        num_buckets,
+        &format!("shuffle-map-combine({shuffle_id})"),
+        move |data, buckets| {
+            let mut tables: Vec<std::collections::HashMap<K, C>> =
+                (0..buckets).map(|_| std::collections::HashMap::new()).collect();
+            for (k, v) in data {
+                let b = shark_common::hash::hash_partition(&k, buckets);
+                let table = &mut tables[b];
+                match table.remove(&k) {
+                    Some(c) => {
+                        table.insert(k, (agg.merge_value)(c, v));
+                    }
+                    None => {
+                        table.insert(k, (agg.create)(v));
+                    }
+                }
+            }
+            tables
+                .into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{RddConfig, RddContext};
+    use shark_cluster::ClusterConfig;
+
+    #[test]
+    fn run_tasks_sequential_and_parallel_agree() {
+        let f = |i: usize| {
+            Ok(TaskOutcome {
+                value: i * 2,
+                duration: 0.1,
+                preferred: None,
+                rows_in: 1,
+                bytes_in: 8,
+            })
+        };
+        let seq = run_tasks(false, 16, f).unwrap();
+        let par = run_tasks(true, 16, f).unwrap();
+        let seq_vals: Vec<usize> = seq.into_iter().map(|o| o.value).collect();
+        let par_vals: Vec<usize> = par.into_iter().map(|o| o.value).collect();
+        assert_eq!(seq_vals, par_vals);
+        assert_eq!(seq_vals[7], 14);
+    }
+
+    #[test]
+    fn run_tasks_propagates_errors() {
+        let r = run_tasks(false, 4, |i| {
+            if i == 2 {
+                Err(SharkError::Execution("boom".into()))
+            } else {
+                Ok(TaskOutcome {
+                    value: (),
+                    duration: 0.0,
+                    preferred: None,
+                    rows_in: 0,
+                    bytes_in: 0,
+                })
+            }
+        });
+        assert!(r.is_err());
+        let r = run_tasks(true, 4, |i| {
+            if i == 2 {
+                Err(SharkError::Execution("boom".into()))
+            } else {
+                Ok(TaskOutcome {
+                    value: (),
+                    duration: 0.0,
+                    preferred: None,
+                    rows_in: 0,
+                    bytes_in: 0,
+                })
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallel_context_produces_same_results() {
+        let config = RddConfig {
+            cluster: ClusterConfig::small(4, 2),
+            default_partitions: 8,
+            sim_scale: 1.0,
+            parallel_tasks: true,
+        };
+        let ctx = RddContext::new(config);
+        let rdd = ctx.parallelize((0i64..1000).collect(), 16);
+        let sum = rdd.map(|x| x * 3).reduce(|a, b| a + b).unwrap();
+        assert_eq!(sum, Some(3 * 999 * 1000 / 2));
+        let mut counts = rdd
+            .map(|x| (x % 7, 1i64))
+            .reduce_by_key(8, |a, b| a + b)
+            .collect()
+            .unwrap();
+        counts.sort();
+        assert_eq!(counts.iter().map(|(_, c)| c).sum::<i64>(), 1000);
+    }
+
+    #[test]
+    fn job_sim_time_includes_shuffle_stages() {
+        let ctx = RddContext::local();
+        let rdd = ctx.parallelize((0i64..100).collect(), 4);
+        rdd.map(|x| (x % 10, x))
+            .reduce_by_key(4, |a, b| a + b)
+            .collect()
+            .unwrap();
+        let job = ctx.last_job().unwrap();
+        assert!(job.stages.len() >= 2);
+        assert!(job.sim_duration > 0.0);
+        assert!(job.real_duration >= 0.0);
+    }
+}

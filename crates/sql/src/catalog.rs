@@ -1,0 +1,310 @@
+//! The catalog / metastore and the in-memory columnar table store.
+//!
+//! Tables are registered with a schema, a partition count and a *base
+//! generator* — a deterministic function producing the rows of each
+//! partition, standing in for the files of a Hive warehouse on HDFS. Tables
+//! created with `"shark.cache" = "true"` additionally get a [`MemTable`]:
+//! the columnar memstore representation, with per-partition node placement
+//! so simulated node failures drop exactly the partitions that lived on the
+//! failed worker (recovered later through the base generator, i.e. lineage).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use shark_columnar::{ColumnarPartition, PartitionStats};
+use shark_common::{Result, Row, Schema, SharkError};
+
+/// Deterministic per-partition row generator (the "files" of a table).
+pub type RowGenerator = Arc<dyn Fn(usize) -> Vec<Row> + Send + Sync>;
+
+/// The cached, columnar representation of a table (the memstore, §3.2).
+pub struct MemTable {
+    partitions: Vec<RwLock<Option<Arc<ColumnarPartition>>>>,
+    placements: Vec<usize>,
+}
+
+impl MemTable {
+    /// Create an empty memtable for `num_partitions` partitions, assigning
+    /// each partition to a node round-robin.
+    pub fn new(num_partitions: usize, num_nodes: usize) -> MemTable {
+        MemTable {
+            partitions: (0..num_partitions).map(|_| RwLock::new(None)).collect(),
+            placements: (0..num_partitions)
+                .map(|p| p % num_nodes.max(1))
+                .collect(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Fetch a cached partition if it is loaded.
+    pub fn get(&self, partition: usize) -> Option<Arc<ColumnarPartition>> {
+        self.partitions[partition].read().clone()
+    }
+
+    /// Store a loaded partition.
+    pub fn put(&self, partition: usize, data: Arc<ColumnarPartition>) {
+        *self.partitions[partition].write() = Some(data);
+    }
+
+    /// The node holding a partition.
+    pub fn placement(&self, partition: usize) -> usize {
+        self.placements[partition]
+    }
+
+    /// Drop every partition stored on `node`, returning how many were lost.
+    pub fn drop_node(&self, node: usize) -> usize {
+        let mut lost = 0;
+        for (p, slot) in self.partitions.iter().enumerate() {
+            if self.placements[p] == node {
+                let mut guard = slot.write();
+                if guard.is_some() {
+                    *guard = None;
+                    lost += 1;
+                }
+            }
+        }
+        lost
+    }
+
+    /// Number of partitions currently loaded.
+    pub fn loaded_partitions(&self) -> usize {
+        self.partitions
+            .iter()
+            .filter(|p| p.read().is_some())
+            .count()
+    }
+
+    /// Total memory footprint of loaded partitions, in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.partitions
+            .iter()
+            .filter_map(|p| p.read().as_ref().map(|c| c.memory_bytes() as u64))
+            .sum()
+    }
+
+    /// Total rows across loaded partitions.
+    pub fn total_rows(&self) -> u64 {
+        self.partitions
+            .iter()
+            .filter_map(|p| p.read().as_ref().map(|c| c.num_rows() as u64))
+            .sum()
+    }
+
+    /// Statistics of one loaded partition (for map pruning).
+    pub fn stats(&self, partition: usize) -> Option<PartitionStats> {
+        self.partitions[partition]
+            .read()
+            .as_ref()
+            .map(|c| c.stats().clone())
+    }
+}
+
+/// Metadata for one registered table.
+pub struct TableMeta {
+    /// Table name (lower-cased).
+    pub name: String,
+    /// The table schema.
+    pub schema: Schema,
+    /// Number of partitions.
+    pub num_partitions: usize,
+    /// Base row generator (the table's "files").
+    pub base: RowGenerator,
+    /// The columnar memstore, if the table is cached.
+    pub cached: Option<Arc<MemTable>>,
+    /// Column index the table is hash-partitioned by (`DISTRIBUTE BY`).
+    pub distribute_by: Option<usize>,
+    /// Name of the table this one is co-partitioned with (§3.4).
+    pub copartitioned_with: Option<String>,
+    /// Estimated total number of rows (used by the static optimizer).
+    pub row_count_hint: Option<u64>,
+}
+
+impl TableMeta {
+    /// Create a new table backed by a generator, not cached.
+    pub fn new<F>(name: &str, schema: Schema, num_partitions: usize, generator: F) -> TableMeta
+    where
+        F: Fn(usize) -> Vec<Row> + Send + Sync + 'static,
+    {
+        TableMeta {
+            name: name.to_lowercase(),
+            schema,
+            num_partitions: num_partitions.max(1),
+            base: Arc::new(generator),
+            cached: None,
+            distribute_by: None,
+            copartitioned_with: None,
+            row_count_hint: None,
+        }
+    }
+
+    /// Attach an (initially empty) memstore so scans cache and reuse the
+    /// columnar form.
+    pub fn with_cache(mut self, num_nodes: usize) -> TableMeta {
+        self.cached = Some(Arc::new(MemTable::new(self.num_partitions, num_nodes)));
+        self
+    }
+
+    /// Declare that the table is hash-partitioned by the given column.
+    pub fn with_distribute_by(mut self, column: &str) -> Result<TableMeta> {
+        let idx = self.schema.resolve(column)?;
+        self.distribute_by = Some(idx);
+        Ok(self)
+    }
+
+    /// Declare co-partitioning with another table.
+    pub fn with_copartition(mut self, other: &str) -> TableMeta {
+        self.copartitioned_with = Some(other.to_lowercase());
+        self
+    }
+
+    /// Provide a row-count hint for the static optimizer.
+    pub fn with_row_count_hint(mut self, rows: u64) -> TableMeta {
+        self.row_count_hint = Some(rows);
+        self
+    }
+
+    /// Whether the table has a memstore attached.
+    pub fn is_cached(&self) -> bool {
+        self.cached.is_some()
+    }
+}
+
+/// The metastore: a registry of tables by name.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<std::collections::HashMap<String, Arc<TableMeta>>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table, replacing any table of the same name.
+    pub fn register(&self, table: TableMeta) -> Arc<TableMeta> {
+        let arc = Arc::new(table);
+        self.tables
+            .write()
+            .insert(arc.name.clone(), arc.clone());
+        arc
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<TableMeta>> {
+        self.tables
+            .read()
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| SharkError::Catalog(format!("table '{name}' not found")))
+    }
+
+    /// Whether a table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(&name.to_lowercase())
+    }
+
+    /// Drop a table.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&name.to_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| SharkError::Catalog(format!("table '{name}' not found")))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Drop the cached partitions of every table that lived on `node`
+    /// (called when a simulated worker dies). Returns partitions lost.
+    pub fn drop_node(&self, node: usize) -> usize {
+        self.tables
+            .read()
+            .values()
+            .filter_map(|t| t.cached.as_ref().map(|m| m.drop_node(node)))
+            .sum()
+    }
+
+    /// Total memstore footprint across all cached tables.
+    pub fn memstore_bytes(&self) -> u64 {
+        self.tables
+            .read()
+            .values()
+            .filter_map(|t| t.cached.as_ref().map(|m| m.memory_bytes()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shark_common::{row, DataType};
+
+    fn demo_table(cached: bool) -> TableMeta {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]);
+        let t = TableMeta::new("users", schema, 4, |p| {
+            vec![row![p as i64, format!("user{p}")]]
+        });
+        if cached {
+            t.with_cache(3)
+        } else {
+            t
+        }
+    }
+
+    #[test]
+    fn register_lookup_drop() {
+        let catalog = Catalog::new();
+        catalog.register(demo_table(false));
+        assert!(catalog.contains("USERS"));
+        let t = catalog.get("users").unwrap();
+        assert_eq!(t.num_partitions, 4);
+        assert_eq!((t.base)(2)[0].get_int(0).unwrap(), 2);
+        assert_eq!(catalog.table_names(), vec!["users".to_string()]);
+        catalog.drop_table("users").unwrap();
+        assert!(catalog.get("users").is_err());
+        assert!(catalog.drop_table("users").is_err());
+    }
+
+    #[test]
+    fn memtable_placement_and_failure() {
+        let catalog = Catalog::new();
+        let t = catalog.register(demo_table(true));
+        let mem = t.cached.as_ref().unwrap();
+        let schema = t.schema.clone();
+        for p in 0..4 {
+            let rows = (t.base)(p);
+            mem.put(p, Arc::new(ColumnarPartition::from_rows(&schema, &rows)));
+        }
+        assert_eq!(mem.loaded_partitions(), 4);
+        assert!(mem.memory_bytes() > 0);
+        assert_eq!(mem.total_rows(), 4);
+        // Partitions 0 and 3 live on node 0 (round robin over 3 nodes).
+        let lost = catalog.drop_node(0);
+        assert_eq!(lost, 2);
+        assert_eq!(mem.loaded_partitions(), 2);
+        assert!(mem.get(0).is_none());
+        assert!(mem.get(1).is_some());
+        assert!(mem.stats(1).is_some());
+        assert!(mem.stats(0).is_none());
+    }
+
+    #[test]
+    fn distribute_by_resolves_columns() {
+        let t = demo_table(false).with_distribute_by("ID").unwrap();
+        assert_eq!(t.distribute_by, Some(0));
+        assert!(demo_table(false).with_distribute_by("missing").is_err());
+        let t = demo_table(false).with_copartition("Other").with_row_count_hint(10);
+        assert_eq!(t.copartitioned_with.as_deref(), Some("other"));
+        assert_eq!(t.row_count_hint, Some(10));
+    }
+}

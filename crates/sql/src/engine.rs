@@ -1,0 +1,417 @@
+//! The SQL session: parse → plan → execute, plus DDL handling.
+//!
+//! [`SqlSession`] ties the pieces together the way Shark's driver does:
+//! it owns the catalog and UDF registry, compiles statements with the parser
+//! and planner, and executes them through [`crate::exec`]. `CREATE TABLE …
+//! TBLPROPERTIES("shark.cache"="true") AS SELECT … DISTRIBUTE BY …` creates
+//! (and, when cached, loads) derived tables, which is how the paper's
+//! memstore and co-partitioning examples are expressed (§2, §3.4).
+
+use std::sync::Arc;
+
+use shark_common::{Result, Row, SharkError};
+use shark_rdd::RddContext;
+
+use crate::ast::Statement;
+use crate::catalog::{Catalog, TableMeta};
+use crate::exec::{self, ExecConfig, LoadReport, QueryResult, TableRdd};
+use crate::expr::UdfRegistry;
+use crate::parser;
+use crate::plan::plan_select;
+
+/// A SQL session: catalog + UDFs + execution configuration over an
+/// [`RddContext`].
+pub struct SqlSession {
+    ctx: RddContext,
+    catalog: Arc<Catalog>,
+    udfs: UdfRegistry,
+    exec: ExecConfig,
+}
+
+impl SqlSession {
+    /// Create a session with the given execution configuration.
+    pub fn new(ctx: RddContext, exec: ExecConfig) -> SqlSession {
+        SqlSession {
+            ctx,
+            catalog: Arc::new(Catalog::new()),
+            udfs: UdfRegistry::new(),
+            exec,
+        }
+    }
+
+    /// The underlying RDD context.
+    pub fn context(&self) -> &RddContext {
+        &self.ctx
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The current execution configuration.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec
+    }
+
+    /// Replace the execution configuration (e.g. switch between the Shark
+    /// and Hive emulation for a benchmark run).
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// Register a user-defined scalar function usable from SQL.
+    pub fn register_udf<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[shark_common::Value]) -> shark_common::Value + Send + Sync + 'static,
+    {
+        self.udfs.register(name, f);
+    }
+
+    /// The UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// Register a base table.
+    pub fn register_table(&self, table: TableMeta) -> Arc<TableMeta> {
+        self.catalog.register(table)
+    }
+
+    /// Load a cached table into the memstore now (otherwise the first scan
+    /// loads it lazily partition by partition).
+    pub fn load_table(&self, name: &str) -> Result<LoadReport> {
+        let table = self.catalog.get(name)?;
+        exec::load_table(&self.ctx, &table)
+    }
+
+    /// Execute any supported SQL statement.
+    pub fn sql(&self, text: &str) -> Result<QueryResult> {
+        match parser::parse(text)? {
+            Statement::Select(stmt) => {
+                let plan = plan_select(&stmt, &self.catalog, &self.udfs)?;
+                exec::execute(&self.ctx, &plan, &self.exec)
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                Ok(QueryResult {
+                    schema: shark_common::Schema::default(),
+                    rows: vec![],
+                    sim_seconds: 0.0,
+                    real_seconds: 0.0,
+                    plan: format!("drop_table({name})"),
+                    notes: vec![],
+                })
+            }
+            Statement::CreateTableAs {
+                name,
+                properties,
+                query,
+            } => self.create_table_as(&name, &properties, &query),
+        }
+    }
+
+    /// Execute a query and return its result as an RDD plus schema — the
+    /// `sql2rdd` API used to feed ML algorithms (§4.1, Listing 1).
+    pub fn sql_to_rdd(&self, text: &str) -> Result<TableRdd> {
+        let stmt = parser::parse_select(text)?;
+        let plan = plan_select(&stmt, &self.catalog, &self.udfs)?;
+        exec::build_pipeline(&self.ctx, &plan, &self.exec)
+    }
+
+    /// Kill a simulated worker node: drops its RDD-cache and memstore
+    /// partitions and marks it failed on the cluster. Returns the number of
+    /// memstore partitions lost (they will be recovered through lineage on
+    /// the next scan).
+    pub fn fail_node(&self, node: usize) -> usize {
+        let lost = self.catalog.drop_node(node);
+        self.ctx.fail_node(node);
+        lost
+    }
+
+    fn create_table_as(
+        &self,
+        name: &str,
+        properties: &[(String, String)],
+        query: &crate::ast::SelectStmt,
+    ) -> Result<QueryResult> {
+        if self.catalog.contains(name) {
+            return Err(SharkError::Catalog(format!(
+                "table '{name}' already exists"
+            )));
+        }
+        let plan = plan_select(query, &self.catalog, &self.udfs)?;
+        let result = exec::execute(&self.ctx, &plan, &self.exec)?;
+        let schema = result.schema.clone();
+
+        // Partition the result: hash by the DISTRIBUTE BY column, or split
+        // evenly.
+        let num_partitions = self.ctx.config().default_partitions.max(1);
+        let mut partitions: Vec<Vec<Row>> = vec![Vec::new(); num_partitions];
+        match plan.distribute_by {
+            Some(col) => {
+                for row in result.rows.iter() {
+                    let p = shark_common::hash::hash_partition(row.get(col), num_partitions);
+                    partitions[p].push(row.clone());
+                }
+            }
+            None => {
+                for (i, row) in result.rows.iter().enumerate() {
+                    partitions[i % num_partitions].push(row.clone());
+                }
+            }
+        }
+        let row_count = result.rows.len() as u64;
+        let partitions = Arc::new(partitions);
+        let gen_parts = partitions.clone();
+        let mut table = TableMeta::new(name, schema.clone(), num_partitions, move |p| {
+            gen_parts[p].clone()
+        })
+        .with_row_count_hint(row_count);
+
+        let cache_requested = properties.iter().any(|(k, v)| {
+            k.eq_ignore_ascii_case("shark.cache") && v.eq_ignore_ascii_case("true")
+        });
+        if cache_requested {
+            table = table.with_cache(self.ctx.config().cluster.num_nodes);
+        }
+        if let Some(col) = plan.distribute_by {
+            table = table.with_distribute_by(&schema.field(col).name)?;
+        }
+        if let Some((_, other)) = properties
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("copartition"))
+        {
+            table = table.with_copartition(other);
+        }
+        let registered = self.catalog.register(table);
+        let mut notes = result.notes.clone();
+        let mut sim_seconds = result.sim_seconds;
+        if cache_requested {
+            let load = exec::load_table(&self.ctx, &registered)?;
+            sim_seconds += load.sim_seconds;
+            notes.push(format!(
+                "loaded {} rows ({} columnar bytes) into the memstore",
+                load.rows, load.stored_bytes
+            ));
+        }
+        Ok(QueryResult {
+            schema,
+            rows: vec![],
+            sim_seconds,
+            real_seconds: result.real_seconds,
+            plan: format!("create_table_as({name}) <- {}", result.plan),
+            notes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shark_common::{row, DataType, Schema, Value};
+    use shark_rdd::RddConfig;
+
+    fn session() -> SqlSession {
+        let ctx = RddContext::new(RddConfig::default());
+        let session = SqlSession::new(ctx, ExecConfig::shark());
+        // A small sales table: 4 partitions, clustered by day.
+        let schema = Schema::from_pairs(&[
+            ("day", DataType::Int),
+            ("store", DataType::Str),
+            ("amount", DataType::Float),
+        ]);
+        session.register_table(
+            TableMeta::new("sales", schema, 4, |p| {
+                let stores = ["north", "south", "east"];
+                (0..30)
+                    .map(|i| {
+                        row![
+                            p as i64,
+                            stores[i % 3],
+                            (i as f64) + (p as f64) * 0.1
+                        ]
+                    })
+                    .collect()
+            })
+            .with_cache(4)
+            .with_row_count_hint(120),
+        );
+        session
+    }
+
+    #[test]
+    fn select_where_projects_and_filters() {
+        let s = session();
+        // Load the table so partition statistics exist for map pruning.
+        s.load_table("sales").unwrap();
+        let r = s
+            .sql("SELECT store, amount FROM sales WHERE day = 2 AND amount > 25")
+            .unwrap();
+        assert_eq!(r.schema.names(), vec!["store", "amount"]);
+        assert!(!r.rows.is_empty());
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| row.get_float(1).unwrap() > 25.0));
+        assert!(r.sim_seconds > 0.0);
+        // Map pruning should have skipped the three other day-partitions.
+        assert!(
+            r.notes.iter().any(|n| n.contains("map pruning")),
+            "notes: {:?}",
+            r.notes
+        );
+    }
+
+    #[test]
+    fn group_by_aggregation_matches_manual_computation() {
+        let s = session();
+        let r = s
+            .sql("SELECT store, COUNT(*) AS c, SUM(amount) AS total FROM sales GROUP BY store ORDER BY store")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.schema.names(), vec!["store", "c", "total"]);
+        // 4 partitions x 30 rows / 3 stores = 40 rows per store.
+        for row in &r.rows {
+            assert_eq!(row.get_int(1).unwrap(), 40);
+        }
+        let east: f64 = r.rows[0].get_float(2).unwrap();
+        assert!(east > 0.0);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let s = session();
+        let r = s
+            .sql("SELECT day, amount FROM sales ORDER BY amount DESC LIMIT 5")
+            .unwrap();
+        assert_eq!(r.rows.len(), 5);
+        let amounts: Vec<f64> = r.rows.iter().map(|r| r.get_float(1).unwrap()).collect();
+        let mut sorted = amounts.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(amounts, sorted);
+    }
+
+    #[test]
+    fn global_count_and_limit_pushdown() {
+        let s = session();
+        let r = s.sql("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(r.rows[0].get_int(0).unwrap(), 120);
+        let r = s.sql("SELECT store FROM sales LIMIT 3").unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.notes.iter().any(|n| n.contains("limit pushed down")));
+    }
+
+    #[test]
+    fn create_table_as_and_query_it() {
+        let s = session();
+        let r = s
+            .sql(
+                "CREATE TABLE big_sales TBLPROPERTIES(\"shark.cache\" = \"true\") AS \
+                 SELECT day, store, amount FROM sales WHERE amount > 10 DISTRIBUTE BY store",
+            )
+            .unwrap();
+        assert!(r.notes.iter().any(|n| n.contains("memstore")));
+        assert!(s.catalog().contains("big_sales"));
+        let r2 = s.sql("SELECT COUNT(*) FROM big_sales").unwrap();
+        let expected = s
+            .sql("SELECT COUNT(*) FROM sales WHERE amount > 10")
+            .unwrap();
+        assert_eq!(
+            r2.rows[0].get_int(0).unwrap(),
+            expected.rows[0].get_int(0).unwrap()
+        );
+        s.sql("DROP TABLE big_sales").unwrap();
+        assert!(!s.catalog().contains("big_sales"));
+    }
+
+    #[test]
+    fn udfs_usable_in_queries() {
+        let mut s = session();
+        s.register_udf("bucket", |args| {
+            Value::Int(args[0].as_float().unwrap_or(0.0) as i64 / 10)
+        });
+        let r = s
+            .sql("SELECT bucket(amount), COUNT(*) FROM sales GROUP BY bucket(amount)")
+            .unwrap();
+        assert!(r.rows.len() >= 2);
+    }
+
+    #[test]
+    fn hive_mode_is_slower_than_shark_for_the_same_query() {
+        let mut s = session();
+        s.load_table("sales").unwrap();
+        s.context().reset_simulation();
+        let shark = s
+            .sql("SELECT store, SUM(amount) FROM sales GROUP BY store")
+            .unwrap();
+        // Switch to the Hive emulation on a Hadoop-profile context: build a
+        // fresh session to swap the cluster cost profile.
+        let hive_ctx = RddContext::new(RddConfig {
+            cluster: shark_cluster::ClusterConfig::small(4, 2)
+                .with_profile(shark_cluster::EngineProfile::hadoop()),
+            ..RddConfig::default()
+        });
+        let hive = SqlSession::new(hive_ctx, ExecConfig::hive());
+        let schema = Schema::from_pairs(&[
+            ("day", DataType::Int),
+            ("store", DataType::Str),
+            ("amount", DataType::Float),
+        ]);
+        hive.register_table(TableMeta::new("sales", schema, 4, |p| {
+            let stores = ["north", "south", "east"];
+            (0..30)
+                .map(|i| row![p as i64, stores[i % 3], (i as f64) + (p as f64) * 0.1])
+                .collect()
+        }));
+        let hive_result = hive
+            .sql("SELECT store, SUM(amount) FROM sales GROUP BY store")
+            .unwrap();
+        assert_eq!(hive_result.rows.len(), shark.rows.len());
+        assert!(
+            hive_result.sim_seconds > shark.sim_seconds * 5.0,
+            "hive {} vs shark {}",
+            hive_result.sim_seconds,
+            shark.sim_seconds
+        );
+    }
+
+    #[test]
+    fn sql_to_rdd_feeds_further_processing() {
+        let s = session();
+        let table = s
+            .sql_to_rdd("SELECT amount FROM sales WHERE store = 'north'")
+            .unwrap();
+        assert_eq!(table.schema.names(), vec!["amount"]);
+        let total: f64 = table
+            .rdd
+            .map(|r| r.get_float(0).unwrap_or(0.0))
+            .reduce(|a, b| a + b)
+            .unwrap()
+            .unwrap_or(0.0);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn node_failure_recovers_through_lineage() {
+        let s = session();
+        s.load_table("sales").unwrap();
+        let before = s.sql("SELECT COUNT(*) FROM sales").unwrap();
+        let lost = s.fail_node(1);
+        assert!(lost > 0);
+        let after = s.sql("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(
+            before.rows[0].get_int(0).unwrap(),
+            after.rows[0].get_int(0).unwrap()
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = session();
+        assert!(s.sql("SELECT * FROM missing").is_err());
+        assert!(s.sql("SELECT missing_col FROM sales").is_err());
+        assert!(s.sql("CREATE TABLE sales AS SELECT * FROM sales").is_err());
+        assert!(s.sql("DROP TABLE nope").is_err());
+    }
+}

@@ -1,0 +1,769 @@
+//! The physical executor: turns a [`QueryPlan`] into RDD operations and runs
+//! them on the simulated cluster.
+//!
+//! Three execution modes reproduce the three systems compared throughout the
+//! paper's evaluation:
+//!
+//! * **Shark** ([`ExecConfig::shark`]) — columnar memstore scans with map
+//!   pruning, Partial DAG Execution for join-strategy selection and reducer
+//!   coalescing, broadcast (map) joins, co-partitioned joins.
+//! * **Shark (disk)** ([`ExecConfig::shark_disk`]) — the same engine reading
+//!   the base data from the simulated DFS instead of the memstore.
+//! * **Hive** ([`ExecConfig::hive`]) — static plans, fixed reducer counts, no
+//!   broadcast decisions, run under the Hadoop cost profile (high task
+//!   launch overhead, sort-based disk shuffle, inter-job DFS
+//!   materialization).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use shark_cluster::DfsModel;
+use shark_columnar::ColumnarPartition;
+use shark_common::size::estimate_slice;
+use shark_common::{Result, Row, Schema, SharkError, Value};
+use shark_rdd::{Aggregator, Rdd, RddContext};
+
+use crate::aggregate::{AggExpr, AggStates};
+use crate::catalog::TableMeta;
+use crate::expr::BoundExpr;
+use crate::pde::{choose_join_strategy, coalesce_buckets, JoinStrategy};
+use crate::plan::{AggregateNode, OutputRef, QueryPlan, ScanNode};
+use crate::scan::{prune_partitions, DfsScanRdd, MemTableScanRdd};
+
+/// Which engine the executor should emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// The Shark engine.
+    Shark {
+        /// Enable Partial DAG Execution (run-time join selection, reducer
+        /// coalescing). Disabling it gives the "static plan" ablation.
+        pde: bool,
+        /// Read cached tables from the columnar memstore. Disabling it gives
+        /// the "Shark (disk)" series.
+        use_memstore: bool,
+    },
+    /// The Hive/Hadoop baseline: static plans, fixed reducers, no memstore.
+    Hive,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Engine mode.
+    pub mode: ExecutionMode,
+    /// Reducer count used by static plans (Hive is very sensitive to this,
+    /// §6.3).
+    pub default_reducers: usize,
+    /// Number of fine-grained map-output buckets PDE materializes before
+    /// deciding the reduce-side plan.
+    pub fine_buckets: usize,
+    /// Broadcast threshold in (in-process) bytes for map-join selection.
+    pub broadcast_threshold: u64,
+    /// Target (in-process) bytes per coalesced reduce task.
+    pub target_partition_bytes: u64,
+    /// Upper bound on the number of reduce tasks.
+    pub max_reducers: usize,
+    /// §6.3.2 "static + adaptive": pre-shuffle only the side the static
+    /// optimizer predicts to be small, avoiding map tasks on the large table
+    /// when a map join is chosen.
+    pub pde_prioritize_small_side: bool,
+}
+
+impl ExecConfig {
+    /// Full Shark configuration (memstore + PDE + static analysis).
+    pub fn shark() -> ExecConfig {
+        ExecConfig {
+            mode: ExecutionMode::Shark {
+                pde: true,
+                use_memstore: true,
+            },
+            default_reducers: 64,
+            fine_buckets: 256,
+            broadcast_threshold: 4 * 1024 * 1024,
+            target_partition_bytes: 256 * 1024,
+            max_reducers: 1000,
+            pde_prioritize_small_side: true,
+        }
+    }
+
+    /// Shark reading from disk (no memstore).
+    pub fn shark_disk() -> ExecConfig {
+        ExecConfig {
+            mode: ExecutionMode::Shark {
+                pde: true,
+                use_memstore: false,
+            },
+            ..ExecConfig::shark()
+        }
+    }
+
+    /// Shark with PDE disabled (static plans) — the ablation baseline of
+    /// Figure 8.
+    pub fn shark_static() -> ExecConfig {
+        ExecConfig {
+            mode: ExecutionMode::Shark {
+                pde: false,
+                use_memstore: true,
+            },
+            ..ExecConfig::shark()
+        }
+    }
+
+    /// The Hive baseline.
+    pub fn hive() -> ExecConfig {
+        ExecConfig {
+            mode: ExecutionMode::Hive,
+            default_reducers: 64,
+            fine_buckets: 64,
+            broadcast_threshold: 0,
+            target_partition_bytes: 256 * 1024,
+            max_reducers: 1000,
+            pde_prioritize_small_side: false,
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::shark()
+    }
+}
+
+/// The result of executing a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Result schema.
+    pub schema: Schema,
+    /// Result rows (ordered if the query had ORDER BY).
+    pub rows: Vec<Row>,
+    /// Simulated execution time in seconds.
+    pub sim_seconds: f64,
+    /// Wall-clock execution time of the scaled-down run.
+    pub real_seconds: f64,
+    /// Human-readable description of the plan.
+    pub plan: String,
+    /// Run-time decisions taken (join strategy, pruning, coalescing, …).
+    pub notes: Vec<String>,
+}
+
+/// A query result left as an RDD (the `sql2rdd` API of §4.1).
+pub struct TableRdd {
+    /// The rows of the query result.
+    pub rdd: Rdd<Row>,
+    /// Their schema.
+    pub schema: Schema,
+    /// Run-time decisions taken while building the pipeline.
+    pub notes: Vec<String>,
+}
+
+/// Report of loading a table into the memstore (§3.3, §6.2.4).
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Table name.
+    pub table: String,
+    /// Simulated load time in seconds.
+    pub sim_seconds: f64,
+    /// Uncompressed input bytes (in-process scale).
+    pub input_bytes: u64,
+    /// Columnar, compressed bytes stored in the memstore.
+    pub stored_bytes: u64,
+    /// Rows loaded.
+    pub rows: u64,
+}
+
+/// Estimate the in-process serialized size of a table by sampling its first
+/// partition (used by the static side of join planning and the Hive
+/// intermediate-materialization charge).
+pub fn estimate_table_bytes(table: &TableMeta) -> u64 {
+    let sample = (table.base)(0);
+    let per = estimate_slice(&sample) as u64;
+    per * table.num_partitions as u64
+}
+
+/// Load a cached table's partitions into its memstore, charging the
+/// simulated cluster for the load stage. Safe to call repeatedly (already
+/// loaded partitions are skipped).
+pub fn load_table(ctx: &RddContext, table: &Arc<TableMeta>) -> Result<LoadReport> {
+    let mem = table.cached.clone().ok_or_else(|| {
+        SharkError::Execution(format!("table '{}' is not marked as cached", table.name))
+    })?;
+    let scale = ctx.config().sim_scale;
+    let cost_model = ctx.cost_model().clone();
+    let mut specs = Vec::new();
+    let mut input_bytes = 0u64;
+    let mut rows_total = 0u64;
+    for p in 0..table.num_partitions {
+        if mem.get(p).is_some() {
+            continue;
+        }
+        let rows = (table.base)(p);
+        let bytes = estimate_slice(&rows) as u64;
+        input_bytes += bytes;
+        rows_total += rows.len() as u64;
+        let columnar = Arc::new(ColumnarPartition::from_rows(&table.schema, &rows));
+        let cost = shark_cluster::TaskCostInput::new(
+            (rows.len() as f64 * scale) as u64,
+            (bytes as f64 * scale) as u64,
+            (rows.len() as f64 * scale) as u64,
+            (columnar.memory_bytes() as f64 * scale) as u64,
+            shark_cluster::InputSource::Dfs,
+            shark_cluster::OutputSink::Memory,
+            4.0,
+        );
+        specs.push(shark_cluster::TaskSpec::on_node(
+            cost_model.task_duration(&cost),
+            mem.placement(p),
+        ));
+        mem.put(p, columnar);
+    }
+    let before = ctx.simulated_time();
+    if !specs.is_empty() {
+        ctx.simulate_external_stage(&specs);
+    }
+    Ok(LoadReport {
+        table: table.name.clone(),
+        sim_seconds: ctx.simulated_time() - before,
+        input_bytes,
+        stored_bytes: mem.memory_bytes(),
+        rows: rows_total,
+    })
+}
+
+/// Execute a plan fully: run the pipeline, collect, sort and limit.
+pub fn execute(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<QueryResult> {
+    let wall = std::time::Instant::now();
+    let sim_start = ctx.simulated_time();
+    let table_rdd = build_pipeline(ctx, plan, cfg)?;
+    let mut rows = table_rdd.rdd.collect()?;
+
+    // Driver-side ORDER BY / LIMIT (result sets at this point are small).
+    if !plan.order_by.is_empty() {
+        let keys = plan.order_by.clone();
+        rows.sort_by(|a, b| {
+            for (col, desc) in &keys {
+                let ord = a.get(*col).total_cmp(b.get(*col));
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = plan.limit {
+        rows.truncate(n);
+    }
+
+    Ok(QueryResult {
+        schema: plan.output_schema.clone(),
+        rows,
+        sim_seconds: ctx.simulated_time() - sim_start,
+        real_seconds: wall.elapsed().as_secs_f64(),
+        plan: plan.describe(),
+        notes: table_rdd.notes,
+    })
+}
+
+/// Build the RDD pipeline for a plan without collecting it (the `sql2rdd`
+/// path). ORDER BY and LIMIT-with-ORDER-BY are not applied; per-partition
+/// LIMIT pushdown is.
+pub fn build_pipeline(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<TableRdd> {
+    let mut notes = Vec::new();
+
+    // ----- scans ---------------------------------------------------------------
+    let mut scan_rdds: Vec<Rdd<Row>> = Vec::new();
+    let mut scan_all_partitions: Vec<bool> = Vec::new();
+    for scan in &plan.scans {
+        let (rdd, full) = build_scan(ctx, scan, cfg, &mut notes)?;
+        scan_rdds.push(rdd);
+        scan_all_partitions.push(full);
+    }
+
+    // ----- joins ---------------------------------------------------------------
+    let mut combined = scan_rdds[0].clone();
+    for (ji, join) in plan.joins.iter().enumerate() {
+        let right = scan_rdds[join.right_scan].clone();
+        combined = build_join(
+            ctx,
+            plan,
+            cfg,
+            &mut notes,
+            combined,
+            right,
+            ji,
+            scan_all_partitions[0] && scan_all_partitions[join.right_scan],
+        )?;
+    }
+
+    // ----- residual filter ------------------------------------------------------
+    if let Some(pred) = &plan.residual_filter {
+        let p = pred.clone();
+        let ops = pred.op_count();
+        combined = combined.map_partitions_named("filter", ops, move |_, rows| {
+            rows.into_iter().filter(|r| p.eval_predicate(r)).collect()
+        });
+    }
+
+    // ----- aggregation or projection --------------------------------------------
+    let output = if let Some(agg) = &plan.aggregate {
+        build_aggregation(ctx, cfg, &mut notes, combined, agg)?
+    } else {
+        let projections = plan.projections.clone();
+        let ops: f64 = projections.iter().map(BoundExpr::op_count).sum();
+        let limit_push = if plan.limit_pushdown_allowed() {
+            plan.limit
+        } else {
+            None
+        };
+        if limit_push.is_some() {
+            notes.push(format!(
+                "limit pushed down to partitions (limit={})",
+                limit_push.unwrap()
+            ));
+        }
+        combined.map_partitions_named("project", ops.max(0.5), move |_, rows| {
+            let mut out: Vec<Row> = rows
+                .iter()
+                .map(|r| Row::new(projections.iter().map(|p| p.eval(r)).collect()))
+                .collect();
+            if let Some(n) = limit_push {
+                out.truncate(n);
+            }
+            out
+        })
+    };
+
+    Ok(TableRdd {
+        rdd: output,
+        schema: plan.output_schema.clone(),
+        notes,
+    })
+}
+
+/// Build a scan RDD; returns the RDD and whether it covers every partition
+/// of the table (needed for the co-partitioned join fast path).
+fn build_scan(
+    ctx: &RddContext,
+    scan: &ScanNode,
+    cfg: &ExecConfig,
+    notes: &mut Vec<String>,
+) -> Result<(Rdd<Row>, bool)> {
+    let use_memstore = matches!(
+        cfg.mode,
+        ExecutionMode::Shark {
+            use_memstore: true,
+            ..
+        }
+    );
+    if use_memstore && scan.table.is_cached() {
+        let mem = scan.table.cached.as_ref().unwrap();
+        let (selected, pruned) =
+            prune_partitions(&scan.table, mem, &scan.filters, &scan.projection);
+        if pruned > 0 {
+            notes.push(format!(
+                "map pruning: skipped {pruned}/{} partitions of {}",
+                scan.table.num_partitions, scan.table.name
+            ));
+        }
+        let full = selected.len() == scan.table.num_partitions;
+        let rdd = MemTableScanRdd::create(
+            ctx,
+            scan.table.clone(),
+            selected,
+            scan.projection.clone(),
+            scan.filters.clone(),
+        )?;
+        Ok((rdd, full))
+    } else {
+        let rdd = DfsScanRdd::create(
+            ctx,
+            scan.table.clone(),
+            scan.projection.clone(),
+            scan.filters.clone(),
+        );
+        Ok((rdd, true))
+    }
+}
+
+/// Whether the i-th join can use the co-partitioned fast path (§3.4).
+fn copartition_applicable(plan: &QueryPlan, join_index: usize, scans_full: bool) -> bool {
+    if join_index != 0 || plan.joins.len() != 1 || !scans_full {
+        return false;
+    }
+    let join = &plan.joins[0];
+    let left = &plan.scans[0];
+    let right = &plan.scans[join.right_scan];
+    let (lk, rk) = (&join.left_key, &join.right_key);
+    let (lcol, rcol) = match (lk, rk) {
+        (BoundExpr::Column(l), BoundExpr::Column(r)) => (*l, *r),
+        _ => return false,
+    };
+    let l_orig = left.projection.get(lcol).copied();
+    let r_orig = right.projection.get(rcol).copied();
+    let co_declared = left
+        .table
+        .copartitioned_with
+        .as_deref()
+        .map(|n| n == right.table.name)
+        .unwrap_or(false)
+        || right
+            .table
+            .copartitioned_with
+            .as_deref()
+            .map(|n| n == left.table.name)
+            .unwrap_or(false);
+    co_declared
+        && left.table.is_cached()
+        && right.table.is_cached()
+        && left.table.num_partitions == right.table.num_partitions
+        && left.table.distribute_by.is_some()
+        && right.table.distribute_by.is_some()
+        && l_orig == left.table.distribute_by
+        && r_orig == right.table.distribute_by
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_join(
+    ctx: &RddContext,
+    plan: &QueryPlan,
+    cfg: &ExecConfig,
+    notes: &mut Vec<String>,
+    left: Rdd<Row>,
+    right: Rdd<Row>,
+    join_index: usize,
+    scans_full: bool,
+) -> Result<Rdd<Row>> {
+    let join = &plan.joins[join_index];
+    let left_key = join.left_key.clone();
+    let right_key = join.right_key.clone();
+
+    // ----- co-partitioned map join (§3.4) --------------------------------------
+    if matches!(cfg.mode, ExecutionMode::Shark { .. })
+        && copartition_applicable(plan, join_index, scans_full)
+    {
+        notes.push(format!(
+            "co-partitioned join between {} and {} (no shuffle)",
+            plan.scans[0].table.name, plan.scans[join.right_scan].table.name
+        ));
+        let lk = left_key.clone();
+        let rk = right_key.clone();
+        let joined = left.zip_partitions(&right, move |lrows, rrows| {
+            let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+            for r in &rrows {
+                table.entry(rk.eval(r)).or_default().push(r.clone());
+            }
+            let mut out = Vec::new();
+            for l in &lrows {
+                if let Some(matches) = table.get(&lk.eval(l)) {
+                    for r in matches {
+                        out.push(l.concat(r));
+                    }
+                }
+            }
+            out
+        });
+        return Ok(joined);
+    }
+
+    let left_pairs = {
+        let k = left_key.clone();
+        let ops = k.op_count();
+        left.map_partitions_named("join-key(left)", ops, move |_, rows| {
+            rows.into_iter().map(|r| (k.eval(&r), r)).collect()
+        })
+    };
+    let right_pairs = {
+        let k = right_key.clone();
+        let ops = k.op_count();
+        right.map_partitions_named("join-key(right)", ops, move |_, rows| {
+            rows.into_iter().map(|r| (k.eval(&r), r)).collect()
+        })
+    };
+
+    let pde = matches!(cfg.mode, ExecutionMode::Shark { pde: true, .. });
+    if !pde {
+        // Static shuffle join (Hive and the no-PDE ablation).
+        notes.push(format!(
+            "static shuffle join with {} reduce tasks",
+            cfg.default_reducers
+        ));
+        let joined = left_pairs
+            .join(&right_pairs, cfg.default_reducers)
+            .map(|(_, (l, r))| l.concat(&r));
+        if matches!(cfg.mode, ExecutionMode::Hive) {
+            charge_hive_intermediate(ctx, plan, notes);
+        }
+        return Ok(joined);
+    }
+
+    // ----- Partial DAG Execution join selection (§3.1.1) ------------------------
+    // Static prior: which side does the optimizer expect to be small?
+    let left_hint = plan.scans[0]
+        .table
+        .row_count_hint
+        .unwrap_or(u64::MAX / 2)
+        .saturating_add(if plan.scans[0].filters.is_empty() { 0 } else { 1 });
+    let right_scan = &plan.scans[join.right_scan];
+    let right_hint = right_scan.table.row_count_hint.unwrap_or(u64::MAX / 2);
+    let right_filtered = !right_scan.filters.is_empty();
+    let right_predicted_small = right_filtered || right_hint <= left_hint;
+
+    if cfg.pde_prioritize_small_side {
+        // "Static + adaptive": pre-shuffle only the predicted-small side.
+        let (small_pairs, small_is_right) = if right_predicted_small {
+            (right_pairs.clone(), true)
+        } else {
+            (left_pairs.clone(), false)
+        };
+        let pre = small_pairs.pre_shuffle(cfg.fine_buckets)?;
+        let small_bytes = pre.summary().total_bytes;
+        if small_bytes <= cfg.broadcast_threshold {
+            notes.push(format!(
+                "map join: broadcast {} side ({} bytes observed at run time), large table never pre-shuffled",
+                if small_is_right { "build (right)" } else { "build (left)" },
+                small_bytes
+            ));
+            let small_rows = pre.collect_all()?;
+            ctx.charge_broadcast(estimate_slice(&small_rows) as u64);
+            return Ok(broadcast_join(
+                if small_is_right { left_pairs } else { right_pairs },
+                small_rows,
+                small_is_right,
+            ));
+        }
+        // Too large to broadcast: pre-shuffle the other side and do an
+        // aligned shuffle join.
+        let other_pre = if small_is_right {
+            left_pairs.pre_shuffle(cfg.fine_buckets)?
+        } else {
+            right_pairs.pre_shuffle(cfg.fine_buckets)?
+        };
+        let (lpre, rpre) = if small_is_right {
+            (other_pre, pre)
+        } else {
+            (pre, other_pre)
+        };
+        return Ok(aligned_shuffle_join(cfg, notes, lpre, rpre));
+    }
+
+    // "Adaptive": pre-shuffle both sides, then decide from observed sizes.
+    let lpre = left_pairs.pre_shuffle(cfg.fine_buckets)?;
+    let rpre = right_pairs.pre_shuffle(cfg.fine_buckets)?;
+    let strategy = choose_join_strategy(
+        lpre.summary().total_bytes,
+        rpre.summary().total_bytes,
+        cfg.broadcast_threshold,
+    );
+    match strategy {
+        JoinStrategy::BroadcastLeft => {
+            notes.push(format!(
+                "map join: broadcast left side ({} bytes observed)",
+                lpre.summary().total_bytes
+            ));
+            let rows = lpre.collect_all()?;
+            ctx.charge_broadcast(estimate_slice(&rows) as u64);
+            Ok(broadcast_join(right_pairs, rows, false))
+        }
+        JoinStrategy::BroadcastRight => {
+            notes.push(format!(
+                "map join: broadcast right side ({} bytes observed)",
+                rpre.summary().total_bytes
+            ));
+            let rows = rpre.collect_all()?;
+            ctx.charge_broadcast(estimate_slice(&rows) as u64);
+            Ok(broadcast_join(left_pairs, rows, true))
+        }
+        JoinStrategy::Shuffle => Ok(aligned_shuffle_join(cfg, notes, lpre, rpre)),
+    }
+}
+
+/// Map-side (broadcast) join: the `stream` side keeps its partitioning; the
+/// broadcast rows are hashed and probed in place. `broadcast_is_right`
+/// controls output column order (left columns must precede right columns).
+fn broadcast_join(
+    stream: Rdd<(Value, Row)>,
+    broadcast: Vec<(Value, Row)>,
+    broadcast_is_right: bool,
+) -> Rdd<Row> {
+    let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+    for (k, r) in broadcast {
+        table.entry(k).or_default().push(r);
+    }
+    let table = Arc::new(table);
+    stream.map_partitions_named("map-join", 3.0, move |_, rows| {
+        let mut out = Vec::new();
+        for (k, row) in rows {
+            if let Some(matches) = table.get(&k) {
+                for m in matches {
+                    out.push(if broadcast_is_right {
+                        row.concat(m)
+                    } else {
+                        m.concat(&row)
+                    });
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Shuffle join over two pre-shuffled sides: coalesce buckets by combined
+/// size, read both sides with the same assignment, and hash-join per
+/// partition.
+fn aligned_shuffle_join(
+    cfg: &ExecConfig,
+    notes: &mut Vec<String>,
+    left: shark_rdd::PreShuffledRdd<Value, Row>,
+    right: shark_rdd::PreShuffledRdd<Value, Row>,
+) -> Rdd<Row> {
+    let combined_bytes: Vec<u64> = left
+        .summary()
+        .bucket_bytes
+        .iter()
+        .zip(&right.summary().bucket_bytes)
+        .map(|(a, b)| a + b)
+        .collect();
+    let assignment = coalesce_buckets(
+        &combined_bytes,
+        cfg.target_partition_bytes,
+        cfg.max_reducers,
+    );
+    notes.push(format!(
+        "shuffle join: {} fine buckets coalesced into {} reduce tasks (skew factor {:.2})",
+        combined_bytes.len(),
+        assignment.len(),
+        left.summary().skew_factor().max(right.summary().skew_factor())
+    ));
+    let left_rdd = left.read(assignment.clone());
+    let right_rdd = right.read(assignment);
+    left_rdd.zip_partitions(&right_rdd, |lrows, rrows| {
+        let mut table: HashMap<Value, Vec<Row>> = HashMap::new();
+        for (k, r) in rrows {
+            table.entry(k).or_default().push(r);
+        }
+        let mut out = Vec::new();
+        for (k, l) in lrows {
+            if let Some(matches) = table.get(&k) {
+                for r in matches {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Charge the Hive baseline for materializing intermediate results to the
+/// replicated DFS between MapReduce jobs (§7 "intermediate outputs").
+fn charge_hive_intermediate(ctx: &RddContext, plan: &QueryPlan, notes: &mut Vec<String>) {
+    let bytes: u64 = plan
+        .scans
+        .iter()
+        .map(|s| estimate_table_bytes(&s.table))
+        .max()
+        .unwrap_or(0)
+        / 2;
+    let scaled = (bytes as f64 * ctx.config().sim_scale) as u64;
+    let dfs = DfsModel::default();
+    let secs = dfs.write_seconds(&ctx.config().cluster, scaled)
+        + dfs.read_seconds(&ctx.config().cluster, scaled);
+    ctx.advance_simulation(secs);
+    notes.push(format!(
+        "hive: materialized intermediate job output to DFS (+{secs:.1}s simulated)"
+    ));
+}
+
+/// Build the aggregation stage.
+fn build_aggregation(
+    _ctx: &RddContext,
+    cfg: &ExecConfig,
+    notes: &mut Vec<String>,
+    input: Rdd<Row>,
+    agg: &AggregateNode,
+) -> Result<Rdd<Row>> {
+    let group_exprs = agg.group_exprs.clone();
+    let agg_exprs: Vec<AggExpr> = agg.aggs.clone();
+    let ops: f64 = group_exprs.iter().map(BoundExpr::op_count).sum::<f64>()
+        + agg_exprs
+            .iter()
+            .filter_map(|a| a.arg.as_ref().map(BoundExpr::op_count))
+            .sum::<f64>()
+        + 2.0;
+
+    // Map each row to (group key, single-row partial state).
+    let agg_for_map = agg_exprs.clone();
+    let pairs = input.map_partitions_named("partial-aggregate", ops, move |_, rows| {
+        rows.into_iter()
+            .map(|r| {
+                let key = Row::new(group_exprs.iter().map(|g| g.eval(&r)).collect());
+                let mut state = AggStates::new(&agg_for_map);
+                state.update_row(&agg_for_map, &r);
+                (key, state)
+            })
+            .collect::<Vec<(Row, AggStates)>>()
+    });
+
+    let aggregator: Aggregator<AggStates, AggStates> = Aggregator::new(
+        |s| s,
+        |c: AggStates, s: AggStates| c.merge(&s),
+        |a: AggStates, b: AggStates| a.merge(&b),
+    );
+
+    let pde = matches!(cfg.mode, ExecutionMode::Shark { pde: true, .. });
+    let aggregated: Rdd<(Row, AggStates)> = if pde {
+        let pre = pairs.pre_shuffle_combined(cfg.fine_buckets, aggregator.clone())?;
+        let assignment = coalesce_buckets(
+            &pre.summary().bucket_bytes,
+            cfg.target_partition_bytes,
+            cfg.max_reducers,
+        );
+        notes.push(format!(
+            "aggregation: {} fine buckets coalesced into {} reduce tasks",
+            pre.num_buckets(),
+            assignment.len()
+        ));
+        pre.read_aggregated(assignment, aggregator)
+    } else {
+        notes.push(format!(
+            "aggregation with {} (static) reduce tasks",
+            cfg.default_reducers
+        ));
+        pairs.combine_by_key(cfg.default_reducers, aggregator)
+    };
+
+    // Finalize: build output rows in SELECT order, applying HAVING.
+    let output_refs = agg.output.clone();
+    let having = agg.having_internal.clone();
+    let num_groups = agg.group_exprs.len();
+    let final_ops = 2.0 + output_refs.len() as f64;
+    Ok(aggregated.map_partitions_named(
+        "finalize-aggregate",
+        final_ops,
+        move |_, groups| {
+            let mut out = Vec::with_capacity(groups.len());
+            for (key, states) in groups {
+                let finalized = states.finalize();
+                // Internal layout: group values ++ aggregate values.
+                let mut internal = key.into_values();
+                internal.extend(finalized);
+                let internal = Row::new(internal);
+                if let Some(h) = &having {
+                    if !h.eval_predicate(&internal) {
+                        continue;
+                    }
+                }
+                let row = Row::new(
+                    output_refs
+                        .iter()
+                        .map(|r| match r {
+                            OutputRef::Group(i) => internal.get(*i).clone(),
+                            OutputRef::Agg(i) => internal.get(num_groups + *i).clone(),
+                        })
+                        .collect(),
+                );
+                out.push(row);
+            }
+            out
+        },
+    ))
+}

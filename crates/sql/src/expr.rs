@@ -1,0 +1,819 @@
+//! Bound (executable) expressions.
+//!
+//! The analyzer converts parsed [`ast::Expr`](crate::ast::Expr) trees into
+//! [`BoundExpr`] trees whose column references are resolved to positions in
+//! a concrete row layout. Bound expressions are cheap to clone, `Send +
+//! Sync`, and are captured inside RDD closures for evaluation on every row
+//! (Shark's compiled-closure analogue of Hive's interpreted evaluators, §5).
+
+use std::sync::Arc;
+
+use shark_common::{DataType, Result, Row, Schema, SharkError, Value};
+
+use crate::ast::{BinaryOp, Expr};
+
+/// A user-defined scalar function.
+pub type UdfFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// Registry of user-defined scalar functions, looked up by lower-case name.
+#[derive(Default, Clone)]
+pub struct UdfRegistry {
+    funcs: std::collections::HashMap<String, UdfFn>,
+}
+
+impl UdfRegistry {
+    /// Create an empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// Register a UDF under `name` (case-insensitive).
+    pub fn register<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[Value]) -> Value + Send + Sync + 'static,
+    {
+        self.funcs.insert(name.to_lowercase(), Arc::new(f));
+    }
+
+    /// Look up a UDF.
+    pub fn get(&self, name: &str) -> Option<UdfFn> {
+        self.funcs.get(&name.to_lowercase()).cloned()
+    }
+
+    /// Number of registered UDFs.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// `SUBSTR(str, start[, len])`, 1-based start like Hive.
+    Substr,
+    /// `UPPER(str)`
+    Upper,
+    /// `LOWER(str)`
+    Lower,
+    /// `LENGTH(str)`
+    Length,
+    /// `CONCAT(a, b, ...)`
+    Concat,
+    /// `ABS(x)`
+    Abs,
+    /// `ROUND(x)`
+    Round,
+    /// `YEAR(date)` — days-since-epoch to an approximate year.
+    Year,
+    /// `COALESCE(a, b, ...)`
+    Coalesce,
+    /// `IF(cond, a, b)`
+    If,
+}
+
+impl ScalarFunc {
+    /// Resolve a function name to a built-in scalar function.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        Some(match name.to_lowercase().as_str() {
+            "substr" | "substring" => ScalarFunc::Substr,
+            "upper" => ScalarFunc::Upper,
+            "lower" => ScalarFunc::Lower,
+            "length" => ScalarFunc::Length,
+            "concat" => ScalarFunc::Concat,
+            "abs" => ScalarFunc::Abs,
+            "round" => ScalarFunc::Round,
+            "year" => ScalarFunc::Year,
+            "coalesce" => ScalarFunc::Coalesce,
+            "if" => ScalarFunc::If,
+            _ => return None,
+        })
+    }
+}
+
+/// An executable expression bound to a row layout.
+#[derive(Clone)]
+pub enum BoundExpr {
+    /// A resolved column position.
+    Column(usize),
+    /// A literal.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Logical NOT.
+    Not(Box<BoundExpr>),
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `[NOT] BETWEEN`.
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        low: Box<BoundExpr>,
+        /// Upper bound.
+        high: Box<BoundExpr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `[NOT] IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Candidate values.
+        list: Vec<BoundExpr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// Built-in scalar function call.
+    Func {
+        /// The function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<BoundExpr>,
+    },
+    /// User-defined function call.
+    Udf {
+        /// Name (for plan display).
+        name: String,
+        /// The function.
+        f: UdfFn,
+        /// Arguments.
+        args: Vec<BoundExpr>,
+    },
+}
+
+impl std::fmt::Debug for BoundExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundExpr::Column(i) => write!(f, "#{i}"),
+            BoundExpr::Literal(v) => write!(f, "{v}"),
+            BoundExpr::Binary { left, op, right } => write!(f, "({left:?} {op:?} {right:?})"),
+            BoundExpr::Not(e) => write!(f, "NOT {e:?}"),
+            BoundExpr::IsNull { expr, negated } => {
+                write!(f, "{expr:?} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr:?} {}BETWEEN {low:?} AND {high:?}",
+                if *negated { "NOT " } else { "" }
+            ),
+            BoundExpr::InList { expr, list, .. } => write!(f, "{expr:?} IN {list:?}"),
+            BoundExpr::Func { func, args } => write!(f, "{func:?}({args:?})"),
+            BoundExpr::Udf { name, args, .. } => write!(f, "{name}({args:?})"),
+        }
+    }
+}
+
+/// Resolves column names to row positions during binding.
+pub trait ColumnResolver {
+    /// Resolve a possibly qualified column name to its position.
+    fn resolve_column(&self, name: &str) -> Result<usize>;
+}
+
+/// A resolver over a plain schema (unqualified and `alias.col` suffix match).
+pub struct SchemaResolver<'a> {
+    /// The schema describing the row layout.
+    pub schema: &'a Schema,
+}
+
+impl ColumnResolver for SchemaResolver<'_> {
+    fn resolve_column(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.schema.index_of(name) {
+            return Ok(i);
+        }
+        // Qualified name: try the bare column part.
+        if let Some((_, col)) = name.split_once('.') {
+            if let Some(i) = self.schema.index_of(col) {
+                return Ok(i);
+            }
+        }
+        Err(SharkError::Analysis(format!(
+            "unknown column '{name}' in {}",
+            self.schema
+        )))
+    }
+}
+
+impl BoundExpr {
+    /// Bind an AST expression against a column resolver. Aggregate function
+    /// calls are rejected here — the planner handles them separately.
+    pub fn bind(expr: &Expr, resolver: &dyn ColumnResolver, udfs: &UdfRegistry) -> Result<BoundExpr> {
+        Ok(match expr {
+            Expr::Column(name) => BoundExpr::Column(resolver.resolve_column(name)?),
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Binary { left, op, right } => BoundExpr::Binary {
+                left: Box::new(Self::bind(left, resolver, udfs)?),
+                op: *op,
+                right: Box::new(Self::bind(right, resolver, udfs)?),
+            },
+            Expr::Not(e) => BoundExpr::Not(Box::new(Self::bind(e, resolver, udfs)?)),
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(Self::bind(expr, resolver, udfs)?),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BoundExpr::Between {
+                expr: Box::new(Self::bind(expr, resolver, udfs)?),
+                low: Box::new(Self::bind(low, resolver, udfs)?),
+                high: Box::new(Self::bind(high, resolver, udfs)?),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr: Box::new(Self::bind(expr, resolver, udfs)?),
+                list: list
+                    .iter()
+                    .map(|e| Self::bind(e, resolver, udfs))
+                    .collect::<Result<Vec<_>>>()?,
+                negated: *negated,
+            },
+            Expr::Function {
+                name,
+                args,
+                distinct: _,
+            } => {
+                if crate::aggregate::AggFunc::from_name(name).is_some() {
+                    return Err(SharkError::Analysis(format!(
+                        "aggregate function {name} is not allowed in this context"
+                    )));
+                }
+                let bound_args = args
+                    .iter()
+                    .map(|e| Self::bind(e, resolver, udfs))
+                    .collect::<Result<Vec<_>>>()?;
+                if let Some(func) = ScalarFunc::from_name(name) {
+                    BoundExpr::Func {
+                        func,
+                        args: bound_args,
+                    }
+                } else if let Some(f) = udfs.get(name) {
+                    BoundExpr::Udf {
+                        name: name.clone(),
+                        f,
+                        args: bound_args,
+                    }
+                } else {
+                    return Err(SharkError::Analysis(format!("unknown function '{name}'")));
+                }
+            }
+            Expr::Star => {
+                return Err(SharkError::Analysis(
+                    "'*' is only allowed inside COUNT(*) or as a projection".into(),
+                ))
+            }
+        })
+    }
+
+    /// Evaluate the expression against a row.
+    pub fn eval(&self, row: &Row) -> Value {
+        match self {
+            BoundExpr::Column(i) => row.get(*i).clone(),
+            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Binary { left, op, right } => {
+                eval_binary(&left.eval(row), *op, &right.eval(row))
+            }
+            BoundExpr::Not(e) => match e.eval(row) {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                _ => Value::Bool(false),
+            },
+            BoundExpr::IsNull { expr, negated } => {
+                Value::Bool(expr.eval(row).is_null() != *negated)
+            }
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(row);
+                if v.is_null() {
+                    return Value::Null;
+                }
+                let within = v >= low.eval(row) && v <= high.eval(row);
+                Value::Bool(within != *negated)
+            }
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(row);
+                if v.is_null() {
+                    return Value::Null;
+                }
+                let found = list.iter().any(|e| e.eval(row) == v);
+                Value::Bool(found != *negated)
+            }
+            BoundExpr::Func { func, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect();
+                eval_scalar(*func, &vals)
+            }
+            BoundExpr::Udf { f, args, .. } => {
+                let vals: Vec<Value> = args.iter().map(|a| a.eval(row)).collect();
+                f(&vals)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: NULL and non-boolean results count as false.
+    pub fn eval_predicate(&self, row: &Row) -> bool {
+        self.eval(row).is_truthy()
+    }
+
+    /// Approximate number of primitive operations one evaluation performs
+    /// (drives the cost model's per-row expression charge).
+    pub fn op_count(&self) -> f64 {
+        match self {
+            BoundExpr::Column(_) | BoundExpr::Literal(_) => 0.5,
+            BoundExpr::Binary { left, right, .. } => 1.0 + left.op_count() + right.op_count(),
+            BoundExpr::Not(e) => 1.0 + e.op_count(),
+            BoundExpr::IsNull { expr, .. } => 1.0 + expr.op_count(),
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => 2.0 + expr.op_count() + low.op_count() + high.op_count(),
+            BoundExpr::InList { expr, list, .. } => {
+                1.0 + expr.op_count() + list.iter().map(BoundExpr::op_count).sum::<f64>()
+            }
+            BoundExpr::Func { args, .. } => {
+                2.0 + args.iter().map(BoundExpr::op_count).sum::<f64>()
+            }
+            BoundExpr::Udf { args, .. } => {
+                5.0 + args.iter().map(BoundExpr::op_count).sum::<f64>()
+            }
+        }
+    }
+
+    /// Rough output type inference, used to name/typed the output schema.
+    pub fn data_type(&self, input: &Schema) -> DataType {
+        match self {
+            BoundExpr::Column(i) => {
+                if *i < input.len() {
+                    input.field(*i).data_type
+                } else {
+                    DataType::Null
+                }
+            }
+            BoundExpr::Literal(v) => v.data_type(),
+            BoundExpr::Binary { left, op, right } => {
+                if op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or) {
+                    DataType::Bool
+                } else {
+                    left.data_type(input).widen(right.data_type(input))
+                }
+            }
+            BoundExpr::Not(_)
+            | BoundExpr::IsNull { .. }
+            | BoundExpr::Between { .. }
+            | BoundExpr::InList { .. } => DataType::Bool,
+            BoundExpr::Func { func, args } => match func {
+                ScalarFunc::Substr
+                | ScalarFunc::Upper
+                | ScalarFunc::Lower
+                | ScalarFunc::Concat => DataType::Str,
+                ScalarFunc::Length | ScalarFunc::Year | ScalarFunc::Round => DataType::Int,
+                ScalarFunc::Abs => args
+                    .first()
+                    .map(|a| a.data_type(input))
+                    .unwrap_or(DataType::Float),
+                ScalarFunc::Coalesce | ScalarFunc::If => args
+                    .last()
+                    .map(|a| a.data_type(input))
+                    .unwrap_or(DataType::Null),
+            },
+            BoundExpr::Udf { .. } => DataType::Str,
+        }
+    }
+
+    /// Collect the row positions this expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            BoundExpr::Column(i) => out.push(*i),
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            BoundExpr::Not(e) => e.referenced_columns(out),
+            BoundExpr::IsNull { expr, .. } => expr.referenced_columns(out),
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.referenced_columns(out);
+                low.referenced_columns(out);
+                high.referenced_columns(out);
+            }
+            BoundExpr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            BoundExpr::Func { args, .. } | BoundExpr::Udf { args, .. } => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+        }
+    }
+
+    /// If this predicate is a simple range/equality condition on a single
+    /// column (`col op literal`, `col BETWEEN a AND b`, `col IN (...)`),
+    /// return `(column, lower_bound, upper_bound, equalities)` for use by
+    /// map pruning. Bounds are inclusive.
+    #[allow(clippy::type_complexity)]
+    pub fn as_column_range(&self) -> Option<(usize, Option<Value>, Option<Value>, Vec<Value>)> {
+        match self {
+            BoundExpr::Binary { left, op, right } => {
+                let (col, lit, flipped) = match (left.as_ref(), right.as_ref()) {
+                    (BoundExpr::Column(c), BoundExpr::Literal(v)) => (*c, v.clone(), false),
+                    (BoundExpr::Literal(v), BoundExpr::Column(c)) => (*c, v.clone(), true),
+                    _ => return None,
+                };
+                let op = if flipped { flip(*op) } else { *op };
+                match op {
+                    BinaryOp::Eq => Some((col, Some(lit.clone()), Some(lit.clone()), vec![lit])),
+                    BinaryOp::Gt | BinaryOp::GtEq => Some((col, Some(lit), None, vec![])),
+                    BinaryOp::Lt | BinaryOp::LtEq => Some((col, None, Some(lit), vec![])),
+                    _ => None,
+                }
+            }
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => match (expr.as_ref(), low.as_ref(), high.as_ref()) {
+                (BoundExpr::Column(c), BoundExpr::Literal(l), BoundExpr::Literal(h)) => {
+                    Some((*c, Some(l.clone()), Some(h.clone()), vec![]))
+                }
+                _ => None,
+            },
+            BoundExpr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                if let BoundExpr::Column(c) = expr.as_ref() {
+                    let mut vals = Vec::new();
+                    for e in list {
+                        if let BoundExpr::Literal(v) = e {
+                            vals.push(v.clone());
+                        } else {
+                            return None;
+                        }
+                    }
+                    let min = vals.iter().min().cloned();
+                    let max = vals.iter().max().cloned();
+                    Some((*c, min, max, vals))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// Evaluate a binary operation with SQL-ish NULL propagation.
+pub fn eval_binary(left: &Value, op: BinaryOp, right: &Value) -> Value {
+    use BinaryOp::*;
+    match op {
+        And => match (left, right) {
+            (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+            (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        Or => match (left, right) {
+            (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+            (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+        _ if left.is_null() || right.is_null() => Value::Null,
+        Eq => Value::Bool(left == right),
+        NotEq => Value::Bool(left != right),
+        Lt => Value::Bool(left < right),
+        LtEq => Value::Bool(left <= right),
+        Gt => Value::Bool(left > right),
+        GtEq => Value::Bool(left >= right),
+        Plus | Minus | Multiply | Divide | Modulo => eval_arithmetic(left, op, right),
+    }
+}
+
+fn eval_arithmetic(left: &Value, op: BinaryOp, right: &Value) -> Value {
+    use BinaryOp::*;
+    // String concatenation with '+' is not SQL; ignore.
+    let both_int = matches!(left, Value::Int(_) | Value::Date(_))
+        && matches!(right, Value::Int(_) | Value::Date(_));
+    if both_int {
+        let a = left.as_int().unwrap_or(0);
+        let b = right.as_int().unwrap_or(0);
+        return match op {
+            Plus => Value::Int(a + b),
+            Minus => Value::Int(a - b),
+            Multiply => Value::Int(a * b),
+            Divide => {
+                if b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            Modulo => {
+                if b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a % b)
+                }
+            }
+            _ => Value::Null,
+        };
+    }
+    let a = left.as_float();
+    let b = right.as_float();
+    match (a, b) {
+        (Some(a), Some(b)) => match op {
+            Plus => Value::Float(a + b),
+            Minus => Value::Float(a - b),
+            Multiply => Value::Float(a * b),
+            Divide => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Float(a / b)
+                }
+            }
+            Modulo => {
+                if b == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Float(a % b)
+                }
+            }
+            _ => Value::Null,
+        },
+        _ => Value::Null,
+    }
+}
+
+/// Evaluate a built-in scalar function.
+pub fn eval_scalar(func: ScalarFunc, args: &[Value]) -> Value {
+    match func {
+        ScalarFunc::Substr => {
+            let s = match args.first().and_then(|v| v.as_str()) {
+                Some(s) => s,
+                None => return Value::Null,
+            };
+            let start = args.get(1).and_then(|v| v.as_int()).unwrap_or(1).max(1) as usize;
+            let len = args.get(2).and_then(|v| v.as_int());
+            let chars: Vec<char> = s.chars().collect();
+            let begin = (start - 1).min(chars.len());
+            let end = match len {
+                Some(l) => (begin + l.max(0) as usize).min(chars.len()),
+                None => chars.len(),
+            };
+            Value::str(chars[begin..end].iter().collect::<String>())
+        }
+        ScalarFunc::Upper => match args.first().and_then(|v| v.as_str()) {
+            Some(s) => Value::str(s.to_uppercase()),
+            None => Value::Null,
+        },
+        ScalarFunc::Lower => match args.first().and_then(|v| v.as_str()) {
+            Some(s) => Value::str(s.to_lowercase()),
+            None => Value::Null,
+        },
+        ScalarFunc::Length => match args.first().and_then(|v| v.as_str()) {
+            Some(s) => Value::Int(s.chars().count() as i64),
+            None => Value::Null,
+        },
+        ScalarFunc::Concat => {
+            let mut out = String::new();
+            for a in args {
+                if a.is_null() {
+                    return Value::Null;
+                }
+                out.push_str(&a.render());
+            }
+            Value::str(out)
+        }
+        ScalarFunc::Abs => match args.first() {
+            Some(Value::Int(v)) => Value::Int(v.abs()),
+            Some(Value::Float(v)) => Value::Float(v.abs()),
+            _ => Value::Null,
+        },
+        ScalarFunc::Round => match args.first().and_then(|v| v.as_float()) {
+            Some(v) => Value::Int(v.round() as i64),
+            None => Value::Null,
+        },
+        ScalarFunc::Year => match args.first().and_then(|v| v.as_int()) {
+            // days since 1970-01-01, ignoring leap-year drift (fine for
+            // grouping purposes).
+            Some(days) => Value::Int(1970 + days / 365),
+            None => Value::Null,
+        },
+        ScalarFunc::Coalesce => args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null),
+        ScalarFunc::If => {
+            let cond = args.first().map(|v| v.is_truthy()).unwrap_or(false);
+            if cond {
+                args.get(1).cloned().unwrap_or(Value::Null)
+            } else {
+                args.get(2).cloned().unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use shark_common::row;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("pagerank", DataType::Int),
+            ("pageurl", DataType::Str),
+            ("revenue", DataType::Float),
+        ])
+    }
+
+    fn bind(sql_predicate: &str) -> BoundExpr {
+        // Parse a full statement to reuse the expression parser.
+        let stmt = parse_select(&format!("SELECT 1 FROM t WHERE {sql_predicate}")).unwrap();
+        let schema = schema();
+        let resolver = SchemaResolver { schema: &schema };
+        BoundExpr::bind(&stmt.selection.unwrap(), &resolver, &UdfRegistry::new()).unwrap()
+    }
+
+    #[test]
+    fn comparison_and_arithmetic() {
+        let e = bind("pagerank > 300 AND revenue * 2 >= 10.0");
+        let hit = row![500i64, "u", 20.0f64];
+        let miss = row![100i64, "u", 1.0f64];
+        assert!(e.eval_predicate(&hit));
+        assert!(!e.eval_predicate(&miss));
+        assert!(e.op_count() > 2.0);
+    }
+
+    #[test]
+    fn between_in_isnull() {
+        let e = bind("pagerank BETWEEN 10 AND 20");
+        assert!(e.eval_predicate(&row![15i64, "x", 0.0f64]));
+        assert!(!e.eval_predicate(&row![25i64, "x", 0.0f64]));
+        let e = bind("pageurl IN ('a', 'b')");
+        assert!(e.eval_predicate(&row![1i64, "a", 0.0f64]));
+        assert!(!e.eval_predicate(&row![1i64, "c", 0.0f64]));
+        let e = bind("revenue IS NULL");
+        assert!(e.eval_predicate(&row![1i64, "a", Value::Null]));
+        assert!(!e.eval_predicate(&row![1i64, "a", 1.0f64]));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(
+            eval_scalar(ScalarFunc::Substr, &[Value::str("10.20.30.40"), Value::Int(1), Value::Int(7)]),
+            Value::str("10.20.3")
+        );
+        assert_eq!(eval_scalar(ScalarFunc::Upper, &[Value::str("air")]), Value::str("AIR"));
+        assert_eq!(eval_scalar(ScalarFunc::Length, &[Value::str("abc")]), Value::Int(3));
+        assert_eq!(eval_scalar(ScalarFunc::Abs, &[Value::Int(-5)]), Value::Int(5));
+        assert_eq!(eval_scalar(ScalarFunc::Year, &[Value::Int(10_957)]), Value::Int(2000));
+        assert_eq!(
+            eval_scalar(ScalarFunc::Coalesce, &[Value::Null, Value::Int(3)]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::If, &[Value::Bool(true), Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(
+            eval_binary(&Value::Null, BinaryOp::Plus, &Value::Int(1)),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binary(&Value::Bool(false), BinaryOp::And, &Value::Null),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_binary(&Value::Null, BinaryOp::Or, &Value::Bool(true)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binary(&Value::Int(1), BinaryOp::Divide, &Value::Int(0)),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn udfs_are_callable() {
+        let mut udfs = UdfRegistry::new();
+        udfs.register("is_special", |args: &[Value]| {
+            Value::Bool(
+                args.first()
+                    .and_then(|v| v.as_str())
+                    .map(|s| s.contains("SPECIAL"))
+                    .unwrap_or(false),
+            )
+        });
+        let stmt = parse_select("SELECT 1 FROM t WHERE is_special(pageurl)").unwrap();
+        let schema = schema();
+        let resolver = SchemaResolver { schema: &schema };
+        let e = BoundExpr::bind(&stmt.selection.unwrap(), &resolver, &udfs).unwrap();
+        assert!(e.eval_predicate(&row![1i64, "123 SPECIAL st", 0.0f64]));
+        assert!(!e.eval_predicate(&row![1i64, "plain", 0.0f64]));
+    }
+
+    #[test]
+    fn column_range_extraction_for_pruning() {
+        let e = bind("pagerank > 300");
+        let (col, low, high, eqs) = e.as_column_range().unwrap();
+        assert_eq!(col, 0);
+        assert_eq!(low, Some(Value::Int(300)));
+        assert_eq!(high, None);
+        assert!(eqs.is_empty());
+
+        let e = bind("pagerank BETWEEN 5 AND 9");
+        let (_, low, high, _) = e.as_column_range().unwrap();
+        assert_eq!(low, Some(Value::Int(5)));
+        assert_eq!(high, Some(Value::Int(9)));
+
+        let e = bind("pageurl = 'x'");
+        let (col, _, _, eqs) = e.as_column_range().unwrap();
+        assert_eq!(col, 1);
+        assert_eq!(eqs, vec![Value::str("x")]);
+
+        let e = bind("300 < pagerank");
+        let (_, low, _, _) = e.as_column_range().unwrap();
+        assert_eq!(low, Some(Value::Int(300)));
+
+        assert!(bind("pagerank > revenue").as_column_range().is_none());
+    }
+
+    #[test]
+    fn binding_errors() {
+        let schema = schema();
+        let resolver = SchemaResolver { schema: &schema };
+        let udfs = UdfRegistry::new();
+        let stmt = parse_select("SELECT 1 FROM t WHERE missing_col = 1").unwrap();
+        assert!(BoundExpr::bind(&stmt.selection.unwrap(), &resolver, &udfs).is_err());
+        let stmt = parse_select("SELECT 1 FROM t WHERE unknown_fn(pagerank) = 1").unwrap();
+        assert!(BoundExpr::bind(&stmt.selection.unwrap(), &resolver, &udfs).is_err());
+        let stmt = parse_select("SELECT 1 FROM t WHERE SUM(pagerank) > 1").unwrap();
+        assert!(BoundExpr::bind(&stmt.selection.unwrap(), &resolver, &udfs).is_err());
+    }
+
+    #[test]
+    fn qualified_names_resolve_via_suffix() {
+        let schema = schema();
+        let resolver = SchemaResolver { schema: &schema };
+        assert_eq!(resolver.resolve_column("r.pagerank").unwrap(), 0);
+        assert_eq!(resolver.resolve_column("pagerank").unwrap(), 0);
+        assert!(resolver.resolve_column("r.missing").is_err());
+    }
+}

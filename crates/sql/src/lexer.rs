@@ -1,0 +1,217 @@
+//! SQL tokenizer.
+
+use shark_common::{Result, SharkError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// Numeric literal (integer or decimal).
+    Number(String),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    StringLit(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(SharkError::Parse("unterminated string literal".into()));
+                    }
+                    if chars[i] == quote {
+                        if i + 1 < chars.len() && chars[i + 1] == quote {
+                            s.push(quote);
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::StringLit(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Number(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_')
+                {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => {
+                return Err(SharkError::Parse(format!(
+                    "unexpected character '{other}' in SQL input"
+                )));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_query() {
+        let t = tokenize("SELECT a, b FROM t WHERE a > 10").unwrap();
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert_eq!(t[2], Token::Comma);
+        assert!(t.contains(&Token::Gt));
+        assert_eq!(*t.last().unwrap(), Token::Number("10".into()));
+    }
+
+    #[test]
+    fn tokenizes_strings_operators_and_comments() {
+        let t = tokenize("x <= 'it''s' -- trailing comment\n AND y <> 2.5").unwrap();
+        assert_eq!(t[1], Token::LtEq);
+        assert_eq!(t[2], Token::StringLit("it's".into()));
+        assert_eq!(t[3], Token::Ident("AND".into()));
+        assert_eq!(t[5], Token::NotEq);
+        assert_eq!(t[6], Token::Number("2.5".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn double_quoted_properties() {
+        let t = tokenize("TBLPROPERTIES (\"shark.cache\" = \"true\")").unwrap();
+        assert_eq!(t[2], Token::StringLit("shark.cache".into()));
+        assert_eq!(t[4], Token::StringLit("true".into()));
+    }
+}

@@ -1,0 +1,358 @@
+//! Table-scan RDD implementations.
+//!
+//! Two scan paths exist, matching the "Shark", "Shark (disk)" and "Hive"
+//! series of the paper's figures:
+//!
+//! * [`MemTableScanRdd`] reads the cached columnar memstore: it decodes only
+//!   the projected columns, charges `CachedColumnar` I/O for exactly those
+//!   columns' encoded bytes, applies pushed-down filters, and — if a
+//!   partition was lost to a node failure — rebuilds it from the table's
+//!   base generator (lineage recovery) while charging DFS I/O.
+//! * [`DfsScanRdd`] reads the base generator directly ("data on HDFS"):
+//!   every column's bytes are read and deserialization is charged.
+
+use std::sync::Arc;
+
+use shark_cluster::InputSource;
+use shark_columnar::ColumnarPartition;
+use shark_common::size::estimate_slice;
+use shark_common::{Result, Row};
+use shark_rdd::rdd::{Lineage, RddImpl, ShuffleDepHandle};
+use shark_rdd::{Rdd, RddContext, TaskMetrics};
+
+use crate::catalog::{MemTable, TableMeta};
+use crate::expr::BoundExpr;
+
+/// Apply pushed-down filters, charging their expression cost.
+fn apply_filters(rows: &mut Vec<Row>, filters: &[BoundExpr], metrics: &mut TaskMetrics) {
+    for f in filters {
+        metrics.add_ops(rows.len() as f64 * f.op_count());
+        rows.retain(|r| f.eval_predicate(r));
+    }
+}
+
+/// Scan of a cached, columnar table (the Shark memstore path).
+pub struct MemTableScanRdd {
+    id: usize,
+    table: Arc<TableMeta>,
+    mem: Arc<MemTable>,
+    /// Original partition indices this scan reads (after map pruning).
+    selected: Arc<Vec<usize>>,
+    /// Original column indices to project.
+    projection: Arc<Vec<usize>>,
+    filters: Arc<Vec<BoundExpr>>,
+}
+
+impl MemTableScanRdd {
+    /// Build a memstore scan RDD.
+    pub fn create(
+        ctx: &RddContext,
+        table: Arc<TableMeta>,
+        selected: Vec<usize>,
+        projection: Vec<usize>,
+        filters: Vec<BoundExpr>,
+    ) -> Result<Rdd<Row>> {
+        let mem = table
+            .cached
+            .clone()
+            .ok_or_else(|| shark_common::SharkError::Plan(format!(
+                "table '{}' is not cached",
+                table.name
+            )))?;
+        let inner = MemTableScanRdd {
+            id: ctx.next_rdd_id(),
+            table,
+            mem,
+            selected: Arc::new(selected),
+            projection: Arc::new(projection),
+            filters: Arc::new(filters),
+        };
+        Ok(Rdd::new(ctx.clone(), Arc::new(inner)))
+    }
+}
+
+impl RddImpl<Row> for MemTableScanRdd {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> String {
+        format!("memstore_scan({})", self.table.name)
+    }
+    fn num_partitions(&self) -> usize {
+        self.selected.len()
+    }
+    fn compute(
+        &self,
+        _ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<Row>> {
+        let original = self.selected[partition];
+        let columnar = match self.mem.get(original) {
+            Some(c) => {
+                // Charge only the projected columns' encoded bytes (§3.2).
+                let bytes: usize = self
+                    .projection
+                    .iter()
+                    .map(|&c2| c.column_bytes(c2))
+                    .sum();
+                metrics.record_input(
+                    c.num_rows() as u64,
+                    bytes as u64,
+                    InputSource::CachedColumnar,
+                );
+                c
+            }
+            None => {
+                // The partition was lost (node failure): recompute it from
+                // the base data — the lineage-recovery path of Figure 9.
+                let rows = (self.table.base)(original);
+                let bytes = estimate_slice(&rows) as u64;
+                metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
+                metrics.add_ops(rows.len() as f64 * 4.0); // rebuild columnar form
+                let rebuilt = Arc::new(ColumnarPartition::from_rows(&self.table.schema, &rows));
+                self.mem.put(original, rebuilt.clone());
+                rebuilt
+            }
+        };
+        let mut rows = columnar.project_rows(&self.projection);
+        apply_filters(&mut rows, &self.filters, metrics);
+        Ok(rows)
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        Vec::new()
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        Vec::new()
+    }
+    fn preferred_node(&self, _ctx: &RddContext, partition: usize) -> Option<usize> {
+        Some(self.mem.placement(self.selected[partition]))
+    }
+}
+
+/// Scan of a table straight from its base generator (the "on HDFS" path used
+/// by "Shark (disk)" and the Hive baseline).
+pub struct DfsScanRdd {
+    id: usize,
+    table: Arc<TableMeta>,
+    projection: Arc<Vec<usize>>,
+    filters: Arc<Vec<BoundExpr>>,
+}
+
+impl DfsScanRdd {
+    /// Build a DFS scan RDD over all partitions of the table.
+    pub fn create(
+        ctx: &RddContext,
+        table: Arc<TableMeta>,
+        projection: Vec<usize>,
+        filters: Vec<BoundExpr>,
+    ) -> Rdd<Row> {
+        let inner = DfsScanRdd {
+            id: ctx.next_rdd_id(),
+            table,
+            projection: Arc::new(projection),
+            filters: Arc::new(filters),
+        };
+        Rdd::new(ctx.clone(), Arc::new(inner))
+    }
+}
+
+impl RddImpl<Row> for DfsScanRdd {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> String {
+        format!("dfs_scan({})", self.table.name)
+    }
+    fn num_partitions(&self) -> usize {
+        self.table.num_partitions
+    }
+    fn compute(
+        &self,
+        _ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<Row>> {
+        let rows = (self.table.base)(partition);
+        // Reading from the DFS pays for every column of every row.
+        let bytes = estimate_slice(&rows) as u64;
+        metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
+        metrics.add_ops(rows.len() as f64); // field extraction
+        let projected: Vec<Row> = if self.projection.len() == self.table.schema.len() {
+            rows
+        } else {
+            rows.iter().map(|r| r.project(&self.projection)).collect()
+        };
+        let mut out = projected;
+        apply_filters(&mut out, &self.filters, metrics);
+        Ok(out)
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        Vec::new()
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        Vec::new()
+    }
+}
+
+/// Map pruning (§3.5): evaluate a scan's pushed-down filters against every
+/// loaded partition's statistics and return the partitions that must still
+/// be scanned, together with the number pruned.
+pub fn prune_partitions(
+    table: &TableMeta,
+    mem: &MemTable,
+    filters: &[BoundExpr],
+    projection: &[usize],
+) -> (Vec<usize>, usize) {
+    let mut selected = Vec::new();
+    let mut pruned = 0usize;
+    for p in 0..table.num_partitions {
+        let keep = match mem.stats(p) {
+            None => true, // not loaded: cannot prune, the scan will rebuild it
+            Some(stats) => filters.iter().all(|f| {
+                match f.as_column_range() {
+                    None => true,
+                    Some((projected_col, low, high, eqs)) => {
+                        // The filter is bound against the projected schema;
+                        // map back to the table column index.
+                        let table_col = projection[projected_col];
+                        let col_stats = stats.column(table_col);
+                        if !eqs.is_empty() {
+                            eqs.iter().any(|v| col_stats.might_equal(v))
+                        } else {
+                            col_stats.might_overlap(low.as_ref(), high.as_ref())
+                        }
+                    }
+                }
+            }),
+        };
+        if keep {
+            selected.push(p);
+        } else {
+            pruned += 1;
+        }
+    }
+    (selected, pruned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BoundExpr, SchemaResolver, UdfRegistry};
+    use crate::parser::parse_select;
+    use shark_common::{row, DataType, Schema, Value};
+
+    fn table() -> TableMeta {
+        let schema = Schema::from_pairs(&[
+            ("day", DataType::Int),
+            ("country", DataType::Str),
+            ("metric", DataType::Float),
+        ]);
+        // Partition p holds day = p, country cycling over 2 values.
+        TableMeta::new("sessions", schema, 6, |p| {
+            let country = if p % 2 == 0 { "US" } else { "FR" };
+            (0..50)
+                .map(|i| row![p as i64, country, (i as f64) * 0.5])
+                .collect()
+        })
+        .with_cache(3)
+    }
+
+    fn load(meta: &TableMeta) {
+        let mem = meta.cached.as_ref().unwrap();
+        for p in 0..meta.num_partitions {
+            let rows = (meta.base)(p);
+            mem.put(p, Arc::new(ColumnarPartition::from_rows(&meta.schema, &rows)));
+        }
+    }
+
+    fn bind_filter(sql_pred: &str, schema: &Schema) -> BoundExpr {
+        let stmt = parse_select(&format!("SELECT 1 FROM t WHERE {sql_pred}")).unwrap();
+        BoundExpr::bind(
+            &stmt.selection.unwrap(),
+            &SchemaResolver { schema },
+            &UdfRegistry::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pruning_skips_partitions_outside_the_predicate_range() {
+        let meta = table();
+        load(&meta);
+        let mem = meta.cached.as_ref().unwrap();
+        let projection = vec![0usize, 1, 2];
+        let projected = meta.schema.project(&projection);
+        let filters = vec![bind_filter("day BETWEEN 2 AND 3", &projected)];
+        let (selected, pruned) = prune_partitions(&meta, mem, &filters, &projection);
+        assert_eq!(selected, vec![2, 3]);
+        assert_eq!(pruned, 4);
+
+        let filters = vec![bind_filter("country = 'US'", &projected)];
+        let (selected, pruned) = prune_partitions(&meta, mem, &filters, &projection);
+        assert_eq!(selected, vec![0, 2, 4]);
+        assert_eq!(pruned, 3);
+    }
+
+    #[test]
+    fn memstore_scan_reads_only_selected_partitions() {
+        let ctx = RddContext::local();
+        let meta = Arc::new(table());
+        load(&meta);
+        let projection = vec![0usize, 2];
+        let rdd = MemTableScanRdd::create(
+            &ctx,
+            meta.clone(),
+            vec![1, 4],
+            projection,
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(rdd.num_partitions(), 2);
+        let rows = rdd.collect().unwrap();
+        assert_eq!(rows.len(), 100);
+        // Only two columns were projected.
+        assert_eq!(rows[0].len(), 2);
+        let days: std::collections::HashSet<i64> =
+            rows.iter().map(|r| r.get_int(0).unwrap()).collect();
+        assert_eq!(days, [1i64, 4].into_iter().collect());
+    }
+
+    #[test]
+    fn memstore_scan_recovers_lost_partition_from_base_data() {
+        let ctx = RddContext::local();
+        let meta = Arc::new(table());
+        load(&meta);
+        let mem = meta.cached.as_ref().unwrap();
+        let before = mem.loaded_partitions();
+        // Node 0 holds partitions 0 and 3 (round robin over 3 nodes).
+        mem.drop_node(0);
+        assert!(mem.loaded_partitions() < before);
+        let rdd = MemTableScanRdd::create(
+            &ctx,
+            meta.clone(),
+            (0..meta.num_partitions).collect(),
+            vec![0, 1, 2],
+            vec![],
+        )
+        .unwrap();
+        let rows = rdd.collect().unwrap();
+        assert_eq!(rows.len(), 6 * 50);
+        // Recovery reloaded the lost partitions into the memstore.
+        assert_eq!(mem.loaded_partitions(), 6);
+    }
+
+    #[test]
+    fn dfs_scan_applies_filters_and_projections() {
+        let ctx = RddContext::local();
+        let meta = Arc::new(table());
+        let projection = vec![0usize, 1];
+        let projected = meta.schema.project(&projection);
+        let filters = vec![bind_filter("country = 'US'", &projected)];
+        let rdd = DfsScanRdd::create(&ctx, meta.clone(), projection, filters);
+        assert_eq!(rdd.num_partitions(), 6);
+        let rows = rdd.collect().unwrap();
+        assert_eq!(rows.len(), 3 * 50);
+        assert!(rows.iter().all(|r| r.get_str(1).unwrap().as_ref() == "US"));
+    }
+}

@@ -1,0 +1,1 @@
+//! Helper crate holding shark-rs examples and integration tests.

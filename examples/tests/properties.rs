@@ -1,0 +1,121 @@
+//! Property-based tests over the core data structures and invariants:
+//! columnar round-trips, partitioner determinism, SQL/RDD aggregation
+//! equivalence, PDE bin-packing coverage, and expression evaluation laws.
+
+use proptest::prelude::*;
+use shark_columnar::ColumnarPartition;
+use shark_common::hash::hash_partition;
+use shark_common::{DataType, Row, Schema, Value};
+use shark_rdd::RddContext;
+use shark_sql::coalesce_buckets;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12f64).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        (-30000i32..30000).prop_map(Value::Date),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(|s| Value::str(s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn columnar_roundtrip_preserves_rows(
+        ints in proptest::collection::vec(-1000i64..1000, 1..200),
+        strs in proptest::collection::vec("[a-z]{0,6}", 1..200),
+    ) {
+        let n = ints.len().min(strs.len());
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Int(ints[i]), Value::str(&strs[i])]))
+            .collect();
+        let part = ColumnarPartition::from_rows(&schema, &rows);
+        prop_assert_eq!(part.to_rows(), rows);
+        prop_assert!(part.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_consistent_with_hashing(
+        a in arb_value(), b in arb_value()
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry of the total ordering.
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Equal values hash identically.
+        if ab == Ordering::Equal {
+            prop_assert_eq!(
+                shark_common::hash::fx_hash(&a),
+                shark_common::hash::fx_hash(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn hash_partitioning_is_deterministic_and_in_range(
+        keys in proptest::collection::vec(any::<i64>(), 1..500),
+        parts in 1usize..64,
+    ) {
+        for k in &keys {
+            let p1 = hash_partition(k, parts);
+            let p2 = hash_partition(k, parts);
+            prop_assert_eq!(p1, p2);
+            prop_assert!(p1 < parts);
+        }
+    }
+
+    #[test]
+    fn coalesce_assignment_is_a_partition_of_all_buckets(
+        sizes in proptest::collection::vec(0u64..100_000, 1..300),
+        target in 1u64..1_000_000,
+        max_parts in 1usize..64,
+    ) {
+        let assignment = coalesce_buckets(&sizes, target, max_parts);
+        let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..sizes.len()).collect();
+        prop_assert_eq!(seen, expected);
+        prop_assert!(assignment.len() <= max_parts.max(1));
+    }
+
+    #[test]
+    fn rdd_reduce_by_key_matches_sequential_group_sum(
+        values in proptest::collection::vec((0i64..20, -100i64..100), 1..400),
+        partitions in 1usize..8,
+    ) {
+        let ctx = RddContext::local();
+        let rdd = ctx.parallelize(values.clone(), partitions);
+        let mut distributed = rdd.reduce_by_key(4, |a, b| a + b).collect().unwrap();
+        distributed.sort();
+        let mut expected: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (k, v) in values {
+            *expected.entry(k).or_insert(0) += v;
+        }
+        let expected: Vec<(i64, i64)> = expected.into_iter().collect();
+        prop_assert_eq!(distributed, expected);
+    }
+
+    #[test]
+    fn sql_count_matches_generated_row_count(
+        rows_per_partition in 1usize..50,
+        partitions in 1usize..6,
+    ) {
+        let shark = shark_core::SharkContext::local();
+        shark.register_table(shark_sql::TableMeta::new(
+            "t",
+            Schema::from_pairs(&[("x", DataType::Int)]),
+            partitions,
+            move |p| (0..rows_per_partition).map(|i| Row::new(vec![Value::Int((p * 1000 + i) as i64)])).collect(),
+        ));
+        let r = shark.sql("SELECT COUNT(*) FROM t").unwrap();
+        prop_assert_eq!(
+            r.rows[0].get_int(0).unwrap(),
+            (rows_per_partition * partitions) as i64
+        );
+    }
+}
