@@ -5,7 +5,8 @@ use shark_core::datasets::register_tpch;
 use shark_core::{ExecConfig, SharkConfig, SharkContext};
 use shark_datagen::tpch::TpchConfig;
 
-const JOIN: &str = "SELECT l_orderkey, s_name FROM lineitem l JOIN supplier s ON l.l_suppkey = s.s_suppkey";
+const JOIN: &str =
+    "SELECT l_orderkey, s_name FROM lineitem l JOIN supplier s ON l.l_suppkey = s.s_suppkey";
 
 fn session(exec: ExecConfig) -> SharkContext {
     let shark = SharkContext::new(SharkConfig::default().with_exec(exec));

@@ -7,7 +7,13 @@ fn bench_pde(c: &mut Criterion) {
     let mut g = c.benchmark_group("pde");
     g.sample_size(20);
     let skewed: Vec<u64> = (0..2000)
-        .map(|i| if i % 97 == 0 { 1_000_000 } else { (i % 50 + 1) * 100 })
+        .map(|i| {
+            if i % 97 == 0 {
+                1_000_000
+            } else {
+                (i % 50 + 1) * 100
+            }
+        })
         .collect();
     g.bench_function("coalesce_2000_buckets", |b| {
         b.iter(|| coalesce_buckets(&skewed, 500_000, 200))

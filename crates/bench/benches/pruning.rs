@@ -16,8 +16,12 @@ fn bench_pruning(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("pruning");
     g.sample_size(10);
-    g.bench_function("with_map_pruning", |b| b.iter(|| cached.sql(QUERY).unwrap()));
-    g.bench_function("full_scan_no_stats", |b| b.iter(|| uncached.sql(QUERY).unwrap()));
+    g.bench_function("with_map_pruning", |b| {
+        b.iter(|| cached.sql(QUERY).unwrap())
+    });
+    g.bench_function("full_scan_no_stats", |b| {
+        b.iter(|| uncached.sql(QUERY).unwrap())
+    });
     g.finish();
 }
 

@@ -1,0 +1,64 @@
+//! Serving-layer benchmarks: multi-session throughput through the
+//! `SharkServer` (admission + shared memstore) vs. the same queries on a
+//! bare single-owner session, and the cost of budget enforcement when every
+//! query evicts.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shark_datagen::tpch::{self, TpchConfig};
+use shark_server::{ServerConfig, SharkServer};
+use shark_sql::TableMeta;
+
+const QUERY: &str = "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode";
+
+fn server(budget: u64) -> SharkServer {
+    let server = SharkServer::new(ServerConfig::default().with_memory_budget(budget));
+    let cfg = TpchConfig::tiny();
+    let partitions = 8;
+    let nodes = server.context().config().cluster.num_nodes;
+    server.register_table(
+        TableMeta::new("lineitem", tpch::lineitem_schema(), partitions, move |p| {
+            tpch::lineitem_partition(&cfg, partitions, p)
+        })
+        .with_cache(nodes),
+    );
+    server.load_table("lineitem").unwrap();
+    server
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server");
+    g.sample_size(10);
+
+    let single = server(u64::MAX);
+    let session = single.session();
+    g.bench_function("one_session_cached", |b| {
+        b.iter(|| session.sql(QUERY).unwrap())
+    });
+
+    let shared = server(u64::MAX);
+    g.bench_function("eight_sessions_concurrent", |b| {
+        b.iter(|| {
+            let workers: Vec<_> = (0..8)
+                .map(|_| {
+                    let s = shared.session();
+                    std::thread::spawn(move || s.sql(QUERY).unwrap())
+                })
+                .collect();
+            for w in workers {
+                w.join().unwrap();
+            }
+        })
+    });
+
+    // A budget of one byte forces an eviction + full lineage reload on
+    // every query: the worst-case serving path.
+    let thrashing = server(1);
+    let thrash_session = thrashing.session();
+    g.bench_function("one_session_evict_every_query", |b| {
+        b.iter(|| thrash_session.sql(QUERY).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -49,7 +49,11 @@ fn row(label: &str, seconds: f64, extra: &str) {
 // ---------------------------------------------------------------------------
 
 fn pavlo_session(exec: ExecConfig, cached: bool, hive: bool) -> SharkContext {
-    let shark = if hive { hive_ctx() } else { shark_ctx(exec, cached) };
+    let shark = if hive {
+        hive_ctx()
+    } else {
+        shark_ctx(exec, cached)
+    };
     register_pavlo(&shark, &PavloConfig::default(), 32, cached).unwrap();
     if cached {
         shark.load_table("rankings").unwrap();
@@ -65,8 +69,7 @@ fn run_query(shark: &SharkContext, sql: &str) -> (f64, usize, Vec<String>) {
 }
 
 const PAVLO_SELECTION: &str = "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 300";
-const PAVLO_AGG_FINE: &str =
-    "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP";
+const PAVLO_AGG_FINE: &str = "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP";
 const PAVLO_AGG_COARSE: &str =
     "SELECT SUBSTR(sourceIP, 1, 7), SUM(adRevenue) FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 7)";
 const PAVLO_JOIN: &str = "SELECT sourceIP, AVG(pageRank), SUM(adRevenue) AS totalRevenue \
@@ -92,7 +95,9 @@ fn figure5() {
 }
 
 fn figure6() {
-    header("Figure 6 — Pavlo join query (paper: copartitioned < Shark ~ Shark(disk) << Hive ~1500s)");
+    header(
+        "Figure 6 — Pavlo join query (paper: copartitioned < Shark ~ Shark(disk) << Hive ~1500s)",
+    );
     let shark = pavlo_session(ExecConfig::shark(), true, false);
     let (secs, rows, notes) = run_query(&shark, PAVLO_JOIN);
     row("Shark (memstore)", secs, &format!("{rows} groups"));
@@ -152,7 +157,9 @@ fn figure1() {
 // ---------------------------------------------------------------------------
 
 fn figure7() {
-    header("Figure 7 — TPC-H lineitem group-bys (paper: Shark ~1-6s in memory, Hive(tuned) 80-700s)");
+    header(
+        "Figure 7 — TPC-H lineitem group-bys (paper: Shark ~1-6s in memory, Hive(tuned) 80-700s)",
+    );
     let queries = [
         ("1 group (global count)", "SELECT COUNT(*) FROM lineitem"),
         (
@@ -220,7 +227,10 @@ fn figure8() {
         ..ExecConfig::shark()
     };
     run_mode("Adaptive (PDE, pre-shuffle both sides)", adaptive);
-    run_mode("Static + adaptive (pre-shuffle small side only)", ExecConfig::shark());
+    run_mode(
+        "Static + adaptive (pre-shuffle small side only)",
+        ExecConfig::shark(),
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -345,7 +355,10 @@ fn figure11_inner(headline_only: bool) {
     }
     // Hadoop baselines: every iteration re-reads the input from the DFS.
     for (label, profile) in [
-        ("Hadoop (binary input) / iteration", EngineProfile::hadoop_binary()),
+        (
+            "Hadoop (binary input) / iteration",
+            EngineProfile::hadoop_binary(),
+        ),
         ("Hadoop (text input) / iteration", EngineProfile::hadoop()),
     ] {
         let mut cluster = ClusterConfig::paper_hive_cluster();
@@ -365,8 +378,9 @@ fn figure11_inner(headline_only: bool) {
             let dims = cfg.dims;
             table.rdd.map(move |row| {
                 let label = row.get_float(0).unwrap_or(0.0);
-                let features: Vec<f64> =
-                    (1..=dims).map(|i| row.get_float(i).unwrap_or(0.0)).collect();
+                let features: Vec<f64> = (1..=dims)
+                    .map(|i| row.get_float(i).unwrap_or(0.0))
+                    .collect();
                 (features, label)
             })
             // note: NOT cached — Hadoop re-reads the input every iteration
@@ -396,9 +410,16 @@ fn figure12() {
     let features = ml_points_rdd(&shark, cfg.dims).map(|(f, _)| f).cache();
     shark.reset_simulation();
     let (_, report) = KMeans::default().train(&features).unwrap();
-    row("Shark — k-means / iteration", report.mean_iteration_seconds(), "");
+    row(
+        "Shark — k-means / iteration",
+        report.mean_iteration_seconds(),
+        "",
+    );
     for (label, profile) in [
-        ("Hadoop (binary input) / iteration", EngineProfile::hadoop_binary()),
+        (
+            "Hadoop (binary input) / iteration",
+            EngineProfile::hadoop_binary(),
+        ),
         ("Hadoop (text input) / iteration", EngineProfile::hadoop()),
     ] {
         let mut cluster = ClusterConfig::paper_hive_cluster();
@@ -415,9 +436,11 @@ fn figure12() {
         register_ml_points(&hadoop, &cfg, 32, false).unwrap();
         let table = hadoop.sql_to_rdd("SELECT * FROM points").unwrap();
         let dims = cfg.dims;
-        let features = table
-            .rdd
-            .map(move |row| (1..=dims).map(|i| row.get_float(i).unwrap_or(0.0)).collect());
+        let features = table.rdd.map(move |row| {
+            (1..=dims)
+                .map(|i| row.get_float(i).unwrap_or(0.0))
+                .collect()
+        });
         hadoop.reset_simulation();
         let (_, report) = KMeans {
             iterations: 3,
@@ -436,7 +459,10 @@ fn figure12() {
 fn figure13() {
     header("Figure 13 — job time vs number of reduce tasks (paper: Hadoop blows up past ~1000 tasks, Spark stays flat)");
     let total_work_seconds = 4000.0;
-    println!("  {:<12} {:>16} {:>16}", "reduce tasks", "Hadoop (s)", "Spark (s)");
+    println!(
+        "  {:<12} {:>16} {:>16}",
+        "reduce tasks", "Hadoop (s)", "Spark (s)"
+    );
     for n in [50usize, 200, 1000, 2000, 5000] {
         let per_task = total_work_seconds / n as f64;
         let mut hcfg = ClusterConfig::paper_hive_cluster();
@@ -467,7 +493,11 @@ fn memory() {
     let columnar = ColumnarPartition::from_rows(&schema, &rows);
     println!("  rows: {}", rows.len());
     println!("  deserialized row objects : {:>12} bytes", objects);
-    println!("  serialized rows          : {:>12} bytes ({:.2}x smaller)", serialized, objects as f64 / serialized as f64);
+    println!(
+        "  serialized rows          : {:>12} bytes ({:.2}x smaller)",
+        serialized,
+        objects as f64 / serialized as f64
+    );
     println!(
         "  columnar + compression   : {:>12} bytes ({:.2}x smaller, compression ratio {:.2}x)",
         columnar.memory_bytes(),
@@ -526,8 +556,7 @@ fn skew() {
         .with_cache(nodes),
     );
     shark.load_table("events").unwrap();
-    let (pde_secs, _, notes) =
-        run_query(&shark, "SELECT key, SUM(v) FROM events GROUP BY key");
+    let (pde_secs, _, notes) = run_query(&shark, "SELECT key, SUM(v) FROM events GROUP BY key");
     row("PDE (coalesced reducers)", pde_secs, "");
     for n in notes.iter().filter(|n| n.contains("coalesced")) {
         println!("      note: {n}");

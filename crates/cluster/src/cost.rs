@@ -158,8 +158,7 @@ impl CostModel {
             OutputSink::Dfs => {
                 // Replicated write: local disk plus (r-1) network copies.
                 let r = p.dfs_replication.max(1) as f64;
-                t.bytes_out as f64 / p.disk_bw
-                    + (r - 1.0) * t.bytes_out as f64 / p.network_bw
+                t.bytes_out as f64 / p.disk_bw + (r - 1.0) * t.bytes_out as f64 / p.network_bw
             }
             OutputSink::Collect => t.bytes_out as f64 / p.network_bw,
             OutputSink::None => 0.0,

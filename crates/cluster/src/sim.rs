@@ -281,9 +281,7 @@ impl ClusterSim {
             }));
         }
 
-        let stage_end = finish_times
-            .iter()
-            .fold(stage_start, |acc, &t| acc.max(t));
+        let stage_end = finish_times.iter().fold(stage_start, |acc, &t| acc.max(t));
         self.clock = stage_end;
 
         StageSimResult {

@@ -31,7 +31,11 @@ pub enum EncodedColumn {
     /// Uncompressed 64-bit integers (also used for dates).
     IntPlain { values: Vec<i64>, nulls: NullMask },
     /// Run-length encoded integers: `(value, run_length)` pairs.
-    IntRle { runs: Vec<(i64, u32)>, len: usize, nulls: NullMask },
+    IntRle {
+        runs: Vec<(i64, u32)>,
+        len: usize,
+        nulls: NullMask,
+    },
     /// Frame-of-reference bit packing: `value = min + unpack(bits)`.
     IntBitPacked {
         min: i64,
@@ -43,9 +47,16 @@ pub enum EncodedColumn {
     /// Uncompressed 64-bit floats.
     FloatPlain { values: Vec<f64>, nulls: NullMask },
     /// Booleans packed one bit per value.
-    BoolPacked { len: usize, words: Vec<u64>, nulls: NullMask },
+    BoolPacked {
+        len: usize,
+        words: Vec<u64>,
+        nulls: NullMask,
+    },
     /// Uncompressed strings.
-    StrPlain { values: Vec<Arc<str>>, nulls: NullMask },
+    StrPlain {
+        values: Vec<Arc<str>>,
+        nulls: NullMask,
+    },
     /// Dictionary-encoded strings: distinct values plus per-row codes.
     StrDict {
         dict: Vec<Arc<str>>,
@@ -236,7 +247,11 @@ pub(crate) fn unpack_bits(words: &[u64], bits: u8, i: usize) -> u64 {
     let bit_pos = i * bitsz;
     let word = bit_pos / 64;
     let offset = bit_pos % 64;
-    let mask = if bitsz == 64 { u64::MAX } else { (1u64 << bitsz) - 1 };
+    let mask = if bitsz == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bitsz) - 1
+    };
     let mut v = words[word] >> offset;
     if offset + bitsz > 64 {
         v |= words[word + 1] << (64 - offset);
@@ -265,11 +280,10 @@ mod tests {
             values: vec![5, 5, 7],
             nulls: None,
         };
-        assert_eq!(plain.decode(DataType::Int), vec![
-            Value::Int(5),
-            Value::Int(5),
-            Value::Int(7)
-        ]);
+        assert_eq!(
+            plain.decode(DataType::Int),
+            vec![Value::Int(5), Value::Int(5), Value::Int(7)]
+        );
         let rle = EncodedColumn::IntRle {
             runs: vec![(5, 2), (7, 1)],
             len: 3,
@@ -285,7 +299,10 @@ mod tests {
             values: vec![100, 200],
             nulls: None,
         };
-        assert_eq!(col.decode(DataType::Date), vec![Value::Date(100), Value::Date(200)]);
+        assert_eq!(
+            col.decode(DataType::Date),
+            vec![Value::Date(100), Value::Date(200)]
+        );
     }
 
     #[test]

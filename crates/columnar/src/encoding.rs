@@ -106,7 +106,10 @@ fn avg_run_length(n: usize, runs: usize) -> f64 {
 fn encode_int(values: &[Value], nulls: NullMask, choice: EncodingChoice) -> EncodedColumn {
     let ints: Vec<i64> = values.iter().map(|v| v.as_int().unwrap_or(0)).collect();
     if choice == EncodingChoice::ForcePlain {
-        return EncodedColumn::IntPlain { values: ints, nulls };
+        return EncodedColumn::IntPlain {
+            values: ints,
+            nulls,
+        };
     }
 
     // Count runs to evaluate RLE.
@@ -149,7 +152,10 @@ fn encode_int(values: &[Value], nulls: NullMask, choice: EncodingChoice) -> Enco
         };
     }
 
-    EncodedColumn::IntPlain { values: ints, nulls }
+    EncodedColumn::IntPlain {
+        values: ints,
+        nulls,
+    }
 }
 
 fn encode_bool(values: &[Value], nulls: NullMask) -> EncodedColumn {
@@ -173,7 +179,10 @@ fn encode_str(values: &[Value], nulls: NullMask, choice: EncodingChoice) -> Enco
         })
         .collect();
     if choice == EncodingChoice::ForcePlain {
-        return EncodedColumn::StrPlain { values: strs, nulls };
+        return EncodedColumn::StrPlain {
+            values: strs,
+            nulls,
+        };
     }
 
     // RLE when values repeat consecutively (sorted / clustered columns).
@@ -206,12 +215,18 @@ fn encode_str(values: &[Value], nulls: NullMask, choice: EncodingChoice) -> Enco
         let dict: Vec<Arc<str>> = distinct.iter().map(|s| Arc::from(*s)).collect();
         let codes: Vec<u32> = strs
             .iter()
-            .map(|s| dict.binary_search_by(|d| d.as_ref().cmp(s.as_ref())).unwrap() as u32)
+            .map(|s| {
+                dict.binary_search_by(|d| d.as_ref().cmp(s.as_ref()))
+                    .unwrap() as u32
+            })
             .collect();
         return EncodedColumn::StrDict { dict, codes, nulls };
     }
 
-    EncodedColumn::StrPlain { values: strs, nulls }
+    EncodedColumn::StrPlain {
+        values: strs,
+        nulls,
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +257,11 @@ mod tests {
         let col = choose_encoding(DataType::Int, &vals, EncodingChoice::Auto);
         assert_eq!(kind_of(&col), EncodingKind::BitPacked);
         assert_eq!(col.decode(DataType::Int), vals);
-        assert!(col.memory_bytes() < raw.len() * 8 / 2, "{}", col.memory_bytes());
+        assert!(
+            col.memory_bytes() < raw.len() * 8 / 2,
+            "{}",
+            col.memory_bytes()
+        );
     }
 
     #[test]

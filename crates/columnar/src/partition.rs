@@ -203,12 +203,13 @@ mod tests {
     #[test]
     fn compression_shrinks_footprint() {
         let part = ColumnarPartition::from_rows(&schema(), &rows(5000));
-        assert!(part.compression_ratio() > 1.5, "{}", part.compression_ratio());
-        let plain = ColumnarPartition::from_rows_with(
-            &schema(),
-            &rows(5000),
-            EncodingChoice::ForcePlain,
+        assert!(
+            part.compression_ratio() > 1.5,
+            "{}",
+            part.compression_ratio()
         );
+        let plain =
+            ColumnarPartition::from_rows_with(&schema(), &rows(5000), EncodingChoice::ForcePlain);
         assert!(part.memory_bytes() < plain.memory_bytes());
         assert_eq!(plain.to_rows(), part.to_rows());
     }

@@ -294,9 +294,6 @@ mod tests {
 
     #[test]
     fn schema_display() {
-        assert_eq!(
-            schema().to_string(),
-            "(id INT, name STRING, score DOUBLE)"
-        );
+        assert_eq!(schema().to_string(), "(id INT, name STRING, score DOUBLE)");
     }
 }

@@ -35,7 +35,11 @@ impl EstimateSize for Value {
 
 impl EstimateSize for Row {
     fn estimated_size(&self) -> usize {
-        4 + self.values().iter().map(Value::estimated_size).sum::<usize>()
+        4 + self
+            .values()
+            .iter()
+            .map(Value::estimated_size)
+            .sum::<usize>()
     }
 }
 

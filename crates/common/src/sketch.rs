@@ -96,12 +96,8 @@ impl<K: Eq + Hash + Clone> HeavyHitters<K> {
 
     /// Candidate heavy hitters with estimated counts, most frequent first.
     pub fn hitters(&self) -> Vec<(K, u64)> {
-        let mut v: Vec<(K, u64)> = self
-            .counters
-            .iter()
-            .map(|(k, c)| (k.clone(), *c))
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut v: Vec<(K, u64)> = self.counters.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
         v
     }
 
@@ -233,7 +229,8 @@ mod tests {
 
     #[test]
     fn log_size_is_one_byte_and_monotone() {
-        assert!(LogSize::encode(1 << 35).code() <= 255);
+        let one_byte: u8 = LogSize::encode(1 << 35).code();
+        assert!(one_byte > 0);
         assert!(LogSize::encode(1024).code() < LogSize::encode(1 << 20).code());
     }
 

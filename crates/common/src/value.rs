@@ -227,7 +227,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -385,7 +385,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("z"),
             Value::Int(1),
             Value::Null,

@@ -95,6 +95,26 @@ impl SharkContext {
         SharkContext::new(SharkConfig::default())
     }
 
+    /// Create a context over an *existing* RDD context and a *shared*
+    /// catalog. Multiple `SharkContext`s built this way (or sessions handed
+    /// out by `shark-server`) see the same tables, memstore and RDD cache —
+    /// the multi-user warehouse configuration.
+    pub fn with_shared(
+        config: SharkConfig,
+        ctx: RddContext,
+        catalog: Arc<shark_sql::Catalog>,
+    ) -> SharkContext {
+        SharkContext {
+            session: SqlSession::with_catalog(ctx, config.exec.clone(), catalog),
+            config,
+        }
+    }
+
+    /// The catalog backing this context's session.
+    pub fn catalog(&self) -> &Arc<shark_sql::Catalog> {
+        self.session.catalog()
+    }
+
     /// The configuration this context was built with.
     pub fn config(&self) -> &SharkConfig {
         &self.config
@@ -252,6 +272,22 @@ mod tests {
             .sql("SELECT COUNT(*) FROM people WHERE is_adult(age)")
             .unwrap();
         assert_eq!(r.rows[0].get_int(0).unwrap(), 30);
+    }
+
+    #[test]
+    fn shared_contexts_see_the_same_catalog() {
+        let a = SharkContext::local();
+        people(&a);
+        let b = SharkContext::with_shared(
+            SharkConfig::default(),
+            a.rdd_context().clone(),
+            a.catalog().clone(),
+        );
+        let r = b.sql("SELECT COUNT(*) FROM people").unwrap();
+        assert_eq!(r.rows[0].get_int(0).unwrap(), 30);
+        b.sql("CREATE TABLE adults AS SELECT name FROM people WHERE age >= 30")
+            .unwrap();
+        assert!(a.catalog().contains("adults"));
     }
 
     #[test]

@@ -20,12 +20,9 @@ pub fn register_pavlo(
 ) -> Result<()> {
     let nodes = shark.config().cluster.num_nodes;
     let c1 = cfg.clone();
-    let mut rankings = TableMeta::new(
-        "rankings",
-        pavlo::rankings_schema(),
-        partitions,
-        move |p| pavlo::rankings_partition(&c1, partitions, p),
-    )
+    let mut rankings = TableMeta::new("rankings", pavlo::rankings_schema(), partitions, move |p| {
+        pavlo::rankings_partition(&c1, partitions, p)
+    })
     .with_row_count_hint(cfg.rankings_rows as u64);
     let c2 = cfg.clone();
     let mut uservisits = TableMeta::new(
@@ -53,14 +50,11 @@ pub fn register_tpch(
 ) -> Result<()> {
     let nodes = shark.config().cluster.num_nodes;
     let c1 = cfg.clone();
-    let mut lineitem = TableMeta::new(
-        "lineitem",
-        tpch::lineitem_schema(),
-        partitions,
-        move |p| tpch::lineitem_partition(&c1, partitions, p),
-    )
+    let mut lineitem = TableMeta::new("lineitem", tpch::lineitem_schema(), partitions, move |p| {
+        tpch::lineitem_partition(&c1, partitions, p)
+    })
     .with_row_count_hint(cfg.lineitem_rows as u64);
-    let supplier_parts = partitions.min(8).max(1);
+    let supplier_parts = partitions.clamp(1, 8);
     let c2 = cfg.clone();
     let mut supplier = TableMeta::new(
         "supplier",
@@ -69,14 +63,11 @@ pub fn register_tpch(
         move |p| tpch::supplier_partition(&c2, supplier_parts, p),
     )
     .with_row_count_hint(cfg.supplier_rows as u64);
-    let orders_parts = partitions.min(16).max(1);
+    let orders_parts = partitions.clamp(1, 16);
     let c3 = cfg.clone();
-    let mut orders = TableMeta::new(
-        "orders",
-        tpch::orders_schema(),
-        orders_parts,
-        move |p| tpch::orders_partition(&c3, orders_parts, p),
-    )
+    let mut orders = TableMeta::new("orders", tpch::orders_schema(), orders_parts, move |p| {
+        tpch::orders_partition(&c3, orders_parts, p)
+    })
     .with_row_count_hint(cfg.orders_rows as u64);
     if cached {
         lineitem = lineitem.with_cache(nodes);
@@ -92,11 +83,7 @@ pub fn register_tpch(
 /// Register the video-analytics warehouse fact table (`sessions`), one
 /// partition per `(day, region)` slice so its natural clustering is
 /// preserved for map pruning.
-pub fn register_warehouse(
-    shark: &SharkContext,
-    cfg: &WarehouseConfig,
-    cached: bool,
-) -> Result<()> {
+pub fn register_warehouse(shark: &SharkContext, cfg: &WarehouseConfig, cached: bool) -> Result<()> {
     let nodes = shark.config().cluster.num_nodes;
     let c = cfg.clone();
     let partitions = cfg.num_partitions();

@@ -92,7 +92,7 @@ fn source_ip(i: usize, distinct: usize) -> String {
     let v = i % distinct.max(1);
     format!(
         "{}.{}.{}.{}",
-        10 + (v >> 24) & 0xFF,
+        (10 + (v >> 24)) & 0xFF,
         (v >> 16) & 0xFF,
         (v >> 8) & 0xFF,
         v & 0xFF
@@ -179,12 +179,11 @@ mod tests {
     #[test]
     fn pagerank_predicate_is_selective() {
         let cfg = PavloConfig::tiny();
-        let rows: Vec<Row> = (0..4).flat_map(|p| rankings_partition(&cfg, 4, p)).collect();
-        let selective = rows
-            .iter()
-            .filter(|r| r.get_int(1).unwrap() > 300)
-            .count() as f64
-            / rows.len() as f64;
+        let rows: Vec<Row> = (0..4)
+            .flat_map(|p| rankings_partition(&cfg, 4, p))
+            .collect();
+        let selective =
+            rows.iter().filter(|r| r.get_int(1).unwrap() > 300).count() as f64 / rows.len() as f64;
         assert!(
             selective > 0.01 && selective < 0.5,
             "pageRank > 300 selects {selective}"

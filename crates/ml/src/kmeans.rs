@@ -133,10 +133,7 @@ mod tests {
         // Each blob center (0, 100, 200 on the first axis) should be close
         // to some learned center.
         for target in [0.0, 100.0, 200.0] {
-            let close = model
-                .centers
-                .iter()
-                .any(|c| (c[0] - target).abs() < 5.0);
+            let close = model.centers.iter().any(|c| (c[0] - target).abs() < 5.0);
             assert!(close, "no center near {target}: {:?}", model.centers);
         }
         // Points are assigned consistently.

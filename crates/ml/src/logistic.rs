@@ -61,14 +61,8 @@ impl Default for LogisticRegression {
 impl LogisticRegression {
     /// Train on the given points, returning the model and per-iteration
     /// simulated timings.
-    pub fn train(
-        &self,
-        points: &Rdd<(Vec<f64>, f64)>,
-    ) -> Result<(LogisticModel, IterationReport)> {
-        let dims = points
-            .first()?
-            .map(|(f, _)| f.len())
-            .unwrap_or(0);
+    pub fn train(&self, points: &Rdd<(Vec<f64>, f64)>) -> Result<(LogisticModel, IterationReport)> {
+        let dims = points.first()?.map(|(f, _)| f.len()).unwrap_or(0);
         let count = points.count()? as f64;
         let mut rng = StdRng::seed_from_u64(self.seed);
         // "var w = Vector(D, _ => 2 * rand.nextDouble - 1)" (Listing 1).
@@ -100,7 +94,13 @@ impl LogisticRegression {
     pub fn accuracy(model: &LogisticModel, points: &Rdd<(Vec<f64>, f64)>) -> Result<f64> {
         let m = model.clone();
         let correct = points
-            .map(move |(x, y)| if m.predict(&x) == y.signum() { 1u64 } else { 0u64 })
+            .map(move |(x, y)| {
+                if m.predict(&x) == y.signum() {
+                    1u64
+                } else {
+                    0u64
+                }
+            })
             .reduce(|a, b| a + b)?
             .unwrap_or(0);
         let total = points.count()?;

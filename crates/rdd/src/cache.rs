@@ -7,6 +7,7 @@
 //! there; the scheduler then recomputes them from their lineage (Figure 9).
 
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -21,10 +22,25 @@ struct CachedPartition {
     rows: u64,
 }
 
-/// Tracks cached RDD partitions, their sizes and their node placement.
+/// What an [`CacheManager::evict_rdd`] call removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvictionStats {
+    /// Partitions dropped.
+    pub partitions: usize,
+    /// Bytes freed.
+    pub bytes: u64,
+}
+
+/// Tracks cached RDD partitions, their sizes and their node placement, plus
+/// a per-RDD last-access clock so a memory manager can evict whole RDDs in
+/// least-recently-used order ([`CacheManager::lru_rdd`] +
+/// [`CacheManager::evict_rdd`]).
 #[derive(Default)]
 pub struct CacheManager {
     entries: RwLock<FxHashMap<(usize, usize), CachedPartition>>,
+    /// Last-access tick per cached RDD (LRU order for whole-RDD eviction).
+    touches: RwLock<FxHashMap<usize, u64>>,
+    clock: AtomicU64,
 }
 
 impl CacheManager {
@@ -53,22 +69,36 @@ impl CacheManager {
                 rows,
             },
         );
+        self.touch_rdd(rdd_id);
     }
 
-    /// Fetch a cached partition if present.
+    /// Fetch a cached partition if present, refreshing the RDD's LRU clock.
     pub fn get<T: Send + Sync + 'static>(
         &self,
         rdd_id: usize,
         partition: usize,
     ) -> Option<Arc<Vec<T>>> {
-        let guard = self.entries.read();
-        let entry = guard.get(&(rdd_id, partition))?;
-        entry.data.clone().downcast::<Vec<T>>().ok()
+        let data = {
+            let guard = self.entries.read();
+            let entry = guard.get(&(rdd_id, partition))?;
+            entry.data.clone()
+        };
+        self.touch_rdd(rdd_id);
+        data.downcast::<Vec<T>>().ok()
+    }
+
+    /// Mark an RDD as just-used for LRU purposes.
+    pub fn touch_rdd(&self, rdd_id: usize) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        self.touches.write().insert(rdd_id, tick);
     }
 
     /// The node holding a cached partition, if cached.
     pub fn location(&self, rdd_id: usize, partition: usize) -> Option<usize> {
-        self.entries.read().get(&(rdd_id, partition)).map(|e| e.node)
+        self.entries
+            .read()
+            .get(&(rdd_id, partition))
+            .map(|e| e.node)
     }
 
     /// Whether a partition is cached.
@@ -90,6 +120,62 @@ impl CacheManager {
         self.entries.read().values().map(|e| e.bytes).sum()
     }
 
+    /// Bytes cached for one RDD.
+    pub fn rdd_bytes(&self, rdd_id: usize) -> u64 {
+        self.entries
+            .read()
+            .iter()
+            .filter(|((id, _), _)| *id == rdd_id)
+            .map(|(_, e)| e.bytes)
+            .sum()
+    }
+
+    /// Per-RDD byte accounting: `(rdd_id, bytes)` for every RDD with at
+    /// least one cached partition, sorted by id.
+    pub fn per_rdd_bytes(&self) -> Vec<(usize, u64)> {
+        let mut by_rdd: FxHashMap<usize, u64> = FxHashMap::default();
+        for ((id, _), e) in self.entries.read().iter() {
+            *by_rdd.entry(*id).or_insert(0) += e.bytes;
+        }
+        let mut out: Vec<(usize, u64)> = by_rdd.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The cached RDD that was least recently touched, if any.
+    pub fn lru_rdd(&self) -> Option<usize> {
+        let cached: std::collections::HashSet<usize> =
+            self.entries.read().keys().map(|(id, _)| *id).collect();
+        self.touches
+            .read()
+            .iter()
+            .filter(|(id, _)| cached.contains(id))
+            .min_by_key(|(_, &tick)| tick)
+            .map(|(&id, _)| id)
+    }
+
+    /// Evict every cached partition of one RDD, returning how many
+    /// partitions and bytes were freed. Unlike a node failure this is a
+    /// *policy* eviction: the data is recomputable from lineage, so the
+    /// caller only needs the accounting.
+    pub fn evict_rdd(&self, rdd_id: usize) -> EvictionStats {
+        let mut stats = EvictionStats::default();
+        {
+            let mut guard = self.entries.write();
+            guard.retain(|(id, _), e| {
+                if *id == rdd_id {
+                    stats.partitions += 1;
+                    stats.bytes += e.bytes;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.touches.write().remove(&rdd_id);
+        stats
+    }
+
     /// Total rows cached across all RDDs.
     pub fn total_rows(&self) -> u64 {
         self.entries.read().values().map(|e| e.rows).sum()
@@ -106,15 +192,13 @@ impl CacheManager {
 
     /// Drop all cached partitions of one RDD (uncache / table drop).
     pub fn drop_rdd(&self, rdd_id: usize) -> usize {
-        let mut guard = self.entries.write();
-        let before = guard.len();
-        guard.retain(|(id, _), _| *id != rdd_id);
-        before - guard.len()
+        self.evict_rdd(rdd_id).partitions
     }
 
     /// Remove everything.
     pub fn clear(&self) {
         self.entries.write().clear();
+        self.touches.write().clear();
     }
 }
 
@@ -154,6 +238,56 @@ mod tests {
         assert_eq!(cache.cached_partitions(7), 6);
         assert!(!cache.contains(7, 0));
         assert!(cache.contains(7, 1));
+    }
+
+    #[test]
+    fn byte_accounting_per_rdd() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 100);
+        cache.put(1, 1, Arc::new(vec![2i64]), 1, 50);
+        cache.put(2, 0, Arc::new(vec![3i64]), 0, 30);
+        assert_eq!(cache.rdd_bytes(1), 150);
+        assert_eq!(cache.rdd_bytes(2), 30);
+        assert_eq!(cache.rdd_bytes(9), 0);
+        assert_eq!(cache.per_rdd_bytes(), vec![(1, 150), (2, 30)]);
+        assert_eq!(cache.total_bytes(), 180);
+    }
+
+    #[test]
+    fn evict_rdd_frees_partitions_and_bytes() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 100);
+        cache.put(1, 1, Arc::new(vec![2i64]), 1, 50);
+        cache.put(2, 0, Arc::new(vec![3i64]), 0, 30);
+        let stats = cache.evict_rdd(1);
+        assert_eq!(
+            stats,
+            EvictionStats {
+                partitions: 2,
+                bytes: 150
+            }
+        );
+        assert!(!cache.contains(1, 0));
+        assert!(cache.contains(2, 0));
+        assert_eq!(cache.evict_rdd(1), EvictionStats::default());
+    }
+
+    #[test]
+    fn lru_order_follows_touches() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 8);
+        cache.put(2, 0, Arc::new(vec![2i64]), 0, 8);
+        cache.put(3, 0, Arc::new(vec![3i64]), 0, 8);
+        // Access order: 1, 3 — leaving 2 least recently used.
+        let _: Option<Arc<Vec<i64>>> = cache.get(1, 0);
+        let _: Option<Arc<Vec<i64>>> = cache.get(3, 0);
+        assert_eq!(cache.lru_rdd(), Some(2));
+        cache.evict_rdd(2);
+        assert_eq!(cache.lru_rdd(), Some(1));
+        cache.touch_rdd(1);
+        assert_eq!(cache.lru_rdd(), Some(3));
+        cache.clear();
+        assert_eq!(cache.lru_rdd(), None);
     }
 
     #[test]

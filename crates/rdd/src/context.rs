@@ -280,9 +280,7 @@ impl RddContext {
         let partitions = partitions.max(1);
         let chunks: Vec<Vec<T>> = split_into(data, partitions);
         let chunks = Arc::new(chunks);
-        self.generate(partitions, InputSource::Local, move |p| {
-            chunks[p].clone()
-        })
+        self.generate(partitions, InputSource::Local, move |p| chunks[p].clone())
     }
 
     /// Create a source RDD whose partition `p` is produced by `f(p)`.
@@ -291,12 +289,7 @@ impl RddContext {
     /// cached columnar partition, …) so the cost model charges the right
     /// I/O. Data generators use this to avoid materializing whole datasets
     /// on the driver.
-    pub fn generate<T: Data, F>(
-        &self,
-        partitions: usize,
-        source: InputSource,
-        f: F,
-    ) -> Rdd<T>
+    pub fn generate<T: Data, F>(&self, partitions: usize, source: InputSource, f: F) -> Rdd<T>
     where
         F: Fn(usize) -> Vec<T> + Send + Sync + 'static,
     {

@@ -253,8 +253,9 @@ impl<K: Data + Hash + Eq, V: Data, W: Data> RddImpl<(K, (Vec<V>, Vec<W>))>
         partition: usize,
         metrics: &mut TaskMetrics,
     ) -> Result<Vec<(K, (Vec<V>, Vec<W>))>> {
-        let (lpairs, lbytes): (Vec<(K, V)>, u64) =
-            ctx.shuffle_manager().fetch(self.left.shuffle_id, partition)?;
+        let (lpairs, lbytes): (Vec<(K, V)>, u64) = ctx
+            .shuffle_manager()
+            .fetch(self.left.shuffle_id, partition)?;
         let (rpairs, rbytes): (Vec<(K, W)>, u64) = ctx
             .shuffle_manager()
             .fetch(self.right.shuffle_id, partition)?;
@@ -548,6 +549,7 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
     }
 
     /// For each key, gather the values from both RDDs.
+    #[allow(clippy::type_complexity)]
     pub fn cogroup<W: Data>(
         &self,
         other: &Rdd<(K, W)>,
@@ -575,15 +577,16 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
 
     /// Inner equi-join on the key (shuffle join).
     pub fn join<W: Data>(&self, other: &Rdd<(K, W)>, num_partitions: usize) -> Rdd<(K, (V, W))> {
-        self.cogroup(other, num_partitions).flat_map(|(k, (vs, ws))| {
-            let mut out = Vec::with_capacity(vs.len() * ws.len());
-            for v in &vs {
-                for w in &ws {
-                    out.push((k.clone(), (v.clone(), w.clone())));
+        self.cogroup(other, num_partitions)
+            .flat_map(|(k, (vs, ws))| {
+                let mut out = Vec::with_capacity(vs.len() * ws.len());
+                for v in &vs {
+                    for w in &ws {
+                        out.push((k.clone(), (v.clone(), w.clone())));
+                    }
                 }
-            }
-            out
-        })
+                out
+            })
     }
 
     /// Count occurrences of each key on the driver.
@@ -601,8 +604,7 @@ impl<K: Data + Hash + Eq, V: Data> Rdd<(K, V)> {
         let num_buckets = num_buckets.max(1);
         let shuffle_id = self.ctx.next_shuffle_id();
         scheduler::ensure_shuffle_deps(&self.ctx, &self.lineage_ref())?;
-        let stage =
-            scheduler::run_shuffle_map_stage_raw(&self.ctx, self, shuffle_id, num_buckets)?;
+        let stage = scheduler::run_shuffle_map_stage_raw(&self.ctx, self, shuffle_id, num_buckets)?;
         let summary = self.ctx.shuffle_manager().summary(shuffle_id)?;
         self.ctx.record_job(crate::context::JobReport {
             name: format!("pre_shuffle({shuffle_id})"),
@@ -744,15 +746,16 @@ mod tests {
     fn join_matches_keys() {
         let ctx = ctx();
         let left = ctx.parallelize(
-            vec![(1i64, "l1".to_string()), (2, "l2".to_string()), (3, "l3".to_string())],
+            vec![
+                (1i64, "l1".to_string()),
+                (2, "l2".to_string()),
+                (3, "l3".to_string()),
+            ],
             2,
         );
-        let right = ctx.parallelize(
-            vec![(2i64, 20.0f64), (3, 30.0), (3, 33.0), (4, 40.0)],
-            2,
-        );
+        let right = ctx.parallelize(vec![(2i64, 20.0f64), (3, 30.0), (3, 33.0), (4, 40.0)], 2);
         let mut joined = left.join(&right, 3).collect().unwrap();
-        joined.sort_by(|a, b| (a.0, a.1 .1 as i64).cmp(&(b.0, b.1 .1 as i64)));
+        joined.sort_by_key(|a| (a.0, a.1 .1 as i64));
         assert_eq!(
             joined,
             vec![
@@ -820,7 +823,9 @@ mod tests {
     fn pre_shuffle_combined_partially_aggregates() {
         let ctx = ctx();
         let agg = Aggregator::new(|v: i64| v, |c, v| c + v, |a, b| a + b);
-        let pre = word_pairs(&ctx).pre_shuffle_combined(4, agg.clone()).unwrap();
+        let pre = word_pairs(&ctx)
+            .pre_shuffle_combined(4, agg.clone())
+            .unwrap();
         // Map-side combining means at most one record per (map task, key).
         assert!(pre.summary().total_rows <= 6);
         let mut out = pre
@@ -851,6 +856,10 @@ mod tests {
         assert_eq!(out, vec![(4, 1), (5, 1), (7, 1)]);
         // The job report should show multiple stages ran.
         let report = ctx.last_job().unwrap();
-        assert!(report.stages.len() >= 2, "stages: {:?}", report.stages.len());
+        assert!(
+            report.stages.len() >= 2,
+            "stages: {:?}",
+            report.stages.len()
+        );
     }
 }

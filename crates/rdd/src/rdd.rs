@@ -260,12 +260,7 @@ impl<T: Data> Rdd<T> {
 
     /// Internal: named partition-wise transformation charging `ops_per_row`
     /// expression operations per input row.
-    pub fn map_partitions_named<U: Data, F>(
-        &self,
-        name: &str,
-        ops_per_row: f64,
-        f: F,
-    ) -> Rdd<U>
+    pub fn map_partitions_named<U: Data, F>(&self, name: &str, ops_per_row: f64, f: F) -> Rdd<U>
     where
         F: Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
     {
@@ -484,10 +479,7 @@ impl<T: Data> RddImpl<T> for UnionRdd<T> {
         self.parents.iter().map(|p| p.lineage()).collect()
     }
     fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
-        self.parents
-            .iter()
-            .flat_map(|p| p.shuffle_deps())
-            .collect()
+        self.parents.iter().flat_map(|p| p.shuffle_deps()).collect()
     }
     fn preferred_node(&self, ctx: &RddContext, partition: usize) -> Option<usize> {
         let (pi, pp) = self.locate(partition);
@@ -608,7 +600,10 @@ mod tests {
         let a = ctx.parallelize((0i64..6).collect(), 3);
         let b = ctx.parallelize((100i64..106).collect(), 3);
         let z = a.zip_partitions(&b, |l, r| {
-            l.into_iter().zip(r).map(|(x, y)| x + y).collect::<Vec<i64>>()
+            l.into_iter()
+                .zip(r)
+                .map(|(x, y)| x + y)
+                .collect::<Vec<i64>>()
         });
         assert_eq!(z.collect().unwrap(), vec![100, 102, 104, 106, 108, 110]);
     }

@@ -48,19 +48,32 @@ where
         .map(|c| c.get())
         .unwrap_or(4)
         .min(n);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = counter.fetch_add(1, Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                let result = f(i);
-                slots.lock()[i] = Some(result);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = counter.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(i);
+                    slots.lock()[i] = Some(result);
+                })
+            })
+            .collect();
+        // Join every handle before reporting: leaving a panicked handle
+        // unjoined would make the scope re-raise its panic on exit instead
+        // of letting us return an error.
+        let panics = handles
+            .into_iter()
+            .map(|handle| handle.join())
+            .filter(|joined| joined.is_err())
+            .count();
+        if panics > 0 {
+            return Err(SharkError::Execution("a task thread panicked".into()));
         }
-    })
-    .map_err(|_| SharkError::Execution("a task thread panicked".into()))?;
+        Ok(())
+    })?;
     slots
         .into_inner()
         .into_iter()
@@ -191,10 +204,7 @@ where
         let data = parent.compute_partition(ctx, partition, &mut metrics)?;
         let input_rows = data.len() as u64;
         let buckets = bucketize(data, num_buckets);
-        let bucket_bytes: Vec<u64> = buckets
-            .iter()
-            .map(|b| estimate_slice(b) as u64)
-            .collect();
+        let bucket_bytes: Vec<u64> = buckets.iter().map(|b| estimate_slice(b) as u64).collect();
         let bucket_rows: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
         let total_bytes: u64 = bucket_bytes.iter().sum();
         let total_rows: u64 = bucket_rows.iter().sum();
@@ -278,8 +288,9 @@ where
         num_buckets,
         &format!("shuffle-map-combine({shuffle_id})"),
         move |data, buckets| {
-            let mut tables: Vec<std::collections::HashMap<K, C>> =
-                (0..buckets).map(|_| std::collections::HashMap::new()).collect();
+            let mut tables: Vec<std::collections::HashMap<K, C>> = (0..buckets)
+                .map(|_| std::collections::HashMap::new())
+                .collect();
             for (k, v) in data {
                 let b = shark_common::hash::hash_partition(&k, buckets);
                 let table = &mut tables[b];
@@ -355,6 +366,24 @@ mod tests {
             }
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn run_tasks_reports_panics_as_errors_even_when_every_worker_panics() {
+        // Every task panics, so every worker thread dies; run_tasks must
+        // still return an Execution error rather than propagate the panic
+        // out of the thread scope.
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(true, 8, |_| -> Result<TaskOutcome<()>> {
+                panic!("task blew up");
+            })
+        });
+        let inner = r.expect("panic escaped run_tasks");
+        match inner {
+            Err(SharkError::Execution(msg)) => assert!(msg.contains("panicked")),
+            Err(other) => panic!("expected Execution error, got {other:?}"),
+            Ok(_) => panic!("expected Execution error, got Ok"),
+        }
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl MapOutputStats {
     /// (§3.1: "we use lossy compression to record the statistics, limiting
     /// their size to 1–2 KB per task").
     pub fn compressed(&self) -> Vec<LogSize> {
-        self.bucket_bytes.iter().map(|&b| LogSize::encode(b)).collect()
+        self.bucket_bytes
+            .iter()
+            .map(|&b| LogSize::encode(b))
+            .collect()
     }
 }
 
@@ -171,14 +174,11 @@ impl ShuffleManager {
                     "shuffle {shuffle_id}: map task {mi} output missing (stage not run?)"
                 ))
             })?;
-            let typed = output
-                .clone()
-                .downcast::<Vec<Vec<T>>>()
-                .map_err(|_| {
-                    SharkError::Execution(format!(
-                        "shuffle {shuffle_id}: map output has unexpected element type"
-                    ))
-                })?;
+            let typed = output.clone().downcast::<Vec<Vec<T>>>().map_err(|_| {
+                SharkError::Execution(format!(
+                    "shuffle {shuffle_id}: map output has unexpected element type"
+                ))
+            })?;
             if reduce_partition >= typed.len() {
                 return Err(SharkError::Execution(format!(
                     "reduce partition {reduce_partition} out of range"
@@ -250,10 +250,20 @@ mod tests {
         let m = ShuffleManager::new();
         m.register(1, 2, 2);
         assert!(!m.is_complete(1));
-        m.put_map_output(1, 0, vec![vec![1i64], vec![2, 3]], stats(vec![8, 16], vec![1, 2]))
-            .unwrap();
-        m.put_map_output(1, 1, vec![vec![4i64], vec![]], stats(vec![8, 0], vec![1, 0]))
-            .unwrap();
+        m.put_map_output(
+            1,
+            0,
+            vec![vec![1i64], vec![2, 3]],
+            stats(vec![8, 16], vec![1, 2]),
+        )
+        .unwrap();
+        m.put_map_output(
+            1,
+            1,
+            vec![vec![4i64], vec![]],
+            stats(vec![8, 0], vec![1, 0]),
+        )
+        .unwrap();
         assert!(m.is_complete(1));
         let (bucket0, bytes0): (Vec<i64>, u64) = m.fetch(1, 0).unwrap();
         assert_eq!(bucket0, vec![1, 4]);
@@ -270,8 +280,13 @@ mod tests {
     fn summary_uses_lossy_sizes_but_close() {
         let m = ShuffleManager::new();
         m.register(9, 1, 1);
-        m.put_map_output(9, 0, vec![vec![0u8; 1000]], stats(vec![1_000_000], vec![1000]))
-            .unwrap();
+        m.put_map_output(
+            9,
+            0,
+            vec![vec![0u8; 1000]],
+            stats(vec![1_000_000], vec![1000]),
+        )
+        .unwrap();
         let s = m.summary(9).unwrap();
         let err = (s.bucket_bytes[0] as f64 - 1_000_000.0).abs() / 1_000_000.0;
         assert!(err < 0.10, "lossy size error too large: {err}");
@@ -291,7 +306,12 @@ mod tests {
             .is_err());
         // out-of-range map task
         assert!(m
-            .put_map_output(5, 3, vec![vec![1i64], vec![]], stats(vec![8, 0], vec![1, 0]))
+            .put_map_output(
+                5,
+                3,
+                vec![vec![1i64], vec![]],
+                stats(vec![8, 0], vec![1, 0])
+            )
             .is_err());
         // fetching before map stage ran
         let r: Result<(Vec<i64>, u64)> = m.fetch(5, 0);

@@ -1,0 +1,249 @@
+//! Admission control: a fair FIFO query queue bounding both the number of
+//! in-flight queries and the queue depth behind them.
+//!
+//! Every query asks for a permit before executing. If fewer than
+//! `max_concurrent` queries are running and nobody is queued ahead, the
+//! permit is granted immediately; otherwise the caller blocks in
+//! ticket-number order (no barging — a long queue cannot be starved by a
+//! freshly arrived fast query). When the queue is already `max_queued` deep
+//! the query is rejected outright, which is the back-pressure signal an
+//! overloaded warehouse front-end needs to shed load instead of collapsing.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a permit was not granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The wait queue is at `max_queued`; the caller should retry later.
+    QueueFull {
+        /// Configured queue-depth bound that was hit.
+        max_queued: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::QueueFull { max_queued } => {
+                write!(
+                    f,
+                    "admission queue full ({max_queued} queries already waiting)"
+                )
+            }
+        }
+    }
+}
+
+struct AdmissionState {
+    running: usize,
+    /// Tickets of waiting queries, oldest first.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+    peak_running: usize,
+    peak_queued: usize,
+}
+
+/// Bounds in-flight queries and queue depth; grants permits FIFO.
+pub struct AdmissionController {
+    max_concurrent: usize,
+    max_queued: usize,
+    state: Mutex<AdmissionState>,
+    admitted: Condvar,
+}
+
+impl AdmissionController {
+    /// Create a controller admitting at most `max_concurrent` queries with
+    /// at most `max_queued` waiting behind them.
+    pub fn new(max_concurrent: usize, max_queued: usize) -> AdmissionController {
+        AdmissionController {
+            max_concurrent: max_concurrent.max(1),
+            max_queued,
+            state: Mutex::new(AdmissionState {
+                running: 0,
+                queue: VecDeque::new(),
+                next_ticket: 0,
+                peak_running: 0,
+                peak_queued: 0,
+            }),
+            admitted: Condvar::new(),
+        }
+    }
+
+    /// Block until admitted (or reject immediately when the queue is full).
+    /// Returns the permit and how long this query waited in the queue.
+    pub fn acquire(&self) -> Result<(AdmissionPermit<'_>, Duration), AdmissionError> {
+        let started = Instant::now();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.running < self.max_concurrent && state.queue.is_empty() {
+            state.running += 1;
+            state.peak_running = state.peak_running.max(state.running);
+            return Ok((AdmissionPermit { controller: self }, started.elapsed()));
+        }
+        if state.queue.len() >= self.max_queued {
+            return Err(AdmissionError::QueueFull {
+                max_queued: self.max_queued,
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
+        state.peak_queued = state.peak_queued.max(state.queue.len());
+        loop {
+            state = self.admitted.wait(state).unwrap_or_else(|e| e.into_inner());
+            if state.running < self.max_concurrent && state.queue.front() == Some(&ticket) {
+                state.queue.pop_front();
+                state.running += 1;
+                state.peak_running = state.peak_running.max(state.running);
+                // More slots may be free for the next ticket in line.
+                self.admitted.notify_all();
+                return Ok((AdmissionPermit { controller: self }, started.elapsed()));
+            }
+        }
+    }
+
+    /// Queries currently executing.
+    pub fn running(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).running
+    }
+
+    /// Queries currently waiting.
+    pub fn queued(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Highest number of simultaneously executing queries observed.
+    pub fn peak_running(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .peak_running
+    }
+
+    /// Deepest queue observed.
+    pub fn peak_queued(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .peak_queued
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.running = state.running.saturating_sub(1);
+        drop(state);
+        self.admitted.notify_all();
+    }
+}
+
+/// Holds one execution slot; released (and the next query admitted) on drop.
+pub struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.controller.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn grants_up_to_max_concurrent_immediately() {
+        let ctrl = AdmissionController::new(2, 8);
+        let (p1, w1) = ctrl.acquire().unwrap();
+        let (p2, _) = ctrl.acquire().unwrap();
+        assert!(w1 < Duration::from_secs(1));
+        assert_eq!(ctrl.running(), 2);
+        drop(p1);
+        assert_eq!(ctrl.running(), 1);
+        drop(p2);
+        assert_eq!(ctrl.running(), 0);
+        assert_eq!(ctrl.peak_running(), 2);
+    }
+
+    #[test]
+    fn rejects_when_queue_is_full() {
+        let ctrl = Arc::new(AdmissionController::new(1, 1));
+        let slot = ctrl.acquire().unwrap();
+        // Fill the single queue spot from another thread.
+        let ctrl2 = ctrl.clone();
+        let waiter = std::thread::spawn(move || {
+            let (_p, wait) = ctrl2.acquire().unwrap();
+            wait
+        });
+        while ctrl.queued() < 1 {
+            std::thread::yield_now();
+        }
+        // Queue full: immediate rejection.
+        match ctrl.acquire() {
+            Err(AdmissionError::QueueFull { max_queued }) => assert_eq!(max_queued, 1),
+            other => panic!(
+                "expected QueueFull, got {other:?}",
+                other = other.map(|_| ())
+            ),
+        }
+        drop(slot);
+        let waited = waiter.join().unwrap();
+        assert!(waited > Duration::ZERO);
+        assert_eq!(ctrl.peak_queued(), 1);
+    }
+
+    #[test]
+    fn admission_is_fifo_fair() {
+        let ctrl = Arc::new(AdmissionController::new(1, 16));
+        let slot = ctrl.acquire().unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            // Start waiters one at a time so their ticket order is fixed.
+            let ctrl2 = ctrl.clone();
+            let order2 = order.clone();
+            handles.push(std::thread::spawn(move || {
+                let (_p, _) = ctrl2.acquire().unwrap();
+                order2.lock().unwrap().push(i);
+            }));
+            while ctrl.queued() < i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        drop(slot);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn never_exceeds_the_concurrency_bound() {
+        let ctrl = Arc::new(AdmissionController::new(3, 64));
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let ctrl2 = ctrl.clone();
+            let live2 = live.clone();
+            handles.push(std::thread::spawn(move || {
+                let (_p, _) = ctrl2.acquire().unwrap();
+                let now = live2.fetch_add(1, Ordering::SeqCst) + 1;
+                assert!(now <= 3, "concurrency bound violated: {now}");
+                std::thread::sleep(Duration::from_millis(2));
+                live2.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(ctrl.peak_running() <= 3);
+        assert_eq!(ctrl.running(), 0);
+    }
+}

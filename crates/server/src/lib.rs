@@ -1,0 +1,30 @@
+//! # shark-server
+//!
+//! The serving layer the Shark paper assumes but a single-owner
+//! `SqlSession` cannot provide: one warehouse process, many analysts.
+//! A [`SharkServer`] owns one shared [`shark_rdd::RddContext`] (cluster,
+//! shuffle, RDD cache), one shared [`shark_sql::Catalog`] (tables + columnar
+//! memstore) and hands out lightweight [`SessionHandle`]s that execute
+//! concurrently on their callers' threads. Three serving concerns live
+//! here:
+//!
+//! * **Admission control** ([`AdmissionController`]) — a fair FIFO queue
+//!   bounding in-flight queries and queue depth, rejecting work beyond it.
+//! * **Memory-budgeted memstore** ([`MemstoreManager`]) — per-table byte
+//!   accounting over the shared columnar memstore and the RDD cache, with
+//!   LRU eviction of whole cached tables under pressure. Eviction drops
+//!   only the in-memory copy: per Shark §2.2 the data is recomputed from
+//!   lineage (the table's base generator) by the next scan that needs it.
+//! * **Metrics** ([`MetricsRegistry`]) — per-query queue wait, execution
+//!   time, cache-hit bytes, recomputes and evictions, aggregated per
+//!   session and server-wide into a [`ServerReport`].
+
+pub mod admission;
+pub mod memstore;
+pub mod metrics;
+pub mod server;
+
+pub use admission::{AdmissionController, AdmissionError, AdmissionPermit};
+pub use memstore::{EvictionEvent, MemstoreManager};
+pub use metrics::{MetricsRegistry, QueryMetrics, ServerReport, SessionStats};
+pub use server::{ServerConfig, SessionHandle, SessionQueryResult, SharkServer};

@@ -1,0 +1,331 @@
+//! The memory-budgeted memstore manager.
+//!
+//! Layered over the two caches a Shark deployment fills up — the SQL
+//! catalog's per-table columnar [`MemTable`]s and the RDD-level
+//! [`CacheManager`] — this tracks per-table cached bytes against a single
+//! server-wide budget and, under pressure, evicts whole cached tables in
+//! least-recently-used order (then LRU RDDs). Eviction only drops the
+//! in-memory copy: Shark keeps exactly one copy of cached data and relies on
+//! lineage, not replication (§2.2), so an evicted table is transparently
+//! recomputed from its base generator by the next scan that touches it.
+//! Tables pinned by currently executing queries are never victims.
+//!
+//! [`MemTable`]: shark_sql::MemTable
+
+use parking_lot::Mutex;
+use shark_common::hash::FxHashMap;
+use shark_rdd::CacheManager;
+use shark_sql::Catalog;
+use std::collections::HashSet;
+
+/// One eviction performed while enforcing the budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvictionEvent {
+    /// A whole cached table was dropped from the memstore.
+    Table {
+        /// Table name.
+        name: String,
+        /// Partitions dropped.
+        partitions: usize,
+        /// Bytes freed.
+        bytes: u64,
+    },
+    /// A cached RDD (e.g. a `.cache()`d intermediate) was dropped.
+    Rdd {
+        /// RDD id.
+        id: usize,
+        /// Partitions dropped.
+        partitions: usize,
+        /// Bytes freed.
+        bytes: u64,
+    },
+}
+
+impl EvictionEvent {
+    /// Bytes this eviction freed.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            EvictionEvent::Table { bytes, .. } | EvictionEvent::Rdd { bytes, .. } => *bytes,
+        }
+    }
+}
+
+#[derive(Default)]
+struct MemstoreState {
+    clock: u64,
+    last_touch: FxHashMap<String, u64>,
+    pins: FxHashMap<String, usize>,
+    /// Tables evicted by policy whose reload has not yet been observed;
+    /// touching one of these counts as a lineage recompute.
+    awaiting_recompute: HashSet<String>,
+    evictions: u64,
+    evicted_bytes: u64,
+    lineage_recomputes: u64,
+}
+
+/// Tracks table usage recency and enforces the server memory budget.
+pub struct MemstoreManager {
+    budget_bytes: u64,
+    state: Mutex<MemstoreState>,
+}
+
+impl MemstoreManager {
+    /// Create a manager enforcing `budget_bytes` across table memstore +
+    /// RDD cache.
+    pub fn new(budget_bytes: u64) -> MemstoreManager {
+        MemstoreManager {
+            budget_bytes: budget_bytes.max(1),
+            state: Mutex::new(MemstoreState::default()),
+        }
+    }
+
+    /// The configured budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Mark `tables` as in use by a starting query: refreshes their LRU
+    /// clock and pins them against eviction until [`MemstoreManager::unpin`].
+    /// Returns how many of them were previously evicted and are therefore
+    /// about to be recomputed from lineage.
+    pub fn pin(&self, tables: &[String]) -> usize {
+        let mut state = self.state.lock();
+        let mut recomputes = 0;
+        for name in tables {
+            state.clock += 1;
+            let tick = state.clock;
+            state.last_touch.insert(name.clone(), tick);
+            *state.pins.entry(name.clone()).or_insert(0) += 1;
+            if state.awaiting_recompute.remove(name) {
+                recomputes += 1;
+            }
+        }
+        state.lineage_recomputes += recomputes as u64;
+        recomputes
+    }
+
+    /// Release the pins taken by [`MemstoreManager::pin`].
+    pub fn unpin(&self, tables: &[String]) {
+        let mut state = self.state.lock();
+        for name in tables {
+            if let Some(count) = state.pins.get_mut(name) {
+                *count -= 1;
+                if *count == 0 {
+                    state.pins.remove(name);
+                }
+            }
+        }
+    }
+
+    /// Resident bytes currently charged against the budget.
+    pub fn resident_bytes(&self, catalog: &Catalog, rdd_cache: &CacheManager) -> u64 {
+        catalog.memstore_bytes() + rdd_cache.total_bytes()
+    }
+
+    /// Bring residency back under the budget, evicting least-recently-used
+    /// unpinned tables first, then least-recently-used cached RDDs. Returns
+    /// the evictions performed (empty when already under budget or when
+    /// everything over budget is pinned).
+    pub fn enforce(&self, catalog: &Catalog, rdd_cache: &CacheManager) -> Vec<EvictionEvent> {
+        let mut events = Vec::new();
+        loop {
+            if self.resident_bytes(catalog, rdd_cache) <= self.budget_bytes {
+                break;
+            }
+            // Hold the state lock across victim selection AND eviction:
+            // otherwise a query admitted in between could pin the chosen
+            // table and still lose it, and two concurrent enforce() calls
+            // could both evict (and double-count) the same victim.
+            let mut state = self.state.lock();
+            let victim = catalog
+                .cached_tables()
+                .into_iter()
+                .filter(|t| !state.pins.contains_key(&t.name))
+                .filter(|t| {
+                    t.cached
+                        .as_ref()
+                        .map(|m| m.memory_bytes() > 0)
+                        .unwrap_or(false)
+                })
+                // Never-touched tables are the coldest of all.
+                .min_by_key(|t| state.last_touch.get(&t.name).copied().unwrap_or(0));
+            if let Some(table) = victim {
+                let mem = table.cached.as_ref().expect("victim tables are cached");
+                let (partitions, bytes) = mem.evict_all();
+                if partitions == 0 {
+                    // A failure-path drop raced us and emptied the table;
+                    // nothing freed, nothing to record — try the next victim.
+                    continue;
+                }
+                state.awaiting_recompute.insert(table.name.clone());
+                state.evictions += 1;
+                state.evicted_bytes += bytes;
+                drop(state);
+                events.push(EvictionEvent::Table {
+                    name: table.name.clone(),
+                    partitions,
+                    bytes,
+                });
+                continue;
+            }
+            // No evictable table left: fall back to the RDD cache.
+            if let Some(rdd_id) = rdd_cache.lru_rdd() {
+                let stats = rdd_cache.evict_rdd(rdd_id);
+                if stats.partitions > 0 {
+                    state.evictions += 1;
+                    state.evicted_bytes += stats.bytes;
+                    drop(state);
+                    events.push(EvictionEvent::Rdd {
+                        id: rdd_id,
+                        partitions: stats.partitions,
+                        bytes: stats.bytes,
+                    });
+                    continue;
+                }
+            }
+            // Everything still resident is pinned; give up rather than spin.
+            break;
+        }
+        events
+    }
+
+    /// Forget all bookkeeping for a table (call when it is dropped from the
+    /// catalog, so a future table of the same name starts clean).
+    pub fn forget(&self, table: &str) {
+        let mut state = self.state.lock();
+        state.last_touch.remove(table);
+        state.pins.remove(table);
+        state.awaiting_recompute.remove(table);
+    }
+
+    /// Total policy evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.state.lock().evictions
+    }
+
+    /// Total bytes freed by policy evictions.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.state.lock().evicted_bytes
+    }
+
+    /// Tables whose eviction was later followed by a re-access (and thus a
+    /// lineage recompute).
+    pub fn lineage_recomputes(&self) -> u64 {
+        self.state.lock().lineage_recomputes
+    }
+
+    /// Tables evicted and not yet re-accessed.
+    pub fn awaiting_recompute(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .state
+            .lock()
+            .awaiting_recompute
+            .iter()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shark_common::{row, DataType, Schema};
+    use shark_sql::TableMeta;
+    use std::sync::Arc;
+
+    fn catalog_with_tables(names: &[&str]) -> Arc<Catalog> {
+        let catalog = Arc::new(Catalog::new());
+        for name in names {
+            let schema = Schema::from_pairs(&[("x", DataType::Int), ("s", DataType::Str)]);
+            catalog.register(
+                TableMeta::new(name, schema, 2, |p| {
+                    (0..200)
+                        .map(|i| row![(p * 1000 + i) as i64, format!("value-{p}-{i}")])
+                        .collect()
+                })
+                .with_cache(2),
+            );
+        }
+        catalog
+    }
+
+    fn load_all(catalog: &Catalog) {
+        for table in catalog.cached_tables() {
+            let mem = table.cached.as_ref().unwrap();
+            for p in 0..table.num_partitions {
+                let rows = (table.base)(p);
+                mem.put(
+                    p,
+                    Arc::new(shark_columnar::ColumnarPartition::from_rows(
+                        &table.schema,
+                        &rows,
+                    )),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evicts_lru_first_and_spares_pinned_tables() {
+        let catalog = catalog_with_tables(&["a", "b", "c"]);
+        load_all(&catalog);
+        let rdd_cache = CacheManager::new();
+        let per_table = catalog.memstore_bytes() / 3;
+        // Budget fits two tables: one eviction needed.
+        let manager = MemstoreManager::new(per_table * 2 + per_table / 2);
+        // Touch order: a (oldest), b, c — and pin a, so b is the victim.
+        manager.pin(&["a".into()]);
+        manager.pin(&["b".into()]);
+        manager.pin(&["c".into()]);
+        manager.unpin(&["b".into()]);
+        manager.unpin(&["c".into()]);
+        let events = manager.enforce(&catalog, &rdd_cache);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            EvictionEvent::Table {
+                name,
+                partitions,
+                bytes,
+            } => {
+                assert_eq!(name, "b");
+                assert_eq!(*partitions, 2);
+                assert!(*bytes > 0);
+            }
+            other => panic!("expected table eviction, got {other:?}"),
+        }
+        assert_eq!(manager.evictions(), 1);
+        assert_eq!(manager.awaiting_recompute(), vec!["b".to_string()]);
+        // Re-accessing b counts as a lineage recompute.
+        assert_eq!(manager.pin(&["b".into()]), 1);
+        assert_eq!(manager.lineage_recomputes(), 1);
+        assert!(manager.awaiting_recompute().is_empty());
+    }
+
+    #[test]
+    fn enforce_is_a_noop_under_budget() {
+        let catalog = catalog_with_tables(&["a"]);
+        load_all(&catalog);
+        let rdd_cache = CacheManager::new();
+        let manager = MemstoreManager::new(u64::MAX);
+        assert!(manager.enforce(&catalog, &rdd_cache).is_empty());
+        assert_eq!(manager.evictions(), 0);
+    }
+
+    #[test]
+    fn falls_back_to_rdd_cache_when_tables_are_pinned() {
+        let catalog = catalog_with_tables(&["a"]);
+        load_all(&catalog);
+        let rdd_cache = CacheManager::new();
+        rdd_cache.put(7, 0, Arc::new(vec![0u8; 16]), 0, 1 << 20);
+        let manager = MemstoreManager::new(catalog.memstore_bytes());
+        manager.pin(&["a".into()]);
+        let events = manager.enforce(&catalog, &rdd_cache);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], EvictionEvent::Rdd { id: 7, .. }));
+        // Table a survived; nothing else to evict even though still over.
+        assert!(catalog.memstore_bytes() > 0);
+        assert!(manager.enforce(&catalog, &rdd_cache).is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-query and per-session metrics, aggregated into a server-level report.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// What one query cost, observed by the serving layer.
+#[derive(Debug, Clone)]
+pub struct QueryMetrics {
+    /// Session that issued the query.
+    pub session_id: u64,
+    /// Server-wide query sequence number.
+    pub query_id: u64,
+    /// The statement text.
+    pub statement: String,
+    /// Time spent waiting in the admission queue.
+    pub queue_wait: Duration,
+    /// Wall-clock execution time (after admission).
+    pub exec_time: Duration,
+    /// Simulated cluster seconds the query charged.
+    pub sim_seconds: f64,
+    /// Resident columnar bytes of the referenced cached tables at admission
+    /// time — the bytes the scans could serve straight from the memstore.
+    pub cache_hit_bytes: u64,
+    /// Referenced tables that had been evicted and were recomputed from
+    /// lineage by this query.
+    pub recomputed_tables: usize,
+    /// Evictions this query's budget enforcement triggered on completion.
+    pub evictions_triggered: usize,
+    /// Whether the query failed (parse/plan/execution error).
+    pub failed: bool,
+}
+
+/// Aggregated view of one session's traffic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionStats {
+    /// Session id.
+    pub session_id: u64,
+    /// Queries that ran (including failed ones).
+    pub queries: u64,
+    /// Queries rejected by admission control.
+    pub rejected: u64,
+    /// Total time this session's queries spent queued.
+    pub total_queue_wait: Duration,
+    /// Total wall-clock execution time.
+    pub total_exec_time: Duration,
+    /// Total cache-hit bytes across its queries.
+    pub cache_hit_bytes: u64,
+}
+
+/// Server-level aggregate over every session.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Queries that ran to completion or failure (not rejected ones).
+    pub total_queries: u64,
+    /// Queries turned away because the admission queue was full.
+    pub rejected_queries: u64,
+    /// Queries that returned an error.
+    pub failed_queries: u64,
+    /// Highest number of queries executing simultaneously.
+    pub peak_concurrent_queries: usize,
+    /// Deepest admission queue observed.
+    pub peak_queued_queries: usize,
+    /// Sum of queue waits across all queries.
+    pub total_queue_wait: Duration,
+    /// Largest single queue wait.
+    pub max_queue_wait: Duration,
+    /// Sum of wall-clock execution times.
+    pub total_exec_time: Duration,
+    /// Total cache-hit bytes served.
+    pub cache_hit_bytes: u64,
+    /// Policy evictions performed by the memstore manager.
+    pub evictions: u64,
+    /// Bytes freed by those evictions.
+    pub evicted_bytes: u64,
+    /// Evicted tables later recomputed from lineage on re-access.
+    pub lineage_recomputes: u64,
+    /// Resident table-memstore bytes at report time.
+    pub memstore_bytes: u64,
+    /// Resident RDD-cache bytes at report time.
+    pub rdd_cache_bytes: u64,
+    /// The configured memory budget.
+    pub memory_budget_bytes: u64,
+    /// Per-session aggregates, ordered by session id.
+    pub sessions: Vec<SessionStats>,
+}
+
+impl ServerReport {
+    /// Multi-line human-readable rendering (used by the example binary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "queries: {} run ({} failed), {} rejected; peak concurrency {}, peak queue {}\n",
+            self.total_queries,
+            self.failed_queries,
+            self.rejected_queries,
+            self.peak_concurrent_queries,
+            self.peak_queued_queries,
+        ));
+        out.push_str(&format!(
+            "queue wait: total {:.1} ms, max {:.1} ms; exec: total {:.1} ms\n",
+            self.total_queue_wait.as_secs_f64() * 1e3,
+            self.max_queue_wait.as_secs_f64() * 1e3,
+            self.total_exec_time.as_secs_f64() * 1e3,
+        ));
+        out.push_str(&format!(
+            "memstore: {} of {} budget bytes resident (+{} rdd-cache); {} evictions freed {} bytes; {} lineage recomputes\n",
+            self.memstore_bytes,
+            self.memory_budget_bytes,
+            self.rdd_cache_bytes,
+            self.evictions,
+            self.evicted_bytes,
+            self.lineage_recomputes,
+        ));
+        out.push_str(&format!(
+            "cache-hit bytes served: {}\n",
+            self.cache_hit_bytes
+        ));
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "  session {:>3}: {} queries ({} rejected), queued {:.1} ms, exec {:.1} ms, {} cache-hit bytes\n",
+                s.session_id,
+                s.queries,
+                s.rejected,
+                s.total_queue_wait.as_secs_f64() * 1e3,
+                s.total_exec_time.as_secs_f64() * 1e3,
+                s.cache_hit_bytes,
+            ));
+        }
+        out
+    }
+}
+
+/// Collects [`QueryMetrics`] and per-session rejection counts.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    queries: Mutex<Vec<QueryMetrics>>,
+    rejected: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl MetricsRegistry {
+    /// Record one completed (or failed) query.
+    pub fn record(&self, metrics: QueryMetrics) {
+        self.queries.lock().push(metrics);
+    }
+
+    /// Record an admission rejection for a session.
+    pub fn record_rejection(&self, session_id: u64) {
+        *self.rejected.lock().entry(session_id).or_insert(0) += 1;
+    }
+
+    /// Snapshot of every recorded query, in completion order.
+    pub fn query_log(&self) -> Vec<QueryMetrics> {
+        self.queries.lock().clone()
+    }
+
+    /// Aggregate everything recorded so far. Cache/eviction/concurrency
+    /// fields are left at zero for the caller ([`crate::SharkServer`]) to
+    /// fill in from the memstore manager and admission controller.
+    pub fn aggregate(&self) -> ServerReport {
+        let queries = self.queries.lock();
+        let rejected = self.rejected.lock();
+        let mut report = ServerReport::default();
+        let mut sessions: BTreeMap<u64, SessionStats> = BTreeMap::new();
+        for (&session_id, &count) in rejected.iter() {
+            let entry = sessions.entry(session_id).or_default();
+            entry.session_id = session_id;
+            entry.rejected = count;
+            report.rejected_queries += count;
+        }
+        for q in queries.iter() {
+            report.total_queries += 1;
+            if q.failed {
+                report.failed_queries += 1;
+            }
+            report.total_queue_wait += q.queue_wait;
+            report.max_queue_wait = report.max_queue_wait.max(q.queue_wait);
+            report.total_exec_time += q.exec_time;
+            report.cache_hit_bytes += q.cache_hit_bytes;
+            let entry = sessions.entry(q.session_id).or_default();
+            entry.session_id = q.session_id;
+            entry.queries += 1;
+            entry.total_queue_wait += q.queue_wait;
+            entry.total_exec_time += q.exec_time;
+            entry.cache_hit_bytes += q.cache_hit_bytes;
+        }
+        report.sessions = sessions.into_values().collect();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(session: u64, wait_ms: u64, hit: u64, failed: bool) -> QueryMetrics {
+        QueryMetrics {
+            session_id: session,
+            query_id: 0,
+            statement: "SELECT 1".into(),
+            queue_wait: Duration::from_millis(wait_ms),
+            exec_time: Duration::from_millis(5),
+            sim_seconds: 0.1,
+            cache_hit_bytes: hit,
+            recomputed_tables: 0,
+            evictions_triggered: 0,
+            failed,
+        }
+    }
+
+    #[test]
+    fn aggregates_by_session_and_totals() {
+        let registry = MetricsRegistry::default();
+        registry.record(q(1, 10, 100, false));
+        registry.record(q(1, 30, 50, true));
+        registry.record(q(2, 0, 200, false));
+        registry.record_rejection(2);
+        registry.record_rejection(3);
+        let report = registry.aggregate();
+        assert_eq!(report.total_queries, 3);
+        assert_eq!(report.failed_queries, 1);
+        assert_eq!(report.rejected_queries, 2);
+        assert_eq!(report.max_queue_wait, Duration::from_millis(30));
+        assert_eq!(report.total_queue_wait, Duration::from_millis(40));
+        assert_eq!(report.cache_hit_bytes, 350);
+        assert_eq!(report.sessions.len(), 3);
+        assert_eq!(report.sessions[0].session_id, 1);
+        assert_eq!(report.sessions[0].queries, 2);
+        assert_eq!(report.sessions[1].cache_hit_bytes, 200);
+        assert_eq!(report.sessions[2].rejected, 1);
+        assert_eq!(report.sessions[2].queries, 0);
+        assert_eq!(registry.query_log().len(), 3);
+        assert!(!report.render().is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! The multi-session query server.
+//!
+//! [`SharkServer`] owns exactly one [`RddContext`] (simulated cluster +
+//! shuffle + RDD cache), one shared [`Catalog`] (tables + columnar
+//! memstore), an admission controller and a memory-budgeted memstore
+//! manager. [`SharkServer::session`] hands out cheap [`SessionHandle`]s;
+//! each handle owns a private `SqlSession` (its own UDFs and exec config)
+//! over the shared state, so queries from different sessions read the same
+//! cached tables and execute concurrently on their callers' threads, gated
+//! only by admission control.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use shark_common::{Result, SharkError};
+use shark_rdd::{RddConfig, RddContext};
+use shark_sql::exec::LoadReport;
+use shark_sql::{Catalog, ExecConfig, QueryResult, SqlSession, TableMeta};
+
+use crate::admission::AdmissionController;
+use crate::memstore::MemstoreManager;
+use crate::metrics::{MetricsRegistry, QueryMetrics, ServerReport};
+
+/// Configuration of a [`SharkServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The shared cluster/context configuration.
+    pub rdd: RddConfig,
+    /// Default execution configuration new sessions start with.
+    pub exec: ExecConfig,
+    /// Memory budget for cached tables + cached RDDs, in (in-process) bytes.
+    pub memory_budget_bytes: u64,
+    /// Maximum queries executing simultaneously.
+    pub max_concurrent_queries: usize,
+    /// Maximum queries waiting behind them before rejection.
+    pub max_queued_queries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            rdd: RddConfig::default(),
+            exec: ExecConfig::shark(),
+            memory_budget_bytes: u64::MAX,
+            max_concurrent_queries: 4,
+            max_queued_queries: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Set the memory budget.
+    pub fn with_memory_budget(mut self, bytes: u64) -> ServerConfig {
+        self.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Set the admission bounds.
+    pub fn with_admission(mut self, concurrent: usize, queued: usize) -> ServerConfig {
+        self.max_concurrent_queries = concurrent;
+        self.max_queued_queries = queued;
+        self
+    }
+}
+
+pub(crate) struct ServerShared {
+    ctx: RddContext,
+    catalog: Arc<Catalog>,
+    exec: ExecConfig,
+    admission: AdmissionController,
+    memstore: MemstoreManager,
+    metrics: MetricsRegistry,
+    next_session_id: AtomicU64,
+    next_query_id: AtomicU64,
+}
+
+/// A shared-everything warehouse server handing out concurrent sessions.
+#[derive(Clone)]
+pub struct SharkServer {
+    shared: Arc<ServerShared>,
+}
+
+impl SharkServer {
+    /// Start a server from a configuration.
+    pub fn new(config: ServerConfig) -> SharkServer {
+        SharkServer {
+            shared: Arc::new(ServerShared {
+                ctx: RddContext::new(config.rdd),
+                catalog: Arc::new(Catalog::new()),
+                exec: config.exec,
+                admission: AdmissionController::new(
+                    config.max_concurrent_queries,
+                    config.max_queued_queries,
+                ),
+                memstore: MemstoreManager::new(config.memory_budget_bytes),
+                metrics: MetricsRegistry::default(),
+                next_session_id: AtomicU64::new(1),
+                next_query_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// A server with default configuration (tiny local cluster, unbounded
+    /// memory, 4-way admission).
+    pub fn local() -> SharkServer {
+        SharkServer::new(ServerConfig::default())
+    }
+
+    /// Open a new session. Sessions are cheap; open one per user/thread.
+    pub fn session(&self) -> SessionHandle {
+        let id = self.shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        SessionHandle {
+            id,
+            sql: SqlSession::with_catalog(
+                self.shared.ctx.clone(),
+                self.shared.exec.clone(),
+                self.shared.catalog.clone(),
+            ),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.shared.catalog
+    }
+
+    /// The shared RDD context.
+    pub fn context(&self) -> &RddContext {
+        &self.shared.ctx
+    }
+
+    /// Register a base table in the shared catalog (admin path — not gated
+    /// by admission control).
+    pub fn register_table(&self, table: TableMeta) -> Arc<TableMeta> {
+        self.shared.catalog.register(table)
+    }
+
+    /// Eagerly load a cached table, then enforce the memory budget (the
+    /// load itself may push residency over it).
+    pub fn load_table(&self, name: &str) -> Result<LoadReport> {
+        let table = self.shared.catalog.get(name)?;
+        // Pin (and touch) before loading so a concurrent enforcement cannot
+        // evict the table out from under the load.
+        self.shared.memstore.pin(std::slice::from_ref(&table.name));
+        let report = shark_sql::exec::load_table(&self.shared.ctx, &table);
+        self.shared
+            .memstore
+            .unpin(std::slice::from_ref(&table.name));
+        self.shared
+            .memstore
+            .enforce(&self.shared.catalog, self.shared.ctx.cache());
+        report
+    }
+
+    /// Current resident bytes charged against the budget.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shared
+            .memstore
+            .resident_bytes(&self.shared.catalog, self.shared.ctx.cache())
+    }
+
+    /// Aggregate a server-level report over everything run so far.
+    pub fn report(&self) -> ServerReport {
+        let shared = &self.shared;
+        let mut report = shared.metrics.aggregate();
+        report.peak_concurrent_queries = shared.admission.peak_running();
+        report.peak_queued_queries = shared.admission.peak_queued();
+        report.evictions = shared.memstore.evictions();
+        report.evicted_bytes = shared.memstore.evicted_bytes();
+        report.lineage_recomputes = shared.memstore.lineage_recomputes();
+        report.memstore_bytes = shared.catalog.memstore_bytes();
+        report.rdd_cache_bytes = shared.ctx.cache().total_bytes();
+        report.memory_budget_bytes = shared.memstore.budget_bytes();
+        report
+    }
+
+    /// The raw per-query log, in completion order.
+    pub fn query_log(&self) -> Vec<QueryMetrics> {
+        self.shared.metrics.query_log()
+    }
+}
+
+/// The result of a query run through a session: the rows plus what the
+/// serving layer observed about the run.
+#[derive(Debug, Clone)]
+pub struct SessionQueryResult {
+    /// The query result proper.
+    pub result: QueryResult,
+    /// Serving-layer metrics for this query.
+    pub metrics: QueryMetrics,
+}
+
+/// One user's handle onto the shared server.
+pub struct SessionHandle {
+    id: u64,
+    sql: SqlSession,
+    shared: Arc<ServerShared>,
+}
+
+impl SessionHandle {
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Register a UDF visible only to this session.
+    pub fn register_udf<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&[shark_common::Value]) -> shark_common::Value + Send + Sync + 'static,
+    {
+        self.sql.register_udf(name, f);
+    }
+
+    /// Replace this session's execution configuration.
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.sql.set_exec_config(exec);
+    }
+
+    /// Execute a SQL statement under admission control, returning the rows
+    /// plus per-query serving metrics. Fails fast with
+    /// [`SharkError::Execution`] when the admission queue is full.
+    pub fn sql(&self, text: &str) -> Result<SessionQueryResult> {
+        let shared = &self.shared;
+        // Parse up front so we know which tables to touch/pin — and so a
+        // syntactically invalid query never occupies an execution slot.
+        // Parse failures still count as failed queries in the metrics.
+        let statement = match shark_sql::parser::parse(text) {
+            Ok(statement) => statement,
+            Err(err) => {
+                shared.metrics.record(QueryMetrics {
+                    session_id: self.id,
+                    query_id: shared.next_query_id.fetch_add(1, Ordering::Relaxed),
+                    statement: text.to_string(),
+                    queue_wait: std::time::Duration::ZERO,
+                    exec_time: std::time::Duration::ZERO,
+                    sim_seconds: 0.0,
+                    cache_hit_bytes: 0,
+                    recomputed_tables: 0,
+                    evictions_triggered: 0,
+                    failed: true,
+                });
+                return Err(err);
+            }
+        };
+        let tables = statement.referenced_tables();
+
+        let (permit, queue_wait) = match shared.admission.acquire() {
+            Ok(admitted) => admitted,
+            Err(err) => {
+                shared.metrics.record_rejection(self.id);
+                return Err(SharkError::Execution(err.to_string()));
+            }
+        };
+        let recomputed_tables = shared.memstore.pin(&tables);
+        let cache_hit_bytes: u64 = tables
+            .iter()
+            .filter_map(|name| shared.catalog.get(name).ok())
+            .filter_map(|t| t.cached.as_ref().map(|m| m.memory_bytes()))
+            .sum();
+        let exec_started = Instant::now();
+        let result = self.sql.execute_statement(&statement);
+        let exec_time = exec_started.elapsed();
+        shared.memstore.unpin(&tables);
+        if result.is_ok() {
+            if let shark_sql::ast::Statement::DropTable { name } = &statement {
+                // The table is gone from the catalog; clear its LRU/pin/
+                // recompute bookkeeping so a future table reusing the name
+                // starts clean.
+                shared.memstore.forget(&name.to_lowercase());
+            }
+        }
+        // The query may have grown the memstore (lazy loads, lineage
+        // rebuilds, CREATE TABLE … cached): re-enforce the budget while we
+        // still hold the permit so concurrent enforcement stays bounded.
+        let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
+        drop(permit);
+
+        let metrics = QueryMetrics {
+            session_id: self.id,
+            query_id: shared.next_query_id.fetch_add(1, Ordering::Relaxed),
+            statement: text.to_string(),
+            queue_wait,
+            exec_time,
+            sim_seconds: result.as_ref().map(|r| r.sim_seconds).unwrap_or(0.0),
+            cache_hit_bytes,
+            recomputed_tables,
+            evictions_triggered: evictions.len(),
+            failed: result.is_err(),
+        };
+        shared.metrics.record(metrics.clone());
+        Ok(SessionQueryResult {
+            result: result?,
+            metrics,
+        })
+    }
+
+    /// Eagerly load a cached table through this session (admission-gated
+    /// like any other statement would be).
+    pub fn load_table(&self, name: &str) -> Result<LoadReport> {
+        let shared = &self.shared;
+        let (permit, _wait) = shared
+            .admission
+            .acquire()
+            .map_err(|e| SharkError::Execution(e.to_string()))?;
+        // Pin (and touch) before loading so a concurrent enforcement cannot
+        // evict the table out from under the load.
+        let lowered = name.to_lowercase();
+        shared.memstore.pin(std::slice::from_ref(&lowered));
+        let report = self.sql.load_table(name);
+        shared.memstore.unpin(std::slice::from_ref(&lowered));
+        shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
+        drop(permit);
+        report
+    }
+}

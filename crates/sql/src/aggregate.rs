@@ -171,20 +171,12 @@ impl AggState {
     pub fn merge(&mut self, other: &AggState) {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (AggState::CountDistinct(a), AggState::CountDistinct(b)) => {
-                a.extend(b.iter().cloned())
-            }
-            (
-                AggState::Sum { sum: a, seen: sa },
-                AggState::Sum { sum: b, seen: sb },
-            ) => {
+            (AggState::CountDistinct(a), AggState::CountDistinct(b)) => a.extend(b.iter().cloned()),
+            (AggState::Sum { sum: a, seen: sa }, AggState::Sum { sum: b, seen: sb }) => {
                 *a += b;
                 *sa |= sb;
             }
-            (
-                AggState::Avg { sum: a, count: ca },
-                AggState::Avg { sum: b, count: cb },
-            ) => {
+            (AggState::Avg { sum: a, count: ca }, AggState::Avg { sum: b, count: cb }) => {
                 *a += b;
                 *ca += cb;
             }

@@ -25,6 +25,19 @@ pub enum Statement {
     },
 }
 
+impl Statement {
+    /// Lower-cased names of every table the statement reads (not the table a
+    /// `CREATE TABLE … AS` writes). Used by the server layer to touch the
+    /// right cache entries before execution.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        match self {
+            Statement::Select(stmt) => stmt.referenced_tables(),
+            Statement::CreateTableAs { query, .. } => query.referenced_tables(),
+            Statement::DropTable { .. } => Vec::new(),
+        }
+    }
+}
+
 /// A `SELECT` statement.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectStmt {
@@ -46,6 +59,27 @@ pub struct SelectStmt {
     pub limit: Option<usize>,
     /// `DISTRIBUTE BY column` (hash partitioning of the result, §3.4).
     pub distribute_by: Option<String>,
+}
+
+impl SelectStmt {
+    /// Lower-cased names of the tables in `FROM` and every `JOIN`, deduped
+    /// in first-appearance order.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut push = |name: &str| {
+            let lower = name.to_lowercase();
+            if !names.contains(&lower) {
+                names.push(lower);
+            }
+        };
+        if let Some(from) = &self.from {
+            push(&from.name);
+        }
+        for join in &self.joins {
+            push(&join.table.name);
+        }
+        names
+    }
 }
 
 /// One item of the projection list.

@@ -29,9 +29,7 @@ impl MemTable {
     pub fn new(num_partitions: usize, num_nodes: usize) -> MemTable {
         MemTable {
             partitions: (0..num_partitions).map(|_| RwLock::new(None)).collect(),
-            placements: (0..num_partitions)
-                .map(|p| p % num_nodes.max(1))
-                .collect(),
+            placements: (0..num_partitions).map(|p| p % num_nodes.max(1)).collect(),
         }
     }
 
@@ -92,6 +90,23 @@ impl MemTable {
             .iter()
             .filter_map(|p| p.read().as_ref().map(|c| c.num_rows() as u64))
             .sum()
+    }
+
+    /// Evict every loaded partition (a *policy* eviction under memory
+    /// pressure, not a failure): returns `(partitions, bytes)` freed. The
+    /// table stays registered and is transparently reloaded from its base
+    /// generator — its lineage — on the next scan.
+    pub fn evict_all(&self) -> (usize, u64) {
+        let mut partitions = 0usize;
+        let mut bytes = 0u64;
+        for slot in &self.partitions {
+            let mut guard = slot.write();
+            if let Some(columnar) = guard.take() {
+                partitions += 1;
+                bytes += columnar.memory_bytes() as u64;
+            }
+        }
+        (partitions, bytes)
     }
 
     /// Statistics of one loaded partition (for map pruning).
@@ -188,9 +203,7 @@ impl Catalog {
     /// Register a table, replacing any table of the same name.
     pub fn register(&self, table: TableMeta) -> Arc<TableMeta> {
         let arc = Arc::new(table);
-        self.tables
-            .write()
-            .insert(arc.name.clone(), arc.clone());
+        self.tables.write().insert(arc.name.clone(), arc.clone());
         arc
     }
 
@@ -232,6 +245,20 @@ impl Catalog {
             .values()
             .filter_map(|t| t.cached.as_ref().map(|m| m.drop_node(node)))
             .sum()
+    }
+
+    /// Every registered table that has a memstore attached, sorted by name
+    /// (the tables a memory manager can account for and evict).
+    pub fn cached_tables(&self) -> Vec<Arc<TableMeta>> {
+        let mut tables: Vec<Arc<TableMeta>> = self
+            .tables
+            .read()
+            .values()
+            .filter(|t| t.is_cached())
+            .cloned()
+            .collect();
+        tables.sort_by(|a, b| a.name.cmp(&b.name));
+        tables
     }
 
     /// Total memstore footprint across all cached tables.
@@ -299,11 +326,44 @@ mod tests {
     }
 
     #[test]
+    fn evict_all_frees_everything_and_reports_bytes() {
+        let catalog = Catalog::new();
+        let t = catalog.register(demo_table(true));
+        let mem = t.cached.as_ref().unwrap();
+        for p in 0..4 {
+            let rows = (t.base)(p);
+            mem.put(p, Arc::new(ColumnarPartition::from_rows(&t.schema, &rows)));
+        }
+        let resident = mem.memory_bytes();
+        assert!(resident > 0);
+        let (partitions, bytes) = mem.evict_all();
+        assert_eq!(partitions, 4);
+        assert_eq!(bytes, resident);
+        assert_eq!(mem.loaded_partitions(), 0);
+        assert_eq!(mem.memory_bytes(), 0);
+        // Idempotent.
+        assert_eq!(mem.evict_all(), (0, 0));
+    }
+
+    #[test]
+    fn cached_tables_lists_only_memstore_tables() {
+        let catalog = Catalog::new();
+        catalog.register(demo_table(true));
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        catalog.register(TableMeta::new("plain", schema, 1, |_| vec![]));
+        let cached = catalog.cached_tables();
+        assert_eq!(cached.len(), 1);
+        assert_eq!(cached[0].name, "users");
+    }
+
+    #[test]
     fn distribute_by_resolves_columns() {
         let t = demo_table(false).with_distribute_by("ID").unwrap();
         assert_eq!(t.distribute_by, Some(0));
         assert!(demo_table(false).with_distribute_by("missing").is_err());
-        let t = demo_table(false).with_copartition("Other").with_row_count_hint(10);
+        let t = demo_table(false)
+            .with_copartition("Other")
+            .with_row_count_hint(10);
         assert_eq!(t.copartitioned_with.as_deref(), Some("other"));
         assert_eq!(t.row_count_hint, Some(10));
     }

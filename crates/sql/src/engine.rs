@@ -29,11 +29,22 @@ pub struct SqlSession {
 }
 
 impl SqlSession {
-    /// Create a session with the given execution configuration.
+    /// Create a session with the given execution configuration and a
+    /// private catalog.
     pub fn new(ctx: RddContext, exec: ExecConfig) -> SqlSession {
+        SqlSession::with_catalog(ctx, exec, Arc::new(Catalog::new()))
+    }
+
+    /// Create a session over a *shared* catalog. Every session built from
+    /// the same `Arc<Catalog>` (and a clone of the same [`RddContext`]) sees
+    /// the same tables and the same memstore — the multi-user warehouse
+    /// server setup, where `CREATE TABLE` in one session is immediately
+    /// visible to all others. UDFs and the execution configuration stay
+    /// per-session.
+    pub fn with_catalog(ctx: RddContext, exec: ExecConfig, catalog: Arc<Catalog>) -> SqlSession {
         SqlSession {
             ctx,
-            catalog: Arc::new(Catalog::new()),
+            catalog,
             udfs: UdfRegistry::new(),
             exec,
         }
@@ -87,13 +98,19 @@ impl SqlSession {
 
     /// Execute any supported SQL statement.
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
-        match parser::parse(text)? {
+        self.execute_statement(&parser::parse(text)?)
+    }
+
+    /// Execute an already-parsed statement (lets a serving layer parse once
+    /// for admission/cache bookkeeping and execute the same AST).
+    pub fn execute_statement(&self, statement: &Statement) -> Result<QueryResult> {
+        match statement {
             Statement::Select(stmt) => {
-                let plan = plan_select(&stmt, &self.catalog, &self.udfs)?;
+                let plan = plan_select(stmt, &self.catalog, &self.udfs)?;
                 exec::execute(&self.ctx, &plan, &self.exec)
             }
             Statement::DropTable { name } => {
-                self.catalog.drop_table(&name)?;
+                self.catalog.drop_table(name)?;
                 Ok(QueryResult {
                     schema: shark_common::Schema::default(),
                     rows: vec![],
@@ -107,7 +124,7 @@ impl SqlSession {
                 name,
                 properties,
                 query,
-            } => self.create_table_as(&name, &properties, &query),
+            } => self.create_table_as(name, properties, query),
         }
     }
 
@@ -169,9 +186,9 @@ impl SqlSession {
         })
         .with_row_count_hint(row_count);
 
-        let cache_requested = properties.iter().any(|(k, v)| {
-            k.eq_ignore_ascii_case("shark.cache") && v.eq_ignore_ascii_case("true")
-        });
+        let cache_requested = properties
+            .iter()
+            .any(|(k, v)| k.eq_ignore_ascii_case("shark.cache") && v.eq_ignore_ascii_case("true"));
         if cache_requested {
             table = table.with_cache(self.ctx.config().cluster.num_nodes);
         }
@@ -225,13 +242,7 @@ mod tests {
             TableMeta::new("sales", schema, 4, |p| {
                 let stores = ["north", "south", "east"];
                 (0..30)
-                    .map(|i| {
-                        row![
-                            p as i64,
-                            stores[i % 3],
-                            (i as f64) + (p as f64) * 0.1
-                        ]
-                    })
+                    .map(|i| row![p as i64, stores[i % 3], (i as f64) + (p as f64) * 0.1])
                     .collect()
             })
             .with_cache(4)
@@ -250,10 +261,7 @@ mod tests {
             .unwrap();
         assert_eq!(r.schema.names(), vec!["store", "amount"]);
         assert!(!r.rows.is_empty());
-        assert!(r
-            .rows
-            .iter()
-            .all(|row| row.get_float(1).unwrap() > 25.0));
+        assert!(r.rows.iter().all(|row| row.get_float(1).unwrap() > 25.0));
         assert!(r.sim_seconds > 0.0);
         // Map pruning should have skipped the three other day-partitions.
         assert!(
@@ -339,7 +347,7 @@ mod tests {
 
     #[test]
     fn hive_mode_is_slower_than_shark_for_the_same_query() {
-        let mut s = session();
+        let s = session();
         s.load_table("sales").unwrap();
         s.context().reset_simulation();
         let shark = s
@@ -404,6 +412,49 @@ mod tests {
             before.rows[0].get_int(0).unwrap(),
             after.rows[0].get_int(0).unwrap()
         );
+    }
+
+    #[test]
+    fn sessions_sharing_a_catalog_see_each_others_tables() {
+        let s1 = session();
+        let s2 = SqlSession::with_catalog(
+            s1.context().clone(),
+            ExecConfig::shark(),
+            s1.catalog().clone(),
+        );
+        // s2 sees the table s1 registered...
+        let r = s2.sql("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(r.rows[0].get_int(0).unwrap(), 120);
+        // ...and a table created through s2 is visible from s1.
+        s2.sql("CREATE TABLE north AS SELECT day, amount FROM sales WHERE store = 'north'")
+            .unwrap();
+        assert!(s1.catalog().contains("north"));
+        let r = s1.sql("SELECT COUNT(*) FROM north").unwrap();
+        assert_eq!(r.rows[0].get_int(0).unwrap(), 40);
+        // UDFs stay per-session.
+        let mut s3 = SqlSession::with_catalog(
+            s1.context().clone(),
+            ExecConfig::shark(),
+            s1.catalog().clone(),
+        );
+        s3.register_udf("twice", |args| {
+            Value::Float(args[0].as_float().unwrap_or(0.0) * 2.0)
+        });
+        assert!(s3.sql("SELECT twice(amount) FROM sales LIMIT 1").is_ok());
+        assert!(s1.sql("SELECT twice(amount) FROM sales LIMIT 1").is_err());
+    }
+
+    #[test]
+    fn statements_report_their_referenced_tables() {
+        let stmt = crate::parser::parse(
+            "SELECT a.x FROM alpha a JOIN beta b ON a.x = b.x JOIN Alpha c ON a.x = c.x",
+        )
+        .unwrap();
+        assert_eq!(stmt.referenced_tables(), vec!["alpha", "beta"]);
+        let ctas = crate::parser::parse("CREATE TABLE t AS SELECT x FROM source").unwrap();
+        assert_eq!(ctas.referenced_tables(), vec!["source"]);
+        let drop = crate::parser::parse("DROP TABLE t").unwrap();
+        assert!(drop.referenced_tables().is_empty());
     }
 
     #[test]

@@ -169,6 +169,9 @@ pub struct LoadReport {
     pub stored_bytes: u64,
     /// Rows loaded.
     pub rows: u64,
+    /// Partitions this call actually loaded (0 means everything was already
+    /// resident — a pure cache hit).
+    pub newly_loaded_partitions: usize,
 }
 
 /// Estimate the in-process serialized size of a table by sampling its first
@@ -192,6 +195,7 @@ pub fn load_table(ctx: &RddContext, table: &Arc<TableMeta>) -> Result<LoadReport
     let mut specs = Vec::new();
     let mut input_bytes = 0u64;
     let mut rows_total = 0u64;
+    let mut newly_loaded = 0usize;
     for p in 0..table.num_partitions {
         if mem.get(p).is_some() {
             continue;
@@ -215,6 +219,7 @@ pub fn load_table(ctx: &RddContext, table: &Arc<TableMeta>) -> Result<LoadReport
             mem.placement(p),
         ));
         mem.put(p, columnar);
+        newly_loaded += 1;
     }
     let before = ctx.simulated_time();
     if !specs.is_empty() {
@@ -226,6 +231,7 @@ pub fn load_table(ctx: &RddContext, table: &Arc<TableMeta>) -> Result<LoadReport
         input_bytes,
         stored_bytes: mem.memory_bytes(),
         rows: rows_total,
+        newly_loaded_partitions: newly_loaded,
     })
 }
 
@@ -315,11 +321,8 @@ pub fn build_pipeline(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
         } else {
             None
         };
-        if limit_push.is_some() {
-            notes.push(format!(
-                "limit pushed down to partitions (limit={})",
-                limit_push.unwrap()
-            ));
+        if let Some(n) = limit_push {
+            notes.push(format!("limit pushed down to partitions (limit={n})"));
         }
         combined.map_partitions_named("project", ops.max(0.5), move |_, rows| {
             let mut out: Vec<Row> = rows
@@ -502,7 +505,11 @@ fn build_join(
         .table
         .row_count_hint
         .unwrap_or(u64::MAX / 2)
-        .saturating_add(if plan.scans[0].filters.is_empty() { 0 } else { 1 });
+        .saturating_add(if plan.scans[0].filters.is_empty() {
+            0
+        } else {
+            1
+        });
     let right_scan = &plan.scans[join.right_scan];
     let right_hint = right_scan.table.row_count_hint.unwrap_or(u64::MAX / 2);
     let right_filtered = !right_scan.filters.is_empty();
@@ -526,7 +533,11 @@ fn build_join(
             let small_rows = pre.collect_all()?;
             ctx.charge_broadcast(estimate_slice(&small_rows) as u64);
             return Ok(broadcast_join(
-                if small_is_right { left_pairs } else { right_pairs },
+                if small_is_right {
+                    left_pairs
+                } else {
+                    right_pairs
+                },
                 small_rows,
                 small_is_right,
             ));
@@ -632,7 +643,9 @@ fn aligned_shuffle_join(
         "shuffle join: {} fine buckets coalesced into {} reduce tasks (skew factor {:.2})",
         combined_bytes.len(),
         assignment.len(),
-        left.summary().skew_factor().max(right.summary().skew_factor())
+        left.summary()
+            .skew_factor()
+            .max(right.summary().skew_factor())
     ));
     let left_rdd = left.read(assignment.clone());
     let right_rdd = right.read(assignment);
@@ -736,10 +749,8 @@ fn build_aggregation(
     let having = agg.having_internal.clone();
     let num_groups = agg.group_exprs.len();
     let final_ops = 2.0 + output_refs.len() as f64;
-    Ok(aggregated.map_partitions_named(
-        "finalize-aggregate",
-        final_ops,
-        move |_, groups| {
+    Ok(
+        aggregated.map_partitions_named("finalize-aggregate", final_ops, move |_, groups| {
             let mut out = Vec::with_capacity(groups.len());
             for (key, states) in groups {
                 let finalized = states.finalize();
@@ -764,6 +775,6 @@ fn build_aggregation(
                 out.push(row);
             }
             out
-        },
-    ))
+        }),
+    )
 }

@@ -218,7 +218,11 @@ impl ColumnResolver for SchemaResolver<'_> {
 impl BoundExpr {
     /// Bind an AST expression against a column resolver. Aggregate function
     /// calls are rejected here — the planner handles them separately.
-    pub fn bind(expr: &Expr, resolver: &dyn ColumnResolver, udfs: &UdfRegistry) -> Result<BoundExpr> {
+    pub fn bind(
+        expr: &Expr,
+        resolver: &dyn ColumnResolver,
+        udfs: &UdfRegistry,
+    ) -> Result<BoundExpr> {
         Ok(match expr {
             Expr::Column(name) => BoundExpr::Column(resolver.resolve_column(name)?),
             Expr::Literal(v) => BoundExpr::Literal(v.clone()),
@@ -363,12 +367,8 @@ impl BoundExpr {
             BoundExpr::InList { expr, list, .. } => {
                 1.0 + expr.op_count() + list.iter().map(BoundExpr::op_count).sum::<f64>()
             }
-            BoundExpr::Func { args, .. } => {
-                2.0 + args.iter().map(BoundExpr::op_count).sum::<f64>()
-            }
-            BoundExpr::Udf { args, .. } => {
-                5.0 + args.iter().map(BoundExpr::op_count).sum::<f64>()
-            }
+            BoundExpr::Func { args, .. } => 2.0 + args.iter().map(BoundExpr::op_count).sum::<f64>(),
+            BoundExpr::Udf { args, .. } => 5.0 + args.iter().map(BoundExpr::op_count).sum::<f64>(),
         }
     }
 
@@ -395,10 +395,9 @@ impl BoundExpr {
             | BoundExpr::Between { .. }
             | BoundExpr::InList { .. } => DataType::Bool,
             BoundExpr::Func { func, args } => match func {
-                ScalarFunc::Substr
-                | ScalarFunc::Upper
-                | ScalarFunc::Lower
-                | ScalarFunc::Concat => DataType::Str,
+                ScalarFunc::Substr | ScalarFunc::Upper | ScalarFunc::Lower | ScalarFunc::Concat => {
+                    DataType::Str
+                }
                 ScalarFunc::Length | ScalarFunc::Year | ScalarFunc::Round => DataType::Int,
                 ScalarFunc::Abs => args
                     .first()
@@ -713,19 +712,37 @@ mod tests {
     #[test]
     fn scalar_functions() {
         assert_eq!(
-            eval_scalar(ScalarFunc::Substr, &[Value::str("10.20.30.40"), Value::Int(1), Value::Int(7)]),
+            eval_scalar(
+                ScalarFunc::Substr,
+                &[Value::str("10.20.30.40"), Value::Int(1), Value::Int(7)]
+            ),
             Value::str("10.20.3")
         );
-        assert_eq!(eval_scalar(ScalarFunc::Upper, &[Value::str("air")]), Value::str("AIR"));
-        assert_eq!(eval_scalar(ScalarFunc::Length, &[Value::str("abc")]), Value::Int(3));
-        assert_eq!(eval_scalar(ScalarFunc::Abs, &[Value::Int(-5)]), Value::Int(5));
-        assert_eq!(eval_scalar(ScalarFunc::Year, &[Value::Int(10_957)]), Value::Int(2000));
+        assert_eq!(
+            eval_scalar(ScalarFunc::Upper, &[Value::str("air")]),
+            Value::str("AIR")
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Length, &[Value::str("abc")]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Abs, &[Value::Int(-5)]),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval_scalar(ScalarFunc::Year, &[Value::Int(10_957)]),
+            Value::Int(2000)
+        );
         assert_eq!(
             eval_scalar(ScalarFunc::Coalesce, &[Value::Null, Value::Int(3)]),
             Value::Int(3)
         );
         assert_eq!(
-            eval_scalar(ScalarFunc::If, &[Value::Bool(true), Value::Int(1), Value::Int(2)]),
+            eval_scalar(
+                ScalarFunc::If,
+                &[Value::Bool(true), Value::Int(1), Value::Int(2)]
+            ),
             Value::Int(1)
         );
     }

@@ -162,9 +162,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while i < chars.len()
-                    && (chars[i].is_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     s.push(chars[i]);
                     i += 1;
                 }

@@ -165,9 +165,9 @@ impl Parser {
                 stmt.projections.push(SelectItem::Wildcard);
             } else {
                 let expr = self.parse_expr()?;
-                let alias = if self.consume_keyword("as") {
-                    Some(self.parse_identifier()?)
-                } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+                let alias = if self.consume_keyword("as")
+                    || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s))
+                {
                     Some(self.parse_identifier()?)
                 } else {
                     None
@@ -251,9 +251,10 @@ impl Parser {
         if self.consume_keyword("limit") {
             match self.advance() {
                 Some(Token::Number(n)) => {
-                    stmt.limit = Some(n.parse::<usize>().map_err(|_| {
-                        SharkError::Parse(format!("invalid LIMIT value '{n}'"))
-                    })?)
+                    stmt.limit = Some(
+                        n.parse::<usize>()
+                            .map_err(|_| SharkError::Parse(format!("invalid LIMIT value '{n}'")))?,
+                    )
                 }
                 other => {
                     return Err(SharkError::Parse(format!(
@@ -272,9 +273,9 @@ impl Parser {
 
     fn parse_table_ref(&mut self) -> Result<TableRef> {
         let name = self.parse_identifier()?;
-        let alias = if self.consume_keyword("as") {
-            Some(self.parse_identifier()?)
-        } else if matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s)) {
+        let alias = if self.consume_keyword("as")
+            || matches!(self.peek(), Some(Token::Ident(s)) if !is_reserved(s))
+        {
             Some(self.parse_identifier()?)
         } else {
             None
@@ -508,9 +509,33 @@ impl Parser {
 /// Keywords that terminate an implicit alias.
 fn is_reserved(word: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "select", "from", "where", "group", "by", "having", "order", "limit", "join", "inner",
-        "on", "and", "or", "not", "as", "between", "in", "is", "null", "desc", "asc", "distribute",
-        "create", "table", "tblproperties", "drop", "union",
+        "select",
+        "from",
+        "where",
+        "group",
+        "by",
+        "having",
+        "order",
+        "limit",
+        "join",
+        "inner",
+        "on",
+        "and",
+        "or",
+        "not",
+        "as",
+        "between",
+        "in",
+        "is",
+        "null",
+        "desc",
+        "asc",
+        "distribute",
+        "create",
+        "table",
+        "tblproperties",
+        "drop",
+        "union",
     ];
     RESERVED.contains(&word.to_lowercase().as_str())
 }
@@ -521,7 +546,8 @@ mod tests {
 
     #[test]
     fn parses_the_pavlo_selection_query() {
-        let s = parse_select("SELECT pageURL, pageRank FROM rankings WHERE pageRank > 300").unwrap();
+        let s =
+            parse_select("SELECT pageURL, pageRank FROM rankings WHERE pageRank > 300").unwrap();
         assert_eq!(s.projections.len(), 2);
         assert_eq!(
             s.from,
@@ -609,10 +635,10 @@ mod tests {
         .unwrap();
         assert_eq!(s.projections.len(), 3);
         match &s.projections[2] {
-            SelectItem::Expr { expr, .. } => match expr {
-                Expr::Function { distinct, .. } => assert!(*distinct),
-                _ => panic!(),
-            },
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, .. },
+                ..
+            } => assert!(*distinct),
             _ => panic!(),
         }
         match s.selection.unwrap() {
@@ -639,13 +665,19 @@ mod tests {
     fn arithmetic_precedence() {
         let s = parse_select("SELECT a + b * 2 FROM t").unwrap();
         match &s.projections[0] {
-            SelectItem::Expr { expr, .. } => match expr {
-                Expr::Binary { op, right, .. } => {
-                    assert_eq!(*op, BinaryOp::Plus);
-                    assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::Multiply, .. }));
-                }
-                _ => panic!(),
-            },
+            SelectItem::Expr {
+                expr: Expr::Binary { op, right, .. },
+                ..
+            } => {
+                assert_eq!(*op, BinaryOp::Plus);
+                assert!(matches!(
+                    right.as_ref(),
+                    Expr::Binary {
+                        op: BinaryOp::Multiply,
+                        ..
+                    }
+                ));
+            }
             _ => panic!(),
         }
     }

@@ -67,7 +67,7 @@ pub fn coalesce_buckets(
     let total: u64 = bucket_bytes.iter().sum();
     let target = target_bytes.max(1);
     let mut bins = (total / target) as usize;
-    if total % target != 0 || bins == 0 {
+    if !total.is_multiple_of(target) || bins == 0 {
         bins += 1;
     }
     let bins = bins.clamp(1, max_partitions.max(1)).min(n);
@@ -141,7 +141,7 @@ mod tests {
     fn coalesce_balances_skewed_buckets() {
         // One huge bucket plus many small ones.
         let mut sizes = vec![1000u64];
-        sizes.extend(std::iter::repeat(10u64).take(99));
+        sizes.extend(std::iter::repeat_n(10u64, 99));
         let assignment = coalesce_buckets(&sizes, 500, 4);
         let loads: Vec<u64> = assignment
             .iter()
@@ -151,7 +151,10 @@ mod tests {
         let min = *loads.iter().min().unwrap();
         // The huge bucket dominates one bin; the rest should be spread evenly.
         assert!(max >= 1000);
-        assert!(min >= 200, "small buckets should be spread, loads: {loads:?}");
+        assert!(
+            min >= 200,
+            "small buckets should be spread, loads: {loads:?}"
+        );
     }
 
     #[test]
@@ -163,6 +166,78 @@ mod tests {
         let merged = coalesce_buckets(&[10, 20, 30], 1, 1);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coalesce_empty_bucket_list_yields_one_empty_partition() {
+        // Even with extreme knob values, an empty shuffle still produces a
+        // single (empty) reduce partition rather than zero partitions.
+        for (target, max_parts) in [(1u64, 1usize), (u64::MAX, 1), (1, usize::MAX)] {
+            let assignment = coalesce_buckets(&[], target, max_parts);
+            assert_eq!(assignment, vec![Vec::<usize>::new()]);
+        }
+    }
+
+    #[test]
+    fn coalesce_all_zero_sizes_still_covers_every_bucket() {
+        // All-empty buckets (e.g. a filter that matched nothing): total is
+        // 0 bytes, so everything coalesces into a single reduce task, and
+        // no bucket is dropped.
+        let sizes = [0u64; 32];
+        let assignment = coalesce_buckets(&sizes, 1 << 20, 8);
+        assert_eq!(assignment.len(), 1);
+        let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+        // A zero target must not panic either (it is clamped to 1 byte).
+        let assignment = coalesce_buckets(&sizes, 0, 8);
+        assert_eq!(
+            assignment.iter().map(|b| b.len()).sum::<usize>(),
+            sizes.len()
+        );
+    }
+
+    #[test]
+    fn coalesce_single_giant_bucket_is_isolated() {
+        // One bucket holds virtually all the data; the balancer must give
+        // it a bin of its own instead of stacking small buckets behind it.
+        let mut sizes = vec![1_000_000u64];
+        sizes.extend(std::iter::repeat_n(1u64, 63));
+        let assignment = coalesce_buckets(&sizes, 200_000, 8);
+        let giant_bin = assignment
+            .iter()
+            .find(|bin| bin.contains(&0))
+            .expect("giant bucket assigned somewhere");
+        assert_eq!(
+            giant_bin,
+            &vec![0],
+            "giant bucket shares a bin: {assignment:?}"
+        );
+        // Everything is still covered exactly once.
+        let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn coalesce_clamps_to_max_partitions() {
+        // The byte target asks for ~100 bins; max_partitions must win.
+        let sizes: Vec<u64> = vec![100; 100];
+        for max_parts in [1usize, 2, 5, 99] {
+            let assignment = coalesce_buckets(&sizes, 100, max_parts);
+            assert!(
+                assignment.len() <= max_parts,
+                "{} bins > max {max_parts}",
+                assignment.len()
+            );
+            assert!(!assignment.iter().any(|b| b.is_empty()));
+        }
+        // max_partitions = 0 is treated as 1, not a panic.
+        let assignment = coalesce_buckets(&sizes, 100, 0);
+        assert_eq!(assignment.len(), 1);
+        // And never more bins than buckets, however generous the cap.
+        let assignment = coalesce_buckets(&[1, 1], 1, 1000);
+        assert!(assignment.len() <= 2);
     }
 
     #[test]

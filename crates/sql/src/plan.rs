@@ -236,10 +236,9 @@ impl ColumnResolver for ScanLocalResolver<'_> {
 
 /// Analyze a parsed SELECT against the catalog and produce a [`QueryPlan`].
 pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog, udfs: &UdfRegistry) -> Result<QueryPlan> {
-    let from = stmt
-        .from
-        .as_ref()
-        .ok_or_else(|| SharkError::Plan("queries without a FROM clause are not supported".into()))?;
+    let from = stmt.from.as_ref().ok_or_else(|| {
+        SharkError::Plan("queries without a FROM clause are not supported".into())
+    })?;
 
     // Resolve tables.
     let mut scans: Vec<ScanBinding> = Vec::new();
@@ -646,12 +645,10 @@ pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog, udfs: &UdfRegistry) -> 
     // ----- DISTRIBUTE BY --------------------------------------------------------
     let distribute_by = match &stmt.distribute_by {
         None => None,
-        Some(col) => Some(output_schema.resolve(col).or_else(|_| {
-            // Allow distributing by a source column name that appears in the
-            // output under the same name.
-            Err(SharkError::Plan(format!(
+        Some(col) => Some(output_schema.resolve(col).map_err(|_| {
+            SharkError::Plan(format!(
                 "DISTRIBUTE BY column '{col}' is not part of the query output"
-            )))
+            ))
         })?),
     };
 
@@ -923,9 +920,8 @@ mod tests {
 
     #[test]
     fn having_adds_hidden_aggregates() {
-        let p = plan(
-            "SELECT sourceIP FROM uservisits GROUP BY sourceIP HAVING SUM(adRevenue) > 100",
-        );
+        let p =
+            plan("SELECT sourceIP FROM uservisits GROUP BY sourceIP HAVING SUM(adRevenue) > 100");
         let agg = p.aggregate.as_ref().unwrap();
         assert_eq!(agg.output.len(), 1);
         assert_eq!(agg.aggs.len(), 1, "hidden aggregate for HAVING");
@@ -949,7 +945,9 @@ mod tests {
         assert!(bad("SELECT x FROM missing_table").is_err());
         assert!(bad("SELECT nosuchcol FROM rankings").is_err());
         assert!(bad("SELECT pageURL, SUM(pageRank) FROM rankings").is_err()); // non-grouped column
-        assert!(bad("SELECT * FROM rankings r JOIN uservisits u ON r.pageRank > u.adRevenue").is_err());
+        assert!(
+            bad("SELECT * FROM rankings r JOIN uservisits u ON r.pageRank > u.adRevenue").is_err()
+        );
     }
 
     #[test]

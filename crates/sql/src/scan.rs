@@ -52,13 +52,9 @@ impl MemTableScanRdd {
         projection: Vec<usize>,
         filters: Vec<BoundExpr>,
     ) -> Result<Rdd<Row>> {
-        let mem = table
-            .cached
-            .clone()
-            .ok_or_else(|| shark_common::SharkError::Plan(format!(
-                "table '{}' is not cached",
-                table.name
-            )))?;
+        let mem = table.cached.clone().ok_or_else(|| {
+            shark_common::SharkError::Plan(format!("table '{}' is not cached", table.name))
+        })?;
         let inner = MemTableScanRdd {
             id: ctx.next_rdd_id(),
             table,
@@ -91,11 +87,7 @@ impl RddImpl<Row> for MemTableScanRdd {
         let columnar = match self.mem.get(original) {
             Some(c) => {
                 // Charge only the projected columns' encoded bytes (§3.2).
-                let bytes: usize = self
-                    .projection
-                    .iter()
-                    .map(|&c2| c.column_bytes(c2))
-                    .sum();
+                let bytes: usize = self.projection.iter().map(|&c2| c.column_bytes(c2)).sum();
                 metrics.record_input(
                     c.num_rows() as u64,
                     bytes as u64,
@@ -240,7 +232,7 @@ mod tests {
     use super::*;
     use crate::expr::{BoundExpr, SchemaResolver, UdfRegistry};
     use crate::parser::parse_select;
-    use shark_common::{row, DataType, Schema, Value};
+    use shark_common::{row, DataType, Schema};
 
     fn table() -> TableMeta {
         let schema = Schema::from_pairs(&[
@@ -262,7 +254,10 @@ mod tests {
         let mem = meta.cached.as_ref().unwrap();
         for p in 0..meta.num_partitions {
             let rows = (meta.base)(p);
-            mem.put(p, Arc::new(ColumnarPartition::from_rows(&meta.schema, &rows)));
+            mem.put(
+                p,
+                Arc::new(ColumnarPartition::from_rows(&meta.schema, &rows)),
+            );
         }
     }
 
@@ -300,14 +295,8 @@ mod tests {
         let meta = Arc::new(table());
         load(&meta);
         let projection = vec![0usize, 2];
-        let rdd = MemTableScanRdd::create(
-            &ctx,
-            meta.clone(),
-            vec![1, 4],
-            projection,
-            vec![],
-        )
-        .unwrap();
+        let rdd =
+            MemTableScanRdd::create(&ctx, meta.clone(), vec![1, 4], projection, vec![]).unwrap();
         assert_eq!(rdd.num_partitions(), 2);
         let rows = rdd.collect().unwrap();
         assert_eq!(rows.len(), 100);

@@ -44,13 +44,19 @@ fn main() -> shark_common::Result<()> {
     // (lineage) as part of its scan, on the surviving 49 nodes.
     shark.reset_simulation();
     let with_failure = shark.sql(QUERY)?;
-    println!("single failure:   {:.2}s simulated", with_failure.sim_seconds);
+    println!(
+        "single failure:   {:.2}s simulated",
+        with_failure.sim_seconds
+    );
 
     // After recovery the partitions are cached again; the next query is back
     // to normal speed.
     shark.reset_simulation();
     let post_recovery = shark.sql(QUERY)?;
-    println!("post-recovery:    {:.2}s simulated", post_recovery.sim_seconds);
+    println!(
+        "post-recovery:    {:.2}s simulated",
+        post_recovery.sim_seconds
+    );
 
     assert_eq!(healthy.rows.len(), with_failure.rows.len());
     assert_eq!(healthy.rows.len(), post_recovery.rows.len());

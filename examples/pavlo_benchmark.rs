@@ -9,8 +9,7 @@ use shark_datagen::pavlo::PavloConfig;
 
 /// The three Pavlo queries (scaled dates for our generator).
 const SELECTION: &str = "SELECT pageURL, pageRank FROM rankings WHERE pageRank > 300";
-const AGG_FINE: &str =
-    "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP";
+const AGG_FINE: &str = "SELECT sourceIP, SUM(adRevenue) FROM uservisits GROUP BY sourceIP";
 const AGG_COARSE: &str =
     "SELECT SUBSTR(sourceIP, 1, 7), SUM(adRevenue) FROM uservisits GROUP BY SUBSTR(sourceIP, 1, 7)";
 const JOIN: &str = "SELECT sourceIP, AVG(pageRank), SUM(adRevenue) AS totalRevenue \

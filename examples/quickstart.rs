@@ -37,13 +37,7 @@ fn main() -> shark_common::Result<()> {
                         let age = 18 + ((uid * 37) % 60);
                         let purchases = (uid * 13) % 40;
                         let churned = purchases < 5;
-                        row![
-                            uid,
-                            countries[(uid % 4) as usize],
-                            age,
-                            purchases,
-                            churned
-                        ]
+                        row![uid, countries[(uid % 4) as usize], age, purchases, churned]
                     })
                     .collect()
             },

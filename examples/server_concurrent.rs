@@ -1,0 +1,115 @@
+//! The warehouse-server workflow: N concurrent analyst sessions firing SQL
+//! at one `SharkServer` that shares a single cached TPC-H-style memstore,
+//! under a memory budget deliberately too small for the full working set —
+//! so the server's LRU policy keeps evicting whole tables and lineage keeps
+//! recomputing them, while admission control bounds the in-flight queries.
+//!
+//! Run with: `cargo run --release -p shark-examples --example server_concurrent`
+
+use std::sync::{Arc, Barrier};
+
+use shark_datagen::tpch::{self, TpchConfig};
+use shark_rdd::RddConfig;
+use shark_server::{ServerConfig, SharkServer};
+use shark_sql::{ExecConfig, TableMeta};
+
+const SESSIONS: usize = 8;
+const ROUNDS: usize = 4;
+
+fn register_tpch(server: &SharkServer, cfg: &TpchConfig, partitions: usize) {
+    let nodes = server.context().config().cluster.num_nodes;
+    let c1 = cfg.clone();
+    server.register_table(
+        TableMeta::new("lineitem", tpch::lineitem_schema(), partitions, move |p| {
+            tpch::lineitem_partition(&c1, partitions, p)
+        })
+        .with_row_count_hint(cfg.lineitem_rows as u64)
+        .with_cache(nodes),
+    );
+    let supplier_parts = partitions.clamp(1, 8);
+    let c2 = cfg.clone();
+    server.register_table(
+        TableMeta::new(
+            "supplier",
+            tpch::supplier_schema(),
+            supplier_parts,
+            move |p| tpch::supplier_partition(&c2, supplier_parts, p),
+        )
+        .with_row_count_hint(cfg.supplier_rows as u64)
+        .with_cache(nodes),
+    );
+    let orders_parts = partitions.clamp(1, 16);
+    let c3 = cfg.clone();
+    server.register_table(
+        TableMeta::new("orders", tpch::orders_schema(), orders_parts, move |p| {
+            tpch::orders_partition(&c3, orders_parts, p)
+        })
+        .with_row_count_hint(cfg.orders_rows as u64)
+        .with_cache(nodes),
+    );
+}
+
+fn main() -> shark_common::Result<()> {
+    let tpch_cfg = TpchConfig::tiny();
+    let partitions = 8;
+
+    // Pass 1: measure the full memstore footprint with no budget.
+    let sizing = SharkServer::local();
+    register_tpch(&sizing, &tpch_cfg, partitions);
+    for table in ["lineitem", "supplier", "orders"] {
+        sizing.load_table(table)?;
+    }
+    let full_bytes = sizing.catalog().memstore_bytes();
+
+    // Pass 2: the real server, with room for roughly 60% of that working
+    // set — lineitem alone fits, but not all three tables at once.
+    let budget = full_bytes * 6 / 10;
+    println!("full working set: {full_bytes} columnar bytes; server budget: {budget} bytes");
+    let server = SharkServer::new(ServerConfig {
+        rdd: RddConfig::default(),
+        exec: ExecConfig::shark(),
+        memory_budget_bytes: budget,
+        max_concurrent_queries: 4,
+        max_queued_queries: 128,
+    });
+    register_tpch(&server, &tpch_cfg, partitions);
+
+    let queries = [
+        "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode",
+        "SELECT COUNT(*) FROM supplier WHERE s_acctbal > 0",
+        "SELECT o_custkey, SUM(o_totalprice) FROM orders GROUP BY o_custkey \
+         ORDER BY SUM(o_totalprice) DESC LIMIT 5",
+        "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity > 10",
+    ];
+
+    let barrier = Arc::new(Barrier::new(SESSIONS));
+    let mut workers = Vec::new();
+    for s in 0..SESSIONS {
+        let session = server.session();
+        let barrier = barrier.clone();
+        workers.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut rows = 0usize;
+            for round in 0..ROUNDS {
+                for q in 0..queries.len() {
+                    // Offset the query mix per session so the tables keep
+                    // displacing each other in the memstore.
+                    let text = queries[(s + round + q) % queries.len()];
+                    match session.sql(text) {
+                        Ok(result) => rows += result.result.rows.len(),
+                        Err(err) => eprintln!("session {s}: {err}"),
+                    }
+                }
+            }
+            (session.id(), rows)
+        }));
+    }
+    for worker in workers {
+        let (id, rows) = worker.join().expect("worker panicked");
+        println!("session {id} finished ({rows} result rows)");
+    }
+
+    println!("\n--- server report ---");
+    print!("{}", server.report().render());
+    Ok(())
+}

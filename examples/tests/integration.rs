@@ -9,13 +9,15 @@ use shark_datagen::warehouse::WarehouseConfig;
 use shark_ml::LogisticRegression;
 
 fn shark_with_pavlo(exec: ExecConfig, cached: bool) -> SharkContext {
-    let shark = SharkContext::new(SharkConfig {
-        cluster: shark_core::ClusterConfig::small(8, 2),
-        default_partitions: 8,
-        sim_scale: 10_000.0,
-        ..SharkConfig::default()
-    }
-    .with_exec(exec));
+    let shark = SharkContext::new(
+        SharkConfig {
+            cluster: shark_core::ClusterConfig::small(8, 2),
+            default_partitions: 8,
+            sim_scale: 10_000.0,
+            ..SharkConfig::default()
+        }
+        .with_exec(exec),
+    );
     register_pavlo(&shark, &PavloConfig::tiny(), 8, cached).unwrap();
     if cached {
         shark.load_table("rankings").unwrap();
@@ -58,9 +60,7 @@ fn shark_is_dramatically_faster_than_hive_on_cached_aggregations() {
     // The headline claim: up to ~100x on warehouse-style queries.
     let shark = shark_with_pavlo(ExecConfig::shark(), true);
     let hive = {
-        let s = SharkContext::new(
-            SharkConfig::paper_hive().with_sim_scale(10_000.0),
-        );
+        let s = SharkContext::new(SharkConfig::paper_hive().with_sim_scale(10_000.0));
         register_pavlo(&s, &PavloConfig::tiny(), 8, false).unwrap();
         s
     };
@@ -91,7 +91,9 @@ fn pde_join_selection_beats_static_plan() {
     };
     let build = |exec: ExecConfig| {
         let mut shark = SharkContext::new(
-            SharkConfig::paper_shark().with_sim_scale(50_000.0).with_exec(exec),
+            SharkConfig::paper_shark()
+                .with_sim_scale(50_000.0)
+                .with_exec(exec),
         );
         shark.register_udf("is_special", |args| {
             shark_common::Value::Bool(
@@ -156,7 +158,8 @@ fn mid_query_style_failure_recovery_preserves_results() {
     });
     register_tpch(&shark, &TpchConfig::tiny(), 20, true).unwrap();
     shark.load_table("lineitem").unwrap();
-    let sql = "SELECT l_shipmode, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_shipmode ORDER BY 1";
+    let sql =
+        "SELECT l_shipmode, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_shipmode ORDER BY 1";
     let before = shark.sql(sql).unwrap();
     let lost = shark.fail_node(3);
     assert!(lost > 0);
@@ -170,13 +173,8 @@ fn mid_query_style_failure_recovery_preserves_results() {
 #[test]
 fn sql_and_ml_share_the_same_engine_and_cache() {
     let shark = SharkContext::new(SharkConfig::default());
-    shark_core::datasets::register_ml_points(
-        &shark,
-        &shark_datagen::ml::MlConfig::tiny(),
-        8,
-        true,
-    )
-    .unwrap();
+    shark_core::datasets::register_ml_points(&shark, &shark_datagen::ml::MlConfig::tiny(), 8, true)
+        .unwrap();
     shark.load_table("points").unwrap();
     let table = shark.sql_to_rdd("SELECT * FROM points").unwrap();
     let dims = shark_datagen::ml::MlConfig::tiny().dims;

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the Shark benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!` — with a simple mean-over-samples
+//! timer instead of criterion's statistical machinery. Good enough to keep
+//! `cargo bench` runnable (and benches compiling) without a registry.
+
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a stand-alone benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher { nanos: Vec::new() };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let n = bencher.nanos.len().max(1);
+    let mean = bencher.nanos.iter().sum::<u128>() / n as u128;
+    let min = bencher.nanos.iter().min().copied().unwrap_or(0);
+    println!(
+        "  {name:<44} mean {:>12.3} ms   min {:>12.3} ms   ({n} samples)",
+        mean as f64 / 1e6,
+        min as f64 / 1e6,
+    );
+}
+
+/// Times closures; one `iter` call contributes one sample.
+pub struct Bencher {
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (a single sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.nanos.push(start.elapsed().as_nanos());
+    }
+}
+
+/// Collect benchmark functions into a named runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0u32;
+        g.sample_size(3).bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements exactly the surface the Shark workspace uses: a seedable
+//! `StdRng` (xoshiro256** behind a SplitMix64 seeder) and the [`Rng`]
+//! methods `gen`, `gen_bool` and `gen_range` over integer and float ranges.
+//! Deterministic for a given seed, like the real `StdRng`, though the
+//! streams differ from upstream rand's.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be drawn uniformly from an RNG (stand-in for the
+/// `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw a value from 64 random bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for i64 {
+    fn from_bits(bits: u64) -> i64 {
+        bits as i64
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for i32 {
+    fn from_bits(bits: u64) -> i32 {
+        (bits >> 32) as i32
+    }
+}
+
+impl Standard for usize {
+    fn from_bits(bits: u64) -> usize {
+        bits as usize
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges a value can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draw a value in the range using the RNG's bit stream.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let unit: f64 = Standard::from_bits(rng.next_u64());
+                let value = self.start + (self.end - self.start) * unit as $t;
+                // `start + span * unit` can round up to exactly `end` (a
+                // half-ulp round-to-even); the range is half-open, so clamp
+                // to the largest representable value below `end`.
+                if value >= self.end {
+                    self.end.next_down()
+                } else {
+                    value
+                }
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// The random-number-generator trait (subset of rand 0.8's `Rng`).
+pub trait Rng {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a value of `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = self.gen();
+        unit < p
+    }
+
+    /// Draw a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// RNGs constructible from a seed (subset of rand 0.8's `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The standard RNG: xoshiro256** seeded through SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let i = r.gen_range(-5i64..17);
+            assert!((-5..17).contains(&i));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+            let f = r.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let inc = r.gen_range(1i32..=6);
+            assert!((1..=6).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn float_range_excludes_the_upper_bound_even_on_maximal_draws() {
+        // An all-ones bit stream maximizes `unit`; start + span * unit can
+        // then round to exactly `end`, which must be clamped below it.
+        struct MaxRng;
+        impl Rng for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let f = MaxRng.gen_range(-2.0f64..2.0);
+        assert!(f < 2.0, "upper bound leaked: {f}");
+        let g = MaxRng.gen_range(-2.0f32..2.0);
+        assert!(g < 2.0, "upper bound leaked: {g}");
+        let h = MaxRng.gen_range(0.0f64..1.0);
+        assert!(h < 1.0);
+    }
+
+    #[test]
+    fn unit_floats_and_bools_are_plausible() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut trues = 0;
+        for _ in 0..4000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            if r.gen_bool(0.5) {
+                trues += 1;
+            }
+        }
+        assert!((1500..2500).contains(&trues), "biased gen_bool: {trues}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + no-op derive macro)
+//! so type annotations compile without crates.io access. No actual
+//! serialization machinery exists; swap back to the real crate when a
+//! registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
