@@ -1,7 +1,8 @@
 //! Serving-layer benchmarks: multi-session throughput through the
 //! `SharkServer` (admission + shared memstore) vs. the same queries on a
-//! bare single-owner session, and the cost of budget enforcement when every
-//! query evicts.
+//! bare single-owner session, the cost of budget enforcement when every
+//! query evicts, and the streaming cursor — time-to-first-batch on a full
+//! scan and the early-termination win of a streamed LIMIT.
 use criterion::{criterion_group, criterion_main, Criterion};
 use shark_datagen::tpch::{self, TpchConfig};
 use shark_server::{ServerConfig, SharkServer};
@@ -55,6 +56,42 @@ fn bench_server(c: &mut Criterion) {
     let thrash_session = thrashing.session();
     g.bench_function("one_session_evict_every_query", |b| {
         b.iter(|| thrash_session.sql(QUERY).unwrap())
+    });
+
+    // The streaming cursor: latency to the first delivered batch of a full
+    // scan (the pipelined-delivery headline metric)...
+    let streaming = server(u64::MAX);
+    let stream_session = streaming.session();
+    g.bench_function("stream_first_batch", |b| {
+        b.iter(|| {
+            let mut cursor = stream_session
+                .sql_stream("SELECT l_orderkey, l_shipmode FROM lineitem")
+                .unwrap();
+            let first = cursor.next_batch().unwrap().unwrap();
+            assert!(!first.is_empty());
+            // Cursor dropped mid-stream: remaining partitions never launch.
+        })
+    });
+
+    // ...and a streamed LIMIT, which executes only as many partitions as
+    // the limit needs, vs. the batch path that runs them all.
+    g.bench_function("stream_limit_early_stop", |b| {
+        b.iter(|| {
+            let rows = stream_session
+                .sql_stream("SELECT l_orderkey FROM lineitem LIMIT 5")
+                .unwrap()
+                .fetch_all()
+                .unwrap();
+            assert_eq!(rows.len(), 5);
+        })
+    });
+    g.bench_function("batch_limit_full_stage", |b| {
+        b.iter(|| {
+            let result = stream_session
+                .sql("SELECT l_orderkey FROM lineitem LIMIT 5")
+                .unwrap();
+            assert_eq!(result.result.rows.len(), 5);
+        })
     });
 
     g.finish();

@@ -176,6 +176,130 @@ where
     Ok(values)
 }
 
+/// A job whose result-stage partitions are executed on demand, one at a
+/// time, so the caller can consume output incrementally and stop early.
+///
+/// Construction runs every shuffle map stage the target RDD depends on
+/// (exactly like [`run_job`] would); each [`StreamingJob::run_partition`]
+/// call then executes one result-stage task in-process and places it on the
+/// simulated cluster as a single-task stage — the pipelined-delivery model,
+/// where the driver hands a partition's rows to the client as soon as that
+/// partition finishes instead of waiting for the whole stage barrier.
+/// Partitions that are never requested are never computed, which is what
+/// lets a LIMIT query stop launching tasks once it has enough rows.
+///
+/// A [`JobReport`] covering the stages actually executed is recorded when
+/// the job is dropped (or explicitly via [`StreamingJob::finish`]).
+pub struct StreamingJob<T: Data> {
+    ctx: RddContext,
+    rdd: Rdd<T>,
+    name: String,
+    stages: Vec<StageReport>,
+    /// Running sum of this job's own stage durations — unlike the context's
+    /// global simulated clock, it is not advanced by concurrent jobs.
+    sim_seconds: f64,
+    wall: Instant,
+    partitions_run: usize,
+    finished: bool,
+}
+
+impl<T: Data> StreamingJob<T> {
+    /// Prepare a streaming job over `rdd`: materialize its shuffle
+    /// dependencies now so every subsequent partition request is a pure
+    /// result-stage task.
+    pub fn new(ctx: &RddContext, rdd: &Rdd<T>, name: &str) -> Result<StreamingJob<T>> {
+        let wall = Instant::now();
+        let stages = ensure_shuffle_deps(ctx, rdd)?;
+        let sim_seconds = stages.iter().map(|s| s.sim_duration).sum();
+        Ok(StreamingJob {
+            ctx: ctx.clone(),
+            rdd: rdd.clone(),
+            name: name.to_string(),
+            stages,
+            sim_seconds,
+            wall,
+            partitions_run: 0,
+            finished: false,
+        })
+    }
+
+    /// Number of partitions the result stage has in total.
+    pub fn num_partitions(&self) -> usize {
+        self.rdd.num_partitions()
+    }
+
+    /// How many result-stage partitions have been executed so far.
+    pub fn partitions_run(&self) -> usize {
+        self.partitions_run
+    }
+
+    /// Simulated seconds charged by *this job's* stages so far (shuffle
+    /// dependencies plus every partition task run). Stable under
+    /// concurrency, unlike deltas of the shared cluster clock.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_seconds
+    }
+
+    /// Execute the result-stage task for one partition: compute it
+    /// in-process, transform the rows with `f` (which may charge extra work
+    /// — e.g. a per-partition sort — to the task's metrics), and time the
+    /// task on the simulated cluster as a single-task stage.
+    pub fn run_partition<U, F>(&mut self, partition: usize, sink: OutputSink, f: F) -> Result<U>
+    where
+        U: Send + EstimateSize,
+        F: FnOnce(Vec<T>, &mut TaskMetrics) -> U,
+    {
+        let scale = self.ctx.config().sim_scale;
+        let mut metrics = TaskMetrics::new();
+        let data = self
+            .rdd
+            .compute_partition(&self.ctx, partition, &mut metrics)?;
+        let rows = data.len() as u64;
+        let value = f(data, &mut metrics);
+        metrics.record_output(rows, value.estimated_size() as u64);
+        let cost = metrics.to_cost_input(scale, sink);
+        let outcome = TaskOutcome {
+            value,
+            duration: self.ctx.cost_model().task_duration(&cost),
+            preferred: self.rdd.preferred_node(&self.ctx, partition),
+            rows_in: metrics.rows_in,
+            bytes_in: metrics.bytes_in,
+        };
+        let (report, mut values) = finish_stage(
+            &self.ctx,
+            &format!("stream-result({partition})"),
+            vec![outcome],
+        );
+        self.sim_seconds += report.sim_duration;
+        self.stages.push(report);
+        self.partitions_run += 1;
+        Ok(values.pop().expect("single task outcome"))
+    }
+
+    /// Record the [`JobReport`] for the work done so far. Idempotent; also
+    /// invoked on drop so abandoning a stream mid-way still leaves a report.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let stages = std::mem::take(&mut self.stages);
+        let sim_duration = stages.iter().map(|s| s.sim_duration).sum();
+        self.ctx.record_job(JobReport {
+            name: self.name.clone(),
+            stages,
+            sim_duration,
+            real_duration: self.wall.elapsed().as_secs_f64(),
+        });
+    }
+}
+
+impl<T: Data> Drop for StreamingJob<T> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
 /// Shared implementation of the shuffle map stages: compute each parent
 /// partition, bucket its records, store the buckets plus per-bucket
 /// statistics in the shuffle manager, and time the stage.
@@ -316,6 +440,7 @@ mod tests {
     use super::*;
     use crate::context::{RddConfig, RddContext};
     use shark_cluster::ClusterConfig;
+    use std::sync::Arc;
 
     #[test]
     fn run_tasks_sequential_and_parallel_agree() {
@@ -405,6 +530,70 @@ mod tests {
             .unwrap();
         counts.sort();
         assert_eq!(counts.iter().map(|(_, c)| c).sum::<i64>(), 1000);
+    }
+
+    #[test]
+    fn streaming_job_matches_collect_and_counts_stages() {
+        let ctx = RddContext::local();
+        let rdd = ctx.parallelize((0i64..100).collect(), 8).map(|x| x * 2);
+        let expected = rdd.collect().unwrap();
+        let mut job = rdd.stream("stream-collect").unwrap();
+        assert_eq!(job.num_partitions(), 8);
+        let mut streamed = Vec::new();
+        for p in 0..job.num_partitions() {
+            let batch: Vec<i64> = job
+                .run_partition(p, shark_cluster::OutputSink::Collect, |rows, _m| rows)
+                .unwrap();
+            streamed.extend(batch);
+        }
+        assert_eq!(streamed, expected);
+        assert_eq!(job.partitions_run(), 8);
+        job.finish();
+        let report = ctx.last_job().unwrap();
+        assert_eq!(report.name, "stream-collect");
+        assert_eq!(report.stages.len(), 8);
+        assert!(report.sim_duration > 0.0);
+    }
+
+    #[test]
+    fn streaming_job_stopped_early_runs_only_requested_partitions() {
+        let ctx = RddContext::local();
+        let computed = Arc::new(AtomicUsize::new(0));
+        let counter = computed.clone();
+        let rdd = ctx.generate(8, shark_cluster::InputSource::Dfs, move |p| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            vec![p as i64]
+        });
+        {
+            let mut job = rdd.stream("early-stop").unwrap();
+            for p in 0..3 {
+                job.run_partition(p, shark_cluster::OutputSink::Collect, |rows, _m| rows)
+                    .unwrap();
+            }
+            // Dropped here: the report must cover exactly the 3 tasks run.
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 3);
+        let report = ctx.last_job().unwrap();
+        assert_eq!(report.stages.len(), 3);
+    }
+
+    #[test]
+    fn streaming_job_runs_shuffle_deps_up_front() {
+        let ctx = RddContext::local();
+        let rdd = ctx.parallelize((0i64..100).collect(), 4);
+        let reduced = rdd.map(|x| (x % 5, x)).reduce_by_key(4, |a, b| a + b);
+        let mut job = reduced.stream("stream-agg").unwrap();
+        let mut pairs = Vec::new();
+        for p in 0..job.num_partitions() {
+            pairs.extend(
+                job.run_partition(p, shark_cluster::OutputSink::Collect, |rows, _m| rows)
+                    .unwrap(),
+            );
+        }
+        pairs.sort();
+        let mut expected = reduced.collect().unwrap();
+        expected.sort();
+        assert_eq!(pairs, expected);
     }
 
     #[test]

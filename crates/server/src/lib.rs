@@ -27,4 +27,4 @@ pub mod server;
 pub use admission::{AdmissionController, AdmissionError, AdmissionPermit};
 pub use memstore::{EvictionEvent, MemstoreManager};
 pub use metrics::{MetricsRegistry, QueryMetrics, ServerReport, SessionStats};
-pub use server::{ServerConfig, SessionHandle, SessionQueryResult, SharkServer};
+pub use server::{QueryCursor, ServerConfig, SessionHandle, SessionQueryResult, SharkServer};

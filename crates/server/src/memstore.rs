@@ -214,6 +214,14 @@ impl MemstoreManager {
         self.state.lock().lineage_recomputes
     }
 
+    /// Tables currently pinned by in-flight queries or open cursors,
+    /// sorted by name.
+    pub fn pinned_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.state.lock().pins.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     /// Tables evicted and not yet re-accessed.
     pub fn awaiting_recompute(&self) -> Vec<String> {
         let mut names: Vec<String> = self

@@ -19,6 +19,20 @@ pub struct QueryMetrics {
     pub exec_time: Duration,
     /// Simulated cluster seconds the query charged.
     pub sim_seconds: f64,
+    /// Wall-clock time from admission until the first result row was
+    /// delivered to the client. For batch (non-streamed) queries this is
+    /// the full execution time — the whole result arrives at once.
+    pub time_to_first_row: Duration,
+    /// Rows delivered to the client.
+    pub rows_streamed: u64,
+    /// Result-stage partitions actually executed. A streamed LIMIT query
+    /// stops launching partitions early, so this can be smaller than
+    /// `partitions_total`.
+    pub partitions_streamed: usize,
+    /// Partitions the full result stage would have run.
+    pub partitions_total: usize,
+    /// Whether the query was served through a streaming cursor.
+    pub streamed: bool,
     /// Resident columnar bytes of the referenced cached tables at admission
     /// time — the bytes the scans could serve straight from the memstore.
     pub cache_hit_bytes: u64,
@@ -67,6 +81,19 @@ pub struct ServerReport {
     pub max_queue_wait: Duration,
     /// Sum of wall-clock execution times.
     pub total_exec_time: Duration,
+    /// Sum of time-to-first-row across all queries (batch queries
+    /// contribute their full execution time).
+    pub total_time_to_first_row: Duration,
+    /// Sum of time-to-first-row across streamed queries only — the number
+    /// the streaming headline metric is computed from.
+    pub streamed_time_to_first_row: Duration,
+    /// Queries served through a streaming cursor.
+    pub streamed_queries: u64,
+    /// Rows delivered through streaming cursors.
+    pub streamed_rows: u64,
+    /// Result partitions executed by streamed queries (early-terminated
+    /// LIMIT streams make this smaller than the tables' partition counts).
+    pub streamed_partitions: u64,
     /// Total cache-hit bytes served.
     pub cache_hit_bytes: u64,
     /// Policy evictions performed by the memstore manager.
@@ -111,6 +138,15 @@ impl ServerReport {
             self.evictions,
             self.evicted_bytes,
             self.lineage_recomputes,
+        ));
+        let avg_ttfr_ms = if self.streamed_queries > 0 {
+            self.streamed_time_to_first_row.as_secs_f64() * 1e3 / self.streamed_queries as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "streaming: {} streamed queries delivered {} rows over {} partitions; avg time-to-first-row {:.2} ms\n",
+            self.streamed_queries, self.streamed_rows, self.streamed_partitions, avg_ttfr_ms,
         ));
         out.push_str(&format!(
             "cache-hit bytes served: {}\n",
@@ -176,6 +212,13 @@ impl MetricsRegistry {
             report.total_queue_wait += q.queue_wait;
             report.max_queue_wait = report.max_queue_wait.max(q.queue_wait);
             report.total_exec_time += q.exec_time;
+            report.total_time_to_first_row += q.time_to_first_row;
+            if q.streamed {
+                report.streamed_queries += 1;
+                report.streamed_rows += q.rows_streamed;
+                report.streamed_partitions += q.partitions_streamed as u64;
+                report.streamed_time_to_first_row += q.time_to_first_row;
+            }
             report.cache_hit_bytes += q.cache_hit_bytes;
             let entry = sessions.entry(q.session_id).or_default();
             entry.session_id = q.session_id;
@@ -201,6 +244,11 @@ mod tests {
             queue_wait: Duration::from_millis(wait_ms),
             exec_time: Duration::from_millis(5),
             sim_seconds: 0.1,
+            time_to_first_row: Duration::from_millis(2),
+            rows_streamed: 4,
+            partitions_streamed: 2,
+            partitions_total: 4,
+            streamed: true,
             cache_hit_bytes: hit,
             recomputed_tables: 0,
             evictions_triggered: 0,
@@ -223,6 +271,11 @@ mod tests {
         assert_eq!(report.max_queue_wait, Duration::from_millis(30));
         assert_eq!(report.total_queue_wait, Duration::from_millis(40));
         assert_eq!(report.cache_hit_bytes, 350);
+        assert_eq!(report.streamed_queries, 3);
+        assert_eq!(report.streamed_rows, 12);
+        assert_eq!(report.streamed_partitions, 6);
+        assert_eq!(report.total_time_to_first_row, Duration::from_millis(6));
+        assert_eq!(report.streamed_time_to_first_row, Duration::from_millis(6));
         assert_eq!(report.sessions.len(), 3);
         assert_eq!(report.sessions[0].session_id, 1);
         assert_eq!(report.sessions[0].queries, 2);

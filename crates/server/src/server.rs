@@ -11,14 +11,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use shark_common::{Result, SharkError};
+use shark_common::{Result, Row, Schema, SharkError};
 use shark_rdd::{RddConfig, RddContext};
 use shark_sql::exec::LoadReport;
-use shark_sql::{Catalog, ExecConfig, QueryResult, SqlSession, TableMeta};
+use shark_sql::{
+    Catalog, ExecConfig, QueryResult, QueryStream, SqlSession, StreamProgress, TableMeta,
+};
 
-use crate::admission::AdmissionController;
+use crate::admission::{AdmissionController, AdmissionPermit};
 use crate::memstore::MemstoreManager;
 use crate::metrics::{MetricsRegistry, QueryMetrics, ServerReport};
 
@@ -154,6 +156,17 @@ impl SharkServer {
         report
     }
 
+    /// Tables currently pinned by in-flight queries or open cursors.
+    pub fn pinned_tables(&self) -> Vec<String> {
+        self.shared.memstore.pinned_tables()
+    }
+
+    /// Queries currently executing (holding admission permits) — streaming
+    /// cursors count until exhausted or dropped.
+    pub fn running_queries(&self) -> usize {
+        self.shared.admission.running()
+    }
+
     /// Current resident bytes charged against the budget.
     pub fn resident_bytes(&self) -> u64 {
         self.shared
@@ -229,22 +242,11 @@ impl SessionHandle {
         let statement = match shark_sql::parser::parse(text) {
             Ok(statement) => statement,
             Err(err) => {
-                shared.metrics.record(QueryMetrics {
-                    session_id: self.id,
-                    query_id: shared.next_query_id.fetch_add(1, Ordering::Relaxed),
-                    statement: text.to_string(),
-                    queue_wait: std::time::Duration::ZERO,
-                    exec_time: std::time::Duration::ZERO,
-                    sim_seconds: 0.0,
-                    cache_hit_bytes: 0,
-                    recomputed_tables: 0,
-                    evictions_triggered: 0,
-                    failed: true,
-                });
+                self.record_parse_failure(text);
                 return Err(err);
             }
         };
-        let tables = statement.referenced_tables();
+        let tables = pinned_tables_for(&statement);
 
         let (permit, queue_wait) = match shared.admission.acquire() {
             Ok(admitted) => admitted,
@@ -254,11 +256,7 @@ impl SessionHandle {
             }
         };
         let recomputed_tables = shared.memstore.pin(&tables);
-        let cache_hit_bytes: u64 = tables
-            .iter()
-            .filter_map(|name| shared.catalog.get(name).ok())
-            .filter_map(|t| t.cached.as_ref().map(|m| m.memory_bytes()))
-            .sum();
+        let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
         let exec_started = Instant::now();
         let result = self.sql.execute_statement(&statement);
         let exec_time = exec_started.elapsed();
@@ -284,6 +282,12 @@ impl SessionHandle {
             queue_wait,
             exec_time,
             sim_seconds: result.as_ref().map(|r| r.sim_seconds).unwrap_or(0.0),
+            // Batch delivery: the whole result arrives when execution ends.
+            time_to_first_row: exec_time,
+            rows_streamed: result.as_ref().map(|r| r.rows.len() as u64).unwrap_or(0),
+            partitions_streamed: 0,
+            partitions_total: 0,
+            streamed: false,
             cache_hit_bytes,
             recomputed_tables,
             evictions_triggered: evictions.len(),
@@ -294,6 +298,98 @@ impl SessionHandle {
             result: result?,
             metrics,
         })
+    }
+
+    /// Execute a SELECT under admission control and return a streaming
+    /// [`QueryCursor`]: row batches are delivered as partitions finish, and
+    /// the cursor holds the admission permit *and* the memstore pins on the
+    /// referenced tables until it is exhausted or dropped — so budget
+    /// enforcement can never evict a table out from under an in-flight
+    /// stream, and a LIMIT stream stops launching partitions early.
+    pub fn sql_stream(&self, text: &str) -> Result<QueryCursor<'_>> {
+        let shared = &self.shared;
+        let statement = match shark_sql::parser::parse_select(text) {
+            Ok(statement) => statement,
+            Err(err) => {
+                self.record_parse_failure(text);
+                return Err(err);
+            }
+        };
+        let tables = statement.referenced_tables();
+
+        let (permit, queue_wait) = match shared.admission.acquire() {
+            Ok(admitted) => admitted,
+            Err(err) => {
+                shared.metrics.record_rejection(self.id);
+                return Err(SharkError::Execution(err.to_string()));
+            }
+        };
+        let recomputed_tables = shared.memstore.pin(&tables);
+        let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
+        let admitted_at = Instant::now();
+        match self.sql.sql_to_stream(&statement) {
+            Ok(stream) => Ok(QueryCursor {
+                session: self,
+                permit: Some(permit),
+                stream,
+                tables,
+                statement: text.to_string(),
+                queue_wait,
+                admitted_at,
+                recomputed_tables,
+                cache_hit_bytes,
+                failed: false,
+                finalized: false,
+            }),
+            Err(err) => {
+                // Planning failed: release everything and record the
+                // failure before the permit drops.
+                shared.memstore.unpin(&tables);
+                let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
+                drop(permit);
+                shared.metrics.record(QueryMetrics {
+                    session_id: self.id,
+                    query_id: shared.next_query_id.fetch_add(1, Ordering::Relaxed),
+                    statement: text.to_string(),
+                    queue_wait,
+                    exec_time: admitted_at.elapsed(),
+                    sim_seconds: 0.0,
+                    time_to_first_row: admitted_at.elapsed(),
+                    rows_streamed: 0,
+                    partitions_streamed: 0,
+                    partitions_total: 0,
+                    // No cursor was ever handed out, so this does not
+                    // count toward the streamed-query aggregates.
+                    streamed: false,
+                    cache_hit_bytes,
+                    recomputed_tables,
+                    evictions_triggered: evictions.len(),
+                    failed: true,
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// Record a query that never got past parsing.
+    fn record_parse_failure(&self, text: &str) {
+        self.shared.metrics.record(QueryMetrics {
+            session_id: self.id,
+            query_id: self.shared.next_query_id.fetch_add(1, Ordering::Relaxed),
+            statement: text.to_string(),
+            queue_wait: Duration::ZERO,
+            exec_time: Duration::ZERO,
+            sim_seconds: 0.0,
+            time_to_first_row: Duration::ZERO,
+            rows_streamed: 0,
+            partitions_streamed: 0,
+            partitions_total: 0,
+            streamed: false,
+            cache_hit_bytes: 0,
+            recomputed_tables: 0,
+            evictions_triggered: 0,
+            failed: true,
+        });
     }
 
     /// Eagerly load a cached table through this session (admission-gated
@@ -313,5 +409,139 @@ impl SessionHandle {
         shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
         drop(permit);
         report
+    }
+}
+
+/// The tables a statement needs pinned while it executes: every table it
+/// reads, plus — for CTAS — the table it *creates*, so a concurrent budget
+/// enforcement cannot evict the target's freshly loaded memstore partitions
+/// mid-load.
+fn pinned_tables_for(statement: &shark_sql::ast::Statement) -> Vec<String> {
+    let mut tables = statement.referenced_tables();
+    if let shark_sql::ast::Statement::CreateTableAs { name, .. } = statement {
+        let target = name.to_lowercase();
+        if !tables.contains(&target) {
+            tables.push(target);
+        }
+    }
+    tables
+}
+
+/// Resident columnar bytes of the referenced cached tables (the bytes the
+/// scans could serve straight from the memstore).
+fn cache_hit_bytes(catalog: &Catalog, tables: &[String]) -> u64 {
+    tables
+        .iter()
+        .filter_map(|name| catalog.get(name).ok())
+        .filter_map(|t| t.cached.as_ref().map(|m| m.memory_bytes()))
+        .sum()
+}
+
+/// A streaming result cursor handed out by [`SessionHandle::sql_stream`].
+///
+/// The cursor owns the query's admission permit and the memstore pins on
+/// every referenced table. Both are released — and the query's
+/// [`QueryMetrics`] recorded — when the stream is exhausted, when an
+/// execution error surfaces, or when the cursor is dropped mid-stream.
+pub struct QueryCursor<'s> {
+    session: &'s SessionHandle,
+    permit: Option<AdmissionPermit<'s>>,
+    stream: QueryStream,
+    tables: Vec<String>,
+    statement: String,
+    queue_wait: Duration,
+    admitted_at: Instant,
+    recomputed_tables: usize,
+    cache_hit_bytes: u64,
+    failed: bool,
+    finalized: bool,
+}
+
+impl QueryCursor<'_> {
+    /// The result schema.
+    pub fn schema(&self) -> &Schema {
+        self.stream.schema()
+    }
+
+    /// Run-time decisions taken while building and running the pipeline.
+    pub fn notes(&self) -> &[String] {
+        self.stream.notes()
+    }
+
+    /// Delivery progress so far.
+    pub fn progress(&self) -> &StreamProgress {
+        self.stream.progress()
+    }
+
+    /// Fetch the next batch of rows. Returns `Ok(None)` when the stream is
+    /// exhausted, at which point the admission permit and table pins have
+    /// been released and the query's metrics recorded.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.finalized {
+            return Ok(None);
+        }
+        match self.stream.next_batch() {
+            Ok(Some(batch)) => Ok(Some(batch)),
+            Ok(None) => {
+                self.finalize();
+                Ok(None)
+            }
+            Err(err) => {
+                self.failed = true;
+                self.finalize();
+                Err(err)
+            }
+        }
+    }
+
+    /// Drain the rest of the stream into one vector (closing the cursor).
+    pub fn fetch_all(&mut self) -> Result<Vec<Row>> {
+        let mut rows = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            rows.extend(batch);
+        }
+        Ok(rows)
+    }
+
+    /// Release pins + permit and record this query's metrics. Idempotent.
+    fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let shared = &self.session.shared;
+        let exec_time = self.admitted_at.elapsed();
+        let progress = self.stream.progress().clone();
+        let sim_seconds = self.stream.sim_seconds();
+        shared.memstore.unpin(&self.tables);
+        // Re-enforce the budget while still holding the permit, exactly as
+        // the batch path does on completion.
+        let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
+        self.permit.take();
+        shared.metrics.record(QueryMetrics {
+            session_id: self.session.id,
+            query_id: shared.next_query_id.fetch_add(1, Ordering::Relaxed),
+            statement: self.statement.clone(),
+            queue_wait: self.queue_wait,
+            exec_time,
+            sim_seconds,
+            time_to_first_row: progress.time_to_first_row.unwrap_or(exec_time),
+            rows_streamed: progress.rows_streamed,
+            partitions_streamed: progress.partitions_streamed,
+            partitions_total: progress.partitions_total,
+            streamed: true,
+            cache_hit_bytes: self.cache_hit_bytes,
+            recomputed_tables: self.recomputed_tables,
+            evictions_triggered: evictions.len(),
+            failed: self.failed,
+        });
+    }
+}
+
+impl Drop for QueryCursor<'_> {
+    fn drop(&mut self) {
+        // A cursor abandoned mid-stream still releases its pins and permit
+        // and records what it streamed.
+        self.finalize();
     }
 }

@@ -1,0 +1,236 @@
+//! End-to-end tests of the streaming serving path: cursors deliver batches
+//! incrementally while holding the admission permit and memstore pins, LIMIT
+//! streams stop launching partitions early (observable through the
+//! streamed-partitions metric), and dropping a cursor mid-stream releases
+//! everything it held.
+
+use shark_common::{row, DataType, Schema};
+use shark_rdd::RddConfig;
+use shark_server::{ServerConfig, SharkServer};
+use shark_sql::{ExecConfig, TableMeta};
+
+const PARTITIONS: usize = 4;
+const ROWS_PER_PARTITION: usize = 50;
+
+fn register_tables(server: &SharkServer, names: &[&str]) {
+    for name in names {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("grp", DataType::Str),
+            ("amount", DataType::Float),
+        ]);
+        server.register_table(
+            TableMeta::new(name, schema, PARTITIONS, move |p| {
+                (0..ROWS_PER_PARTITION)
+                    .map(|i| {
+                        row![
+                            (p * ROWS_PER_PARTITION + i) as i64,
+                            ["alpha", "beta", "gamma"][i % 3],
+                            (p * ROWS_PER_PARTITION + i) as f64 * 0.5
+                        ]
+                    })
+                    .collect()
+            })
+            .with_cache(PARTITIONS)
+            .with_row_count_hint((PARTITIONS * ROWS_PER_PARTITION) as u64),
+        );
+    }
+}
+
+fn server_with(names: &[&str], config: ServerConfig) -> SharkServer {
+    let server = SharkServer::new(config);
+    register_tables(&server, names);
+    for name in names {
+        server.load_table(name).unwrap();
+    }
+    server
+}
+
+#[test]
+fn streamed_rows_match_batch_rows_including_order_by_merge() {
+    let server = server_with(&["t0"], ServerConfig::default());
+    let session = server.session();
+    for query in [
+        "SELECT k, amount FROM t0 WHERE k < 120",
+        "SELECT k, amount FROM t0 ORDER BY amount DESC",
+        "SELECT grp, COUNT(*) FROM t0 GROUP BY grp ORDER BY grp",
+    ] {
+        let batch = session.sql(query).unwrap().result.rows;
+        let streamed = session.sql_stream(query).unwrap().fetch_all().unwrap();
+        assert_eq!(streamed, batch, "query: {query}");
+    }
+}
+
+#[test]
+fn limit_stream_executes_fewer_partitions_and_reports_first_row_early() {
+    let server = server_with(&["t0"], ServerConfig::default());
+    let session = server.session();
+
+    // LIMIT over a 4-partition table: the stream must stop after the first
+    // partition satisfied the limit.
+    let rows = session
+        .sql_stream("SELECT k FROM t0 LIMIT 3")
+        .unwrap()
+        .fetch_all()
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+
+    // A full multi-partition scan: the first row arrives before the last
+    // partition has run.
+    let mut cursor = session.sql_stream("SELECT k, grp, amount FROM t0").unwrap();
+    let mut streamed = 0usize;
+    while let Some(batch) = cursor.next_batch().unwrap() {
+        streamed += batch.len();
+    }
+    assert_eq!(streamed, PARTITIONS * ROWS_PER_PARTITION);
+    drop(cursor);
+
+    let log = server.query_log();
+    let limit_metrics = log
+        .iter()
+        .find(|q| q.statement.contains("LIMIT 3"))
+        .expect("limit query recorded");
+    assert!(limit_metrics.streamed);
+    assert_eq!(limit_metrics.partitions_total, PARTITIONS);
+    assert!(
+        limit_metrics.partitions_streamed < limit_metrics.partitions_total,
+        "LIMIT stream ran {}/{} partitions",
+        limit_metrics.partitions_streamed,
+        limit_metrics.partitions_total
+    );
+    assert_eq!(limit_metrics.rows_streamed, 3);
+
+    let scan_metrics = log
+        .iter()
+        .find(|q| q.statement.contains("k, grp, amount"))
+        .expect("full scan recorded");
+    assert_eq!(scan_metrics.partitions_streamed, PARTITIONS);
+    assert!(
+        scan_metrics.time_to_first_row < scan_metrics.exec_time,
+        "first row ({:?}) must arrive before the stream completes ({:?})",
+        scan_metrics.time_to_first_row,
+        scan_metrics.exec_time
+    );
+
+    let report = server.report();
+    assert_eq!(report.streamed_queries, 2);
+    assert!(report.streamed_partitions >= (PARTITIONS + 1) as u64);
+}
+
+#[test]
+fn dropping_a_cursor_mid_stream_releases_pins_and_permit() {
+    let server = server_with(
+        &["t0"],
+        ServerConfig::default().with_admission(1, 0), // a single execution slot
+    );
+    let session = server.session();
+
+    let mut cursor = session.sql_stream("SELECT k FROM t0").unwrap();
+    let first = cursor.next_batch().unwrap().expect("first batch");
+    assert!(!first.is_empty());
+    // Mid-stream: the cursor still holds the permit and the table pin.
+    assert_eq!(server.running_queries(), 1);
+    assert_eq!(server.pinned_tables(), vec!["t0".to_string()]);
+    // With one slot and zero queue spots, a second query is rejected.
+    assert!(session.sql("SELECT COUNT(*) FROM t0").is_err());
+
+    drop(cursor);
+    assert_eq!(server.running_queries(), 0);
+    assert!(server.pinned_tables().is_empty());
+    // The slot is free again.
+    assert!(session.sql("SELECT COUNT(*) FROM t0").is_ok());
+
+    // The abandoned stream still recorded what it delivered.
+    let log = server.query_log();
+    let abandoned = log
+        .iter()
+        .find(|q| q.statement == "SELECT k FROM t0")
+        .expect("abandoned stream recorded");
+    assert!(abandoned.streamed);
+    assert!(abandoned.partitions_streamed < abandoned.partitions_total);
+    assert!(!abandoned.failed);
+}
+
+#[test]
+fn open_cursor_pins_its_table_against_budget_enforcement() {
+    // Budget fits roughly one table, so loading t1 pushes residency over.
+    let sizing = server_with(&["t0", "t1"], ServerConfig::default());
+    let budget = sizing.catalog().memstore_bytes() * 6 / 10;
+
+    let server = server_with(
+        &["t0"],
+        ServerConfig {
+            rdd: RddConfig::default(),
+            exec: ExecConfig::shark(),
+            memory_budget_bytes: budget,
+            max_concurrent_queries: 4,
+            max_queued_queries: 16,
+        },
+    );
+    register_tables(&server, &["t1"]);
+
+    let streaming_session = server.session();
+    let mut cursor = streaming_session.sql_stream("SELECT k FROM t0").unwrap();
+    let first = cursor.next_batch().unwrap().expect("first batch");
+
+    // A concurrent query loads t1, blowing the budget; enforcement must
+    // evict t1 (unpinned once its query finishes), never the pinned t0.
+    let other = server.session();
+    other.sql("SELECT COUNT(*) FROM t1").unwrap();
+
+    let t0 = server.catalog().get("t0").unwrap();
+    assert_eq!(
+        t0.cached.as_ref().unwrap().loaded_partitions(),
+        PARTITIONS,
+        "pinned table must survive enforcement"
+    );
+    let rest = cursor.fetch_all().unwrap();
+    assert_eq!(first.len() + rest.len(), PARTITIONS * ROWS_PER_PARTITION);
+}
+
+#[test]
+fn concurrent_ctas_on_a_shared_catalog_has_exactly_one_winner() {
+    let server = server_with(&["t0"], ServerConfig::default());
+    let successes: usize = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let session = server.session();
+                scope.spawn(move || {
+                    usize::from(
+                        session
+                            .sql("CREATE TABLE dup AS SELECT k, amount FROM t0 WHERE k < 100")
+                            .is_ok(),
+                    )
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(successes, 1, "exactly one CTAS may win the name");
+    // The winner's table is intact and queryable.
+    let session = server.session();
+    let count = session.sql("SELECT COUNT(*) FROM dup").unwrap();
+    assert_eq!(count.result.rows[0].get_int(0).unwrap(), 100);
+}
+
+#[test]
+fn cached_ctas_under_pressure_keeps_its_target_pinned_until_loaded() {
+    // A budget far too small for anything: every enforcement pass wants to
+    // evict. The CTAS target must still register and load correctly because
+    // it stays pinned for the duration of the statement.
+    let server = server_with(&["t0"], ServerConfig::default().with_memory_budget(1024));
+    let session = server.session();
+    session
+        .sql(
+            "CREATE TABLE hot TBLPROPERTIES(\"shark.cache\" = \"true\") AS \
+             SELECT k, amount FROM t0 WHERE k < 40",
+        )
+        .unwrap();
+    assert!(server.catalog().contains("hot"));
+    let count = session.sql("SELECT COUNT(*) FROM hot").unwrap();
+    assert_eq!(count.result.rows[0].get_int(0).unwrap(), 40);
+    // Nothing is left pinned after the statement.
+    assert!(server.pinned_tables().is_empty());
+}

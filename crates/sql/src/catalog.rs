@@ -207,6 +207,26 @@ impl Catalog {
         arc
     }
 
+    /// Register a table only if no table of that name exists yet, checking
+    /// and inserting under one write lock. This is the atomic path CTAS
+    /// needs on a shared catalog: with a separate `contains` + `register`,
+    /// two concurrent `CREATE TABLE t AS …` both pass the check and the
+    /// loser silently clobbers the winner's table.
+    pub fn register_if_absent(&self, table: TableMeta) -> Result<Arc<TableMeta>> {
+        let mut tables = self.tables.write();
+        match tables.entry(table.name.clone()) {
+            std::collections::hash_map::Entry::Occupied(_) => Err(SharkError::Catalog(format!(
+                "table '{}' already exists",
+                table.name
+            ))),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let arc = Arc::new(table);
+                slot.insert(arc.clone());
+                Ok(arc)
+            }
+        }
+    }
+
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Result<Arc<TableMeta>> {
         self.tables
@@ -300,6 +320,32 @@ mod tests {
         catalog.drop_table("users").unwrap();
         assert!(catalog.get("users").is_err());
         assert!(catalog.drop_table("users").is_err());
+    }
+
+    #[test]
+    fn register_if_absent_is_atomic() {
+        let catalog = Catalog::new();
+        assert!(catalog.register_if_absent(demo_table(false)).is_ok());
+        let err = match catalog.register_if_absent(demo_table(false)) {
+            Ok(_) => panic!("duplicate registration must fail"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("already exists"));
+        // Concurrent registrations of the same name: exactly one wins.
+        let shared = Arc::new(Catalog::new());
+        let winners: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let c = shared.clone();
+                    scope.spawn(move || usize::from(c.register_if_absent(demo_table(true)).is_ok()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(winners, 1);
+        assert!(shared.contains("users"));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use shark_rdd::RddContext;
 
 use crate::ast::Statement;
 use crate::catalog::{Catalog, TableMeta};
-use crate::exec::{self, ExecConfig, LoadReport, QueryResult, TableRdd};
+use crate::exec::{self, ExecConfig, LoadReport, QueryResult, QueryStream, TableRdd};
 use crate::expr::UdfRegistry;
 use crate::parser;
 use crate::plan::plan_select;
@@ -128,6 +128,21 @@ impl SqlSession {
         }
     }
 
+    /// Execute a SELECT incrementally, returning a [`QueryStream`] cursor
+    /// that delivers row batches as partitions finish (and, for LIMIT
+    /// queries, stops launching partitions once enough rows streamed).
+    pub fn sql_stream(&self, text: &str) -> Result<QueryStream> {
+        self.sql_to_stream(&parser::parse_select(text)?)
+    }
+
+    /// Stream an already-parsed SELECT (the statement-level counterpart of
+    /// [`SqlSession::sql_stream`], used by serving layers that parse once
+    /// for admission/pinning bookkeeping).
+    pub fn sql_to_stream(&self, stmt: &crate::ast::SelectStmt) -> Result<QueryStream> {
+        let plan = plan_select(stmt, &self.catalog, &self.udfs)?;
+        exec::execute_stream(&self.ctx, &plan, &self.exec)
+    }
+
     /// Execute a query and return its result as an RDD plus schema — the
     /// `sql2rdd` API used to feed ML algorithms (§4.1, Listing 1).
     pub fn sql_to_rdd(&self, text: &str) -> Result<TableRdd> {
@@ -152,33 +167,39 @@ impl SqlSession {
         properties: &[(String, String)],
         query: &crate::ast::SelectStmt,
     ) -> Result<QueryResult> {
+        // Fail fast before doing any work; the authoritative (atomic) check
+        // is the `register_if_absent` below, which closes the window where
+        // two concurrent CTAS statements both pass this one.
         if self.catalog.contains(name) {
             return Err(SharkError::Catalog(format!(
                 "table '{name}' already exists"
             )));
         }
+        let wall = std::time::Instant::now();
         let plan = plan_select(query, &self.catalog, &self.udfs)?;
-        let result = exec::execute(&self.ctx, &plan, &self.exec)?;
-        let schema = result.schema.clone();
+        let schema = plan.output_schema.clone();
 
-        // Partition the result: hash by the DISTRIBUTE BY column, or split
-        // evenly.
+        // Stream the query and build the new table's partitions
+        // incrementally — hash by the DISTRIBUTE BY column or round-robin —
+        // instead of cloning a fully collected result set.
+        let mut stream = exec::execute_stream(&self.ctx, &plan, &self.exec)?;
         let num_partitions = self.ctx.config().default_partitions.max(1);
         let mut partitions: Vec<Vec<Row>> = vec![Vec::new(); num_partitions];
-        match plan.distribute_by {
-            Some(col) => {
-                for row in result.rows.iter() {
-                    let p = shark_common::hash::hash_partition(row.get(col), num_partitions);
-                    partitions[p].push(row.clone());
-                }
-            }
-            None => {
-                for (i, row) in result.rows.iter().enumerate() {
-                    partitions[i % num_partitions].push(row.clone());
-                }
+        let mut row_count = 0u64;
+        while let Some(batch) = stream.next_batch()? {
+            for row in batch {
+                let p = match plan.distribute_by {
+                    Some(col) => shark_common::hash::hash_partition(row.get(col), num_partitions),
+                    None => row_count as usize % num_partitions,
+                };
+                partitions[p].push(row);
+                row_count += 1;
             }
         }
-        let row_count = result.rows.len() as u64;
+        let sim_seconds_exec = stream.sim_seconds();
+        let stream_notes = stream.notes().to_vec();
+        let plan_desc = stream.plan().to_string();
+
         let partitions = Arc::new(partitions);
         let gen_parts = partitions.clone();
         let mut table = TableMeta::new(name, schema.clone(), num_partitions, move |p| {
@@ -201,9 +222,9 @@ impl SqlSession {
         {
             table = table.with_copartition(other);
         }
-        let registered = self.catalog.register(table);
-        let mut notes = result.notes.clone();
-        let mut sim_seconds = result.sim_seconds;
+        let registered = self.catalog.register_if_absent(table)?;
+        let mut notes = stream_notes;
+        let mut sim_seconds = sim_seconds_exec;
         if cache_requested {
             let load = exec::load_table(&self.ctx, &registered)?;
             sim_seconds += load.sim_seconds;
@@ -216,8 +237,8 @@ impl SqlSession {
             schema,
             rows: vec![],
             sim_seconds,
-            real_seconds: result.real_seconds,
-            plan: format!("create_table_as({name}) <- {}", result.plan),
+            real_seconds: wall.elapsed().as_secs_f64(),
+            plan: format!("create_table_as({name}) <- {plan_desc}"),
             notes,
         })
     }
@@ -308,6 +329,67 @@ mod tests {
         let r = s.sql("SELECT store FROM sales LIMIT 3").unwrap();
         assert_eq!(r.rows.len(), 3);
         assert!(r.notes.iter().any(|n| n.contains("limit pushed down")));
+    }
+
+    #[test]
+    fn streamed_order_by_merge_matches_collected_result() {
+        let s = session();
+        s.load_table("sales").unwrap();
+        let query = "SELECT day, amount FROM sales ORDER BY amount DESC";
+        let collected = s.sql(query).unwrap();
+        let mut stream = s.sql_stream(query).unwrap().with_batch_size(7);
+        let mut rows = Vec::new();
+        while let Some(batch) = stream.next_batch().unwrap() {
+            assert!(batch.len() <= 7);
+            rows.extend(batch);
+        }
+        assert_eq!(rows, collected.rows);
+        assert_eq!(stream.progress().rows_streamed, collected.rows.len() as u64);
+        // Every partition had to run before the merge could start.
+        assert_eq!(stream.progress().partitions_streamed, 4);
+    }
+
+    #[test]
+    fn streamed_limit_executes_fewer_partitions() {
+        let s = session();
+        s.load_table("sales").unwrap();
+        let mut stream = s.sql_stream("SELECT store FROM sales LIMIT 3").unwrap();
+        let mut rows = Vec::new();
+        while let Some(batch) = stream.next_batch().unwrap() {
+            rows.extend(batch);
+        }
+        assert_eq!(rows.len(), 3);
+        let progress = stream.progress();
+        assert_eq!(progress.partitions_total, 4);
+        assert!(
+            progress.partitions_streamed < progress.partitions_total,
+            "limit should stop partition launches early: {progress:?}"
+        );
+        assert_eq!(progress.rows_streamed, 3);
+        assert!(stream.is_exhausted());
+        assert!(stream
+            .notes()
+            .iter()
+            .any(|n| n.contains("stream: stopped after")));
+    }
+
+    #[test]
+    fn streaming_reports_first_row_before_completion() {
+        let s = session();
+        let mut stream = s
+            .sql_stream("SELECT day, store, amount FROM sales")
+            .unwrap();
+        let first = stream.next_batch().unwrap().unwrap();
+        assert!(!first.is_empty());
+        let ttfr_sim = stream.progress().sim_seconds_to_first_row.unwrap();
+        assert!(stream.progress().time_to_first_row.is_some());
+        while stream.next_batch().unwrap().is_some() {}
+        assert_eq!(stream.progress().partitions_streamed, 4);
+        assert!(
+            ttfr_sim < stream.sim_seconds(),
+            "first row ({ttfr_sim}s) must arrive before the stream completes ({}s)",
+            stream.sim_seconds()
+        );
     }
 
     #[test]

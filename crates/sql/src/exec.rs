@@ -16,12 +16,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use shark_cluster::DfsModel;
+use shark_cluster::{DfsModel, OutputSink};
 use shark_columnar::ColumnarPartition;
 use shark_common::size::estimate_slice;
 use shark_common::{Result, Row, Schema, SharkError, Value};
-use shark_rdd::{Aggregator, Rdd, RddContext};
+use shark_rdd::{Aggregator, Rdd, RddContext, StreamingJob};
 
 use crate::aggregate::{AggExpr, AggStates};
 use crate::catalog::TableMeta;
@@ -245,16 +246,7 @@ pub fn execute(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<Q
     // Driver-side ORDER BY / LIMIT (result sets at this point are small).
     if !plan.order_by.is_empty() {
         let keys = plan.order_by.clone();
-        rows.sort_by(|a, b| {
-            for (col, desc) in &keys {
-                let ord = a.get(*col).total_cmp(b.get(*col));
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        rows.sort_by(|a, b| compare_rows(a, b, &keys));
     }
     if let Some(n) = plan.limit {
         rows.truncate(n);
@@ -267,6 +259,310 @@ pub fn execute(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<Q
         real_seconds: wall.elapsed().as_secs_f64(),
         plan: plan.describe(),
         notes: table_rdd.notes,
+    })
+}
+
+/// Default number of rows per batch emitted by a [`QueryStream`].
+pub const DEFAULT_STREAM_BATCH_ROWS: usize = 1024;
+
+/// What a [`QueryStream`] has delivered so far.
+#[derive(Debug, Clone, Default)]
+pub struct StreamProgress {
+    /// Rows handed to the consumer.
+    pub rows_streamed: u64,
+    /// Result-stage partitions actually executed.
+    pub partitions_streamed: usize,
+    /// Partitions the full result stage has (a LIMIT stream may finish
+    /// having executed fewer).
+    pub partitions_total: usize,
+    /// Wall-clock time from opening the stream until the first row was
+    /// delivered. `None` until then.
+    pub time_to_first_row: Option<Duration>,
+    /// Simulated cluster seconds charged up to the first delivered row.
+    pub sim_seconds_to_first_row: Option<f64>,
+}
+
+/// A cursor over a query's result: row batches are delivered as partitions
+/// finish instead of materializing the whole result set on the driver — the
+/// paper's interactivity story (§2) taken to its conclusion.
+///
+/// * Without ORDER BY, partitions execute one at a time, each producing one
+///   batch; a LIMIT terminates the stream — and stops launching partition
+///   tasks — as soon as enough rows have been delivered.
+/// * With ORDER BY, every partition is sorted inside its own task (the sort
+///   is charged to that task's simulated cost) and the driver k-way-merges
+///   the sorted runs, emitting batches of at most `batch_size` rows; LIMIT
+///   stops the merge after the first `k` rows.
+pub struct QueryStream {
+    job: StreamingJob<Row>,
+    schema: Schema,
+    plan_desc: String,
+    notes: Vec<String>,
+    order_by: Vec<(usize, bool)>,
+    /// Rows still to emit under LIMIT (`None` = unlimited).
+    remaining: Option<usize>,
+    next_partition: usize,
+    /// Sorted runs for the ORDER BY path: `(rows, cursor)` per partition.
+    runs: Option<Vec<(Vec<Row>, usize)>>,
+    batch_size: usize,
+    wall: Instant,
+    progress: StreamProgress,
+    done: bool,
+}
+
+/// Compare two rows under an ORDER BY key list.
+fn compare_rows(a: &Row, b: &Row, keys: &[(usize, bool)]) -> std::cmp::Ordering {
+    for (col, desc) in keys {
+        let ord = a.get(*col).total_cmp(b.get(*col));
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+impl QueryStream {
+    /// The result schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Human-readable plan description.
+    pub fn plan(&self) -> &str {
+        &self.plan_desc
+    }
+
+    /// Run-time decisions taken while building and running the pipeline.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Delivery progress so far.
+    pub fn progress(&self) -> &StreamProgress {
+        &self.progress
+    }
+
+    /// Whether the stream has delivered everything it will deliver.
+    pub fn is_exhausted(&self) -> bool {
+        self.done
+    }
+
+    /// Simulated cluster seconds charged by this query's own stages so far
+    /// (a per-job sum, not a delta of the shared cluster clock — concurrent
+    /// queries on the same context do not leak into it).
+    pub fn sim_seconds(&self) -> f64 {
+        self.job.sim_seconds()
+    }
+
+    /// Set the maximum rows per merged batch (ORDER BY path; unordered
+    /// streams emit one batch per partition).
+    pub fn with_batch_size(mut self, rows: usize) -> QueryStream {
+        self.batch_size = rows.max(1);
+        self
+    }
+
+    /// Produce the next batch of rows, or `None` when the stream is
+    /// exhausted. Empty partitions are skipped, so a returned batch is
+    /// never empty.
+    pub fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.remaining == Some(0) {
+            self.finish_stream();
+            return Ok(None);
+        }
+        let batch = if self.order_by.is_empty() {
+            self.next_unordered_batch()
+        } else {
+            self.next_merged_batch()
+        };
+        let batch = match batch {
+            Ok(batch) => batch,
+            Err(err) => {
+                // Latch the failure: a retried next_batch() must not resume
+                // past the failed partition (silently dropping its rows) or
+                // re-materialize every ORDER BY run from scratch.
+                self.done = true;
+                self.job.finish();
+                return Err(err);
+            }
+        };
+        match batch {
+            Some(rows) => {
+                if self.progress.time_to_first_row.is_none() {
+                    self.progress.time_to_first_row = Some(self.wall.elapsed());
+                    self.progress.sim_seconds_to_first_row = Some(self.sim_seconds());
+                }
+                self.progress.rows_streamed += rows.len() as u64;
+                if let Some(remaining) = self.remaining.as_mut() {
+                    *remaining -= rows.len().min(*remaining);
+                    if *remaining == 0 {
+                        self.finish_stream();
+                    }
+                }
+                Ok(Some(rows))
+            }
+            None => {
+                self.finish_stream();
+                Ok(None)
+            }
+        }
+    }
+
+    /// Drain the stream into a fully materialized [`QueryResult`].
+    pub fn into_result(mut self) -> Result<QueryResult> {
+        let mut rows = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            rows.extend(batch);
+        }
+        Ok(QueryResult {
+            schema: self.schema.clone(),
+            rows,
+            sim_seconds: self.sim_seconds(),
+            real_seconds: self.wall.elapsed().as_secs_f64(),
+            plan: self.plan_desc.clone(),
+            notes: self.notes.clone(),
+        })
+    }
+
+    /// One batch from the unordered path: the next non-empty partition's
+    /// rows, truncated to the remaining LIMIT budget.
+    fn next_unordered_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        while self.next_partition < self.job.num_partitions() {
+            let partition = self.next_partition;
+            self.next_partition += 1;
+            let rows: Vec<Row> =
+                self.job
+                    .run_partition(partition, OutputSink::Collect, |rows, _metrics| rows)?;
+            self.progress.partitions_streamed += 1;
+            if rows.is_empty() {
+                continue;
+            }
+            let mut rows = rows;
+            if let Some(remaining) = self.remaining {
+                rows.truncate(remaining);
+            }
+            return Ok(Some(rows));
+        }
+        Ok(None)
+    }
+
+    /// One batch from the ORDER BY path: materialize per-partition sorted
+    /// runs on first use, then merge up to `batch_size` rows.
+    fn next_merged_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if self.runs.is_none() {
+            let keys = self.order_by.clone();
+            let mut runs = Vec::with_capacity(self.job.num_partitions());
+            for partition in 0..self.job.num_partitions() {
+                let keys = keys.clone();
+                let sorted: Vec<Row> = self.job.run_partition(
+                    partition,
+                    OutputSink::Collect,
+                    move |mut rows, m| {
+                        m.add_sort(rows.len() as u64);
+                        rows.sort_by(|a, b| compare_rows(a, b, &keys));
+                        rows
+                    },
+                )?;
+                self.progress.partitions_streamed += 1;
+                if !sorted.is_empty() {
+                    runs.push((sorted, 0usize));
+                }
+            }
+            self.runs = Some(runs);
+        }
+        let runs = self.runs.as_mut().expect("runs just materialized");
+        let budget = self
+            .remaining
+            .unwrap_or(usize::MAX)
+            .min(self.batch_size)
+            .max(1);
+        let mut out = Vec::new();
+        while out.len() < budget {
+            // Pick the run whose head row sorts first (k is small: the
+            // linear scan beats heap bookkeeping at simulation scale).
+            let mut best: Option<usize> = None;
+            for (i, (rows, cursor)) in runs.iter().enumerate() {
+                if *cursor >= rows.len() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(j) => {
+                        let (jrows, jcur) = &runs[j];
+                        if compare_rows(&rows[*cursor], &jrows[*jcur], &self.order_by)
+                            == std::cmp::Ordering::Less
+                        {
+                            Some(i)
+                        } else {
+                            Some(j)
+                        }
+                    }
+                };
+            }
+            match best {
+                Some(i) => {
+                    let (rows, cursor) = &mut runs[i];
+                    out.push(rows[*cursor].clone());
+                    *cursor += 1;
+                }
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+
+    /// Mark the stream exhausted, note an early stop if one happened, and
+    /// record the job report.
+    fn finish_stream(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let total = self.progress.partitions_total;
+        if self.progress.partitions_streamed < total {
+            self.notes.push(format!(
+                "stream: stopped after {}/{} partitions (limit satisfied)",
+                self.progress.partitions_streamed, total
+            ));
+        }
+        self.job.finish();
+    }
+}
+
+/// Execute a plan incrementally: build the pipeline, run its shuffle
+/// dependencies, and return a [`QueryStream`] cursor that executes result
+/// partitions on demand. The counterpart of [`execute`] for serving layers
+/// that care about time-to-first-row.
+pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<QueryStream> {
+    let wall = Instant::now();
+    let table_rdd = build_pipeline(ctx, plan, cfg)?;
+    let mut notes = table_rdd.notes;
+    notes.push("result streaming: partitions delivered incrementally".into());
+    let job = StreamingJob::new(ctx, &table_rdd.rdd, "sql-stream")?;
+    let partitions_total = job.num_partitions();
+    Ok(QueryStream {
+        job,
+        schema: plan.output_schema.clone(),
+        plan_desc: plan.describe(),
+        notes,
+        order_by: plan.order_by.clone(),
+        remaining: plan.limit,
+        next_partition: 0,
+        runs: None,
+        batch_size: DEFAULT_STREAM_BATCH_ROWS,
+        wall,
+        progress: StreamProgress {
+            partitions_total,
+            ..StreamProgress::default()
+        },
+        done: false,
     })
 }
 

@@ -27,7 +27,9 @@ pub mod scan;
 pub use aggregate::{AggExpr, AggFunc, AggState, AggStates};
 pub use catalog::{Catalog, MemTable, TableMeta};
 pub use engine::SqlSession;
-pub use exec::{ExecConfig, ExecutionMode, LoadReport, QueryResult, TableRdd};
+pub use exec::{
+    ExecConfig, ExecutionMode, LoadReport, QueryResult, QueryStream, StreamProgress, TableRdd,
+};
 pub use expr::{BoundExpr, ScalarFunc, UdfRegistry};
 pub use pde::{choose_join_strategy, coalesce_buckets, JoinStrategy};
 pub use plan::{plan_select, QueryPlan};

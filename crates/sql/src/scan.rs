@@ -170,7 +170,12 @@ impl RddImpl<Row> for DfsScanRdd {
         let bytes = estimate_slice(&rows) as u64;
         metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
         metrics.add_ops(rows.len() as f64); // field extraction
-        let projected: Vec<Row> = if self.projection.len() == self.table.schema.len() {
+                                            // Skipping the projection is only sound when it is the identity
+                                            // mapping: a full-width *reorder* (e.g. [2, 0, 1]) has the same
+                                            // length as the schema but must still permute every row.
+        let is_identity = self.projection.len() == self.table.schema.len()
+            && self.projection.iter().enumerate().all(|(i, &c)| i == c);
+        let projected: Vec<Row> = if is_identity {
             rows
         } else {
             rows.iter().map(|r| r.project(&self.projection)).collect()
@@ -329,6 +334,27 @@ mod tests {
         assert_eq!(rows.len(), 6 * 50);
         // Recovery reloaded the lost partitions into the memstore.
         assert_eq!(mem.loaded_partitions(), 6);
+    }
+
+    #[test]
+    fn dfs_scan_applies_full_width_reorders() {
+        // Regression: a projection covering every column but in a different
+        // order used to be skipped entirely (the `len == schema.len()` fast
+        // path), returning columns in table order.
+        let ctx = RddContext::local();
+        let meta = Arc::new(table());
+        let rdd = DfsScanRdd::create(&ctx, meta.clone(), vec![2, 1, 0], vec![]);
+        let rows = rdd.collect().unwrap();
+        assert_eq!(rows.len(), 6 * 50);
+        // Output order must be (metric, country, day), not table order.
+        let first = &rows[0];
+        assert!(first.get_float(0).is_ok(), "metric first: {first:?}");
+        assert_eq!(first.get_str(1).unwrap().as_ref(), "US");
+        assert_eq!(first.get_int(2).unwrap(), 0);
+        // The true identity projection still passes rows through unchanged.
+        let rdd = DfsScanRdd::create(&ctx, meta, vec![0, 1, 2], vec![]);
+        let rows = rdd.collect().unwrap();
+        assert_eq!(rows[0].get_int(0).unwrap(), 0);
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! under a memory budget deliberately too small for the full working set —
 //! so the server's LRU policy keeps evicting whole tables and lineage keeps
 //! recomputing them, while admission control bounds the in-flight queries.
+//! LIMIT queries go through the streaming cursor (`sql_stream`), which
+//! stops launching partitions once enough rows were delivered and records
+//! per-query time-to-first-row.
 //!
 //! Run with: `cargo run --release -p shark-examples --example server_concurrent`
 
@@ -95,9 +98,18 @@ fn main() -> shark_common::Result<()> {
                     // Offset the query mix per session so the tables keep
                     // displacing each other in the memstore.
                     let text = queries[(s + round + q) % queries.len()];
-                    match session.sql(text) {
-                        Ok(result) => rows += result.result.rows.len(),
-                        Err(err) => eprintln!("session {s}: {err}"),
+                    if text.contains("LIMIT") {
+                        // Serve LIMIT queries through the streaming cursor:
+                        // partitions stop launching once the limit is met.
+                        match session.sql_stream(text).and_then(|mut c| c.fetch_all()) {
+                            Ok(streamed) => rows += streamed.len(),
+                            Err(err) => eprintln!("session {s}: {err}"),
+                        }
+                    } else {
+                        match session.sql(text) {
+                            Ok(result) => rows += result.result.rows.len(),
+                            Err(err) => eprintln!("session {s}: {err}"),
+                        }
                     }
                 }
             }
@@ -108,6 +120,22 @@ fn main() -> shark_common::Result<()> {
         let (id, rows) = worker.join().expect("worker panicked");
         println!("session {id} finished ({rows} result rows)");
     }
+
+    // Streaming close-up: a full lineitem scan through a cursor, showing
+    // how early the first batch lands relative to the whole result.
+    let session = server.session();
+    let mut cursor = session.sql_stream("SELECT l_orderkey, l_shipmode FROM lineitem")?;
+    let first = cursor.next_batch()?.unwrap_or_default();
+    let progress = cursor.progress().clone();
+    let rest = cursor.fetch_all()?;
+    println!(
+        "\nstreamed scan: first batch of {} rows after {:?} ({}/{} partitions); {} rows total",
+        first.len(),
+        progress.time_to_first_row.unwrap_or_default(),
+        progress.partitions_streamed,
+        progress.partitions_total,
+        first.len() + rest.len(),
+    );
 
     println!("\n--- server report ---");
     print!("{}", server.report().render());
