@@ -2,7 +2,9 @@
 //! `SharkServer` (admission + shared memstore) vs. the same queries on a
 //! bare single-owner session, the cost of budget enforcement when every
 //! query evicts, and the streaming cursor — time-to-first-batch on a full
-//! scan and the early-termination win of a streamed LIMIT.
+//! scan, the early-termination win of a streamed LIMIT, total drain time
+//! serial vs. prefetched (the pipelined worker pool overlapping partition
+//! execution with consumption), and top-k pushdown vs. the batch sort.
 use criterion::{criterion_group, criterion_main, Criterion};
 use shark_datagen::tpch::{self, TpchConfig};
 use shark_server::{ServerConfig, SharkServer};
@@ -91,6 +93,70 @@ fn bench_server(c: &mut Criterion) {
                 .sql("SELECT l_orderkey FROM lineitem LIMIT 5")
                 .unwrap();
             assert_eq!(result.result.rows.len(), 5);
+        })
+    });
+
+    // Stream-drain time, serial vs. prefetched, over an *uncached* table so
+    // every partition does real generator + scan work. The consumer is a
+    // paced client — delivering a batch costs it ~1 ms (formatting, network
+    // flush) — which is where pipelining pays: the serial path alternates
+    // executor work and client delivery, while with prefetch ≥ 2 the worker
+    // pool computes the next partitions during the delivery pauses, so the
+    // total drain time drops toward max(compute, delivery) instead of their
+    // sum. (On a multi-core host the workers additionally execute
+    // partitions in parallel with each other.)
+    let pipelined = server(u64::MAX);
+    // Default-size lineitem (60k rows): each partition is ~1 ms of
+    // generator + scan work, comparable to the client's per-batch cost.
+    let cfg = TpchConfig::default();
+    let raw_partitions = 16;
+    pipelined.register_table(TableMeta::new(
+        "lineitem_raw",
+        tpch::lineitem_schema(),
+        raw_partitions,
+        move |p| tpch::lineitem_partition(&cfg, raw_partitions, p),
+    ));
+    let drain_query = "SELECT l_orderkey, l_extendedprice FROM lineitem_raw WHERE l_quantity > 2";
+    let paced_drain = |session: &shark_server::SessionHandle| {
+        let mut cursor = session.sql_stream(drain_query).unwrap();
+        let mut rows = 0usize;
+        while let Some(batch) = cursor.next_batch().unwrap() {
+            rows += batch.len();
+            // The client-delivery pause the executors can hide behind.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(rows > 0);
+    };
+    let mut serial_session = pipelined.session();
+    serial_session.set_stream_prefetch(0);
+    g.bench_function("stream_drain_serial", |b| {
+        b.iter(|| paced_drain(&serial_session))
+    });
+    let mut prefetch_session = pipelined.session();
+    prefetch_session.set_stream_prefetch(4);
+    g.bench_function("stream_drain_prefetch4", |b| {
+        b.iter(|| paced_drain(&prefetch_session))
+    });
+
+    // Top-k pushdown: ORDER BY + LIMIT through per-partition bounded heaps
+    // and statistics-ordered partitions (l_orderkey increases with the
+    // partition index) vs. the batch path's full sort of the whole result.
+    g.bench_function("stream_topk_order_by_limit", |b| {
+        b.iter(|| {
+            let rows = stream_session
+                .sql_stream("SELECT l_orderkey FROM lineitem ORDER BY l_orderkey LIMIT 10")
+                .unwrap()
+                .fetch_all()
+                .unwrap();
+            assert_eq!(rows.len(), 10);
+        })
+    });
+    g.bench_function("batch_order_by_limit", |b| {
+        b.iter(|| {
+            let result = stream_session
+                .sql("SELECT l_orderkey FROM lineitem ORDER BY l_orderkey LIMIT 10")
+                .unwrap();
+            assert_eq!(result.result.rows.len(), 10);
         })
     });
 

@@ -39,5 +39,5 @@ pub use context::{JobReport, RddConfig, RddContext, StageReport};
 pub use metrics::TaskMetrics;
 pub use pair::{Aggregator, PreShuffledRdd};
 pub use rdd::{Data, Lineage, Rdd, RddImpl, ShuffleDepHandle};
-pub use scheduler::StreamingJob;
+pub use scheduler::{PipelinedJob, StreamingJob};
 pub use shuffle::{MapOutputStats, ShuffleManager, ShuffleSummary};

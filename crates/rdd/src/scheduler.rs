@@ -10,6 +10,7 @@
 
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -249,22 +250,15 @@ impl<T: Data> StreamingJob<T> {
         U: Send + EstimateSize,
         F: FnOnce(Vec<T>, &mut TaskMetrics) -> U,
     {
-        let scale = self.ctx.config().sim_scale;
-        let mut metrics = TaskMetrics::new();
-        let data = self
-            .rdd
-            .compute_partition(&self.ctx, partition, &mut metrics)?;
-        let rows = data.len() as u64;
-        let value = f(data, &mut metrics);
-        metrics.record_output(rows, value.estimated_size() as u64);
-        let cost = metrics.to_cost_input(scale, sink);
-        let outcome = TaskOutcome {
-            value,
-            duration: self.ctx.cost_model().task_duration(&cost),
-            preferred: self.rdd.preferred_node(&self.ctx, partition),
-            rows_in: metrics.rows_in,
-            bytes_in: metrics.bytes_in,
-        };
+        let outcome = execute_partition_task(&self.ctx, &self.rdd, partition, sink, f)?;
+        Ok(self.absorb_outcome(partition, outcome))
+    }
+
+    /// Book a task outcome computed elsewhere (a prefetch worker): simulate
+    /// it on the cluster as a single-task stage and fold it into this job's
+    /// report. Called in delivery order, so the simulated clock advances
+    /// exactly as it would under serial streaming.
+    fn absorb_outcome<U: Send>(&mut self, partition: usize, outcome: TaskOutcome<U>) -> U {
         let (report, mut values) = finish_stage(
             &self.ctx,
             &format!("stream-result({partition})"),
@@ -273,7 +267,31 @@ impl<T: Data> StreamingJob<T> {
         self.sim_seconds += report.sim_duration;
         self.stages.push(report);
         self.partitions_run += 1;
-        Ok(values.pop().expect("single task outcome"))
+        values.pop().expect("single task outcome")
+    }
+
+    /// Turn this job into a [`PipelinedJob`] delivering `order`'s partitions
+    /// through one fixed per-partition transformation. With a prefetch depth
+    /// of 0 the partitions still run serially inside `next()`; with depth
+    /// `n ≥ 1` a worker pool executes up to `n` partitions ahead of the
+    /// consumer.
+    pub fn pipelined<U, F>(self, order: Vec<usize>, sink: OutputSink, f: F) -> PipelinedJob<T, U>
+    where
+        U: Send + EstimateSize + 'static,
+        F: Fn(Vec<T>, &mut TaskMetrics) -> U + Send + Sync + 'static,
+    {
+        PipelinedJob {
+            job: self,
+            order: Arc::new(order),
+            sink,
+            f: Arc::new(f),
+            prefetch: 0,
+            pool: None,
+            workers: Vec::new(),
+            delivered: 0,
+            prefetch_hits: 0,
+            latched: false,
+        }
     }
 
     /// Record the [`JobReport`] for the work done so far. Idempotent; also
@@ -295,6 +313,307 @@ impl<T: Data> StreamingJob<T> {
 }
 
 impl<T: Data> Drop for StreamingJob<T> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Run one result-stage task in-process without simulating it yet: compute
+/// the partition, apply `f`, and price the task with the cost model. Panics
+/// inside the task (a user closure blowing up) are converted to execution
+/// errors so both the serial and the prefetched streaming paths fail the
+/// same way.
+fn execute_partition_task<T, U, F>(
+    ctx: &RddContext,
+    rdd: &Rdd<T>,
+    partition: usize,
+    sink: OutputSink,
+    f: F,
+) -> Result<TaskOutcome<U>>
+where
+    T: Data,
+    U: Send + EstimateSize,
+    F: FnOnce(Vec<T>, &mut TaskMetrics) -> U,
+{
+    let scale = ctx.config().sim_scale;
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut metrics = TaskMetrics::new();
+        let data = rdd.compute_partition(ctx, partition, &mut metrics)?;
+        let rows = data.len() as u64;
+        let value = f(data, &mut metrics);
+        metrics.record_output(rows, value.estimated_size() as u64);
+        let cost = metrics.to_cost_input(scale, sink);
+        Ok(TaskOutcome {
+            value,
+            duration: ctx.cost_model().task_duration(&cost),
+            preferred: rdd.preferred_node(ctx, partition),
+            rows_in: metrics.rows_in,
+            bytes_in: metrics.bytes_in,
+        })
+    }))
+    .unwrap_or_else(|_| {
+        Err(SharkError::Execution(format!(
+            "stream task for partition {partition} panicked"
+        )))
+    })
+}
+
+/// Shared state between a [`PipelinedJob`]'s consumer and its workers: a
+/// bounded, *ordered* channel. Workers claim positions in the planned order
+/// while they are within `prefetch` of the consumer's cursor, park results
+/// in `ready`, and everything shuts down once `cancelled` is set.
+struct PrefetchState<U> {
+    /// Next position (index into the order) a worker may claim.
+    next_claim: usize,
+    /// The consumer's cursor position.
+    deliver_pos: usize,
+    /// Completed outcomes keyed by position.
+    ready: std::collections::HashMap<usize, Result<TaskOutcome<U>>>,
+    /// No new positions may be claimed (consumer dropped/stopped or a task
+    /// failed). Claimed in-flight tasks still park their result.
+    cancelled: bool,
+}
+
+struct PrefetchShared<U> {
+    state: std::sync::Mutex<PrefetchState<U>>,
+    changed: std::sync::Condvar,
+    prefetch: usize,
+}
+
+impl<U> PrefetchShared<U> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, PrefetchState<U>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn cancel(&self) {
+        self.lock().cancelled = true;
+        self.changed.notify_all();
+    }
+}
+
+/// A streaming job whose result partitions are delivered in a fixed planned
+/// order, optionally computed ahead of the consumer by a bounded worker
+/// pool (the pipelined-delivery model with prefetching).
+///
+/// * `prefetch = 0` — serial: each [`PipelinedJob::next`] call executes one
+///   partition inline, exactly like [`StreamingJob::run_partition`].
+/// * `prefetch = n ≥ 1` — a pool of up to `n` worker threads executes
+///   partitions ahead of the cursor, never more than `n` positions beyond
+///   it. Results are delivered strictly in planned order; cluster
+///   simulation and the [`JobReport`] are booked at delivery time, so the
+///   simulated timings are identical to the serial path.
+///
+/// Dropping the job (or calling [`PipelinedJob::finish`]) cancels the pool:
+/// no further partitions are claimed, in-flight tasks are joined, and the
+/// job report covering the *delivered* partitions is recorded.
+pub struct PipelinedJob<T: Data, U: Send + EstimateSize + 'static> {
+    job: StreamingJob<T>,
+    order: Arc<Vec<usize>>,
+    sink: OutputSink,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(Vec<T>, &mut TaskMetrics) -> U + Send + Sync>,
+    prefetch: usize,
+    pool: Option<Arc<PrefetchShared<U>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    delivered: usize,
+    prefetch_hits: u64,
+    /// Set on error or explicit finish: no further partitions execute or
+    /// deliver, so the recorded report stays accurate.
+    latched: bool,
+}
+
+impl<T: Data, U: Send + EstimateSize + 'static> PipelinedJob<T, U> {
+    /// Set the prefetch depth. Only honored before the first partition is
+    /// delivered (the pool spins up lazily on the first [`Self::next`]).
+    pub fn set_prefetch(&mut self, depth: usize) {
+        if self.pool.is_none() && self.delivered == 0 {
+            self.prefetch = depth;
+        }
+    }
+
+    /// The configured prefetch depth.
+    pub fn prefetch(&self) -> usize {
+        self.prefetch
+    }
+
+    /// Partitions in the planned delivery order.
+    pub fn planned(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Partitions delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Total result-stage partitions of the underlying RDD.
+    pub fn num_partitions(&self) -> usize {
+        self.job.num_partitions()
+    }
+
+    /// Deliveries that found their partition already computed by a prefetch
+    /// worker (the consumer never had to wait for the claim).
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits
+    }
+
+    /// Simulated seconds charged by this job's stages so far.
+    pub fn sim_seconds(&self) -> f64 {
+        self.job.sim_seconds()
+    }
+
+    /// Deliver the next partition in planned order as `(partition, value)`,
+    /// or `None` when the plan is exhausted. After an error the job is
+    /// latched: no further partitions execute and subsequent calls return
+    /// `None`.
+    // Not an `Iterator`: delivery is fallible and the job must keep
+    // ownership for cancellation/report bookkeeping.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(usize, U)>> {
+        if self.latched || self.delivered >= self.order.len() {
+            return Ok(None);
+        }
+        let partition = self.order[self.delivered];
+        if self.prefetch == 0 {
+            // Serial path: run the task inline on the consumer's thread.
+            let f = self.f.clone();
+            let result = self
+                .job
+                .run_partition(partition, self.sink, move |rows, m| f(rows, m));
+            return match result {
+                Ok(value) => {
+                    self.delivered += 1;
+                    Ok(Some((partition, value)))
+                }
+                Err(err) => {
+                    self.latched = true;
+                    Err(err)
+                }
+            };
+        }
+        self.ensure_pool();
+        let pool = self.pool.clone().expect("pool just started");
+        let (outcome, was_ready) = {
+            let mut state = pool.lock();
+            let pos = state.deliver_pos;
+            let was_ready = state.ready.contains_key(&pos);
+            loop {
+                if state.ready.contains_key(&pos) {
+                    break;
+                }
+                if state.cancelled && pos >= state.next_claim {
+                    // Nothing in flight will ever produce this position.
+                    return Ok(None);
+                }
+                state = pool.changed.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            let outcome = state.ready.remove(&pos).expect("ready outcome");
+            state.deliver_pos += 1;
+            // The window moved: a worker may claim one more position.
+            pool.changed.notify_all();
+            (outcome, was_ready)
+        };
+        if was_ready {
+            self.prefetch_hits += 1;
+        }
+        match outcome {
+            Ok(outcome) => {
+                self.delivered += 1;
+                let value = self.job.absorb_outcome(partition, outcome);
+                Ok(Some((partition, value)))
+            }
+            Err(err) => {
+                // Latch and stop the pool: a failed stream never resumes.
+                self.latched = true;
+                pool.cancel();
+                Err(err)
+            }
+        }
+    }
+
+    /// Stop the pool (joining in-flight workers) and record the job report
+    /// covering everything delivered so far. Latches the job: a later
+    /// `next()` delivers nothing, so the recorded report stays accurate.
+    /// Idempotent; also runs on drop.
+    pub fn finish(&mut self) {
+        self.latched = true;
+        if let Some(pool) = &self.pool {
+            pool.cancel();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.job.finish();
+    }
+
+    /// Spin up the worker pool on first use.
+    fn ensure_pool(&mut self) {
+        if self.pool.is_some() {
+            return;
+        }
+        let shared = Arc::new(PrefetchShared {
+            state: std::sync::Mutex::new(PrefetchState {
+                next_claim: 0,
+                deliver_pos: 0,
+                ready: std::collections::HashMap::new(),
+                cancelled: false,
+            }),
+            changed: std::sync::Condvar::new(),
+            prefetch: self.prefetch,
+        });
+        // The *window* (how far execution may run ahead) is `prefetch`; the
+        // thread count is additionally capped by the host's parallelism — a
+        // single worker can still fill a deep window, extra threads only pay
+        // off when they can actually run concurrently.
+        let parallelism = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(4);
+        let worker_count = self.prefetch.min(self.order.len()).min(parallelism).max(1);
+        for _ in 0..worker_count {
+            let shared = shared.clone();
+            let ctx = self.job.ctx.clone();
+            let rdd = self.job.rdd.clone();
+            let order = self.order.clone();
+            let sink = self.sink;
+            let f = self.f.clone();
+            self.workers.push(std::thread::spawn(move || loop {
+                let pos = {
+                    let mut state = shared.lock();
+                    loop {
+                        if state.cancelled || state.next_claim >= order.len() {
+                            return;
+                        }
+                        if state.next_claim < state.deliver_pos + shared.prefetch {
+                            break;
+                        }
+                        state = shared
+                            .changed
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    let pos = state.next_claim;
+                    state.next_claim += 1;
+                    pos
+                };
+                let partition = order[pos];
+                let f = f.clone();
+                let outcome =
+                    execute_partition_task(&ctx, &rdd, partition, sink, move |rows, m| f(rows, m));
+                let mut state = shared.lock();
+                if outcome.is_err() {
+                    // Delivery is ordered, so this error will surface at or
+                    // before `pos`; work beyond it would be wasted.
+                    state.cancelled = true;
+                }
+                state.ready.insert(pos, outcome);
+                shared.changed.notify_all();
+            }));
+        }
+        self.pool = Some(shared);
+    }
+}
+
+impl<T: Data, U: Send + EstimateSize + 'static> Drop for PipelinedJob<T, U> {
     fn drop(&mut self) {
         self.finish();
     }
@@ -594,6 +913,110 @@ mod tests {
         let mut expected = reduced.collect().unwrap();
         expected.sort();
         assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn pipelined_job_matches_serial_delivery_for_every_prefetch_depth() {
+        let ctx = RddContext::local();
+        let rdd = ctx.parallelize((0i64..400).collect(), 16).map(|x| x * 3);
+        let expected = rdd.collect().unwrap();
+        let mut sim_serial = None;
+        for prefetch in [0usize, 1, 2, 7, 32] {
+            let mut job = rdd
+                .stream(&format!("pipelined({prefetch})"))
+                .unwrap()
+                .pipelined(
+                    (0..16).collect(),
+                    shark_cluster::OutputSink::Collect,
+                    |rows, _m| rows,
+                );
+            job.set_prefetch(prefetch);
+            let mut streamed = Vec::new();
+            let mut partitions = Vec::new();
+            while let Some((p, batch)) = job.next().unwrap() {
+                partitions.push(p);
+                streamed.extend(batch);
+            }
+            assert_eq!(streamed, expected, "prefetch={prefetch}");
+            assert_eq!(partitions, (0..16).collect::<Vec<usize>>());
+            assert_eq!(job.delivered(), 16);
+            job.finish();
+            // The cluster simulation is booked in delivery order, so the
+            // simulated cost is identical no matter how far workers ran
+            // ahead of the consumer.
+            let sim = job.sim_seconds();
+            match sim_serial {
+                None => sim_serial = Some(sim),
+                Some(reference) => {
+                    assert!((sim - reference).abs() < 1e-9, "prefetch={prefetch}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_job_respects_custom_order_and_window_bound() {
+        let ctx = RddContext::local();
+        let executed = Arc::new(AtomicUsize::new(0));
+        let counter = executed.clone();
+        let rdd = ctx.generate(8, shark_cluster::InputSource::Dfs, move |p| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            vec![p as i64]
+        });
+        let order = vec![5usize, 1, 6, 0, 7, 2, 3, 4];
+        let mut job = rdd.stream("ordered").unwrap().pipelined(
+            order.clone(),
+            shark_cluster::OutputSink::Collect,
+            |rows, _m| rows,
+        );
+        job.set_prefetch(2);
+        let (p0, rows0) = job.next().unwrap().expect("first partition");
+        assert_eq!(p0, 5);
+        assert_eq!(rows0, vec![5]);
+        // Stop after one delivery: with a window of 2 at most
+        // delivered + prefetch partitions may ever have executed, and
+        // finish() joins the workers so the count is final.
+        job.finish();
+        // finish() latches: nothing further may execute or deliver, so the
+        // recorded report stays accurate.
+        assert!(job.next().unwrap().is_none(), "delivery after finish()");
+        let ran = executed.load(Ordering::SeqCst);
+        assert!(ran <= 1 + 2, "window violated: {ran} partitions ran");
+        drop(job);
+        assert_eq!(executed.load(Ordering::SeqCst), ran, "work after cancel");
+        let report = ctx.last_job().unwrap();
+        assert_eq!(report.stages.len(), 1, "only the delivered stage booked");
+    }
+
+    #[test]
+    fn pipelined_job_surfaces_worker_errors_in_order_and_latches() {
+        let ctx = RddContext::local();
+        let rdd = ctx.generate(6, shark_cluster::InputSource::Dfs, |p| {
+            if p == 2 {
+                panic!("partition 2 exploded");
+            }
+            vec![p as i64]
+        });
+        for prefetch in [0usize, 3] {
+            let mut job = rdd.stream("failing").unwrap().pipelined(
+                (0..6).collect(),
+                shark_cluster::OutputSink::Collect,
+                |rows, _m| rows,
+            );
+            job.set_prefetch(prefetch);
+            // Partitions 0 and 1 deliver even though a worker may already
+            // have hit the partition-2 failure.
+            assert_eq!(job.next().unwrap().unwrap().0, 0);
+            assert_eq!(job.next().unwrap().unwrap().0, 1);
+            let err = job.next().unwrap_err();
+            assert!(
+                err.to_string().contains("panicked"),
+                "prefetch={prefetch}: {err}"
+            );
+            // Latched: subsequent calls deliver nothing, ever.
+            assert!(job.next().unwrap().is_none(), "prefetch={prefetch}");
+            assert!(job.next().unwrap().is_none(), "prefetch={prefetch}");
+        }
     }
 
     #[test]

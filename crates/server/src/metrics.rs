@@ -33,6 +33,12 @@ pub struct QueryMetrics {
     pub partitions_total: usize,
     /// Whether the query was served through a streaming cursor.
     pub streamed: bool,
+    /// Prefetch depth granted to the cursor out of the server's aggregate
+    /// prefetch budget (0 for serial streams and batch queries).
+    pub prefetch_depth: usize,
+    /// Batch deliveries that found their partition already computed by a
+    /// prefetch worker.
+    pub prefetch_hits: u64,
     /// Resident columnar bytes of the referenced cached tables at admission
     /// time — the bytes the scans could serve straight from the memstore.
     pub cache_hit_bytes: u64,
@@ -94,6 +100,9 @@ pub struct ServerReport {
     /// Result partitions executed by streamed queries (early-terminated
     /// LIMIT streams make this smaller than the tables' partition counts).
     pub streamed_partitions: u64,
+    /// Batch deliveries across all streamed queries that were served by an
+    /// already-finished prefetch worker.
+    pub prefetch_hits: u64,
     /// Total cache-hit bytes served.
     pub cache_hit_bytes: u64,
     /// Policy evictions performed by the memstore manager.
@@ -145,8 +154,12 @@ impl ServerReport {
             0.0
         };
         out.push_str(&format!(
-            "streaming: {} streamed queries delivered {} rows over {} partitions; avg time-to-first-row {:.2} ms\n",
-            self.streamed_queries, self.streamed_rows, self.streamed_partitions, avg_ttfr_ms,
+            "streaming: {} streamed queries delivered {} rows over {} partitions ({} prefetch hits); avg time-to-first-row {:.2} ms\n",
+            self.streamed_queries,
+            self.streamed_rows,
+            self.streamed_partitions,
+            self.prefetch_hits,
+            avg_ttfr_ms,
         ));
         out.push_str(&format!(
             "cache-hit bytes served: {}\n",
@@ -218,6 +231,7 @@ impl MetricsRegistry {
                 report.streamed_rows += q.rows_streamed;
                 report.streamed_partitions += q.partitions_streamed as u64;
                 report.streamed_time_to_first_row += q.time_to_first_row;
+                report.prefetch_hits += q.prefetch_hits;
             }
             report.cache_hit_bytes += q.cache_hit_bytes;
             let entry = sessions.entry(q.session_id).or_default();
@@ -249,6 +263,8 @@ mod tests {
             partitions_streamed: 2,
             partitions_total: 4,
             streamed: true,
+            prefetch_depth: 2,
+            prefetch_hits: 1,
             cache_hit_bytes: hit,
             recomputed_tables: 0,
             evictions_triggered: 0,
@@ -274,6 +290,7 @@ mod tests {
         assert_eq!(report.streamed_queries, 3);
         assert_eq!(report.streamed_rows, 12);
         assert_eq!(report.streamed_partitions, 6);
+        assert_eq!(report.prefetch_hits, 3);
         assert_eq!(report.total_time_to_first_row, Duration::from_millis(6));
         assert_eq!(report.streamed_time_to_first_row, Duration::from_millis(6));
         assert_eq!(report.sessions.len(), 3);

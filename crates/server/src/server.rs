@@ -9,7 +9,7 @@
 //! cached tables and execute concurrently on their callers' threads, gated
 //! only by admission control.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,12 @@ pub struct ServerConfig {
     pub max_concurrent_queries: usize,
     /// Maximum queries waiting behind them before rejection.
     pub max_queued_queries: usize,
+    /// Aggregate prefetch budget: the sum of the prefetch depths of all
+    /// open streaming cursors may not exceed this, so speculative work
+    /// stays bounded by the same admission story that bounds in-flight
+    /// queries. A cursor asking for more is granted what remains (possibly
+    /// 0 — serial streaming, never rejection).
+    pub max_total_prefetch: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +53,7 @@ impl Default for ServerConfig {
             memory_budget_bytes: u64::MAX,
             max_concurrent_queries: 4,
             max_queued_queries: 64,
+            max_total_prefetch: 8,
         }
     }
 }
@@ -64,6 +71,12 @@ impl ServerConfig {
         self.max_queued_queries = queued;
         self
     }
+
+    /// Set the aggregate streaming-prefetch budget.
+    pub fn with_prefetch_budget(mut self, total: usize) -> ServerConfig {
+        self.max_total_prefetch = total;
+        self
+    }
 }
 
 pub(crate) struct ServerShared {
@@ -75,6 +88,40 @@ pub(crate) struct ServerShared {
     metrics: MetricsRegistry,
     next_session_id: AtomicU64,
     next_query_id: AtomicU64,
+    max_total_prefetch: usize,
+    prefetch_in_use: AtomicUsize,
+}
+
+impl ServerShared {
+    /// Grant as much of `requested` as the aggregate prefetch budget still
+    /// allows (possibly 0 — the stream then runs serially, it is never
+    /// rejected). The grant must be returned via [`Self::release_prefetch`].
+    fn acquire_prefetch(&self, requested: usize) -> usize {
+        if requested == 0 {
+            return 0;
+        }
+        loop {
+            let used = self.prefetch_in_use.load(Ordering::Relaxed);
+            let available = self.max_total_prefetch.saturating_sub(used);
+            let grant = requested.min(available);
+            if grant == 0 {
+                return 0;
+            }
+            if self
+                .prefetch_in_use
+                .compare_exchange(used, used + grant, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return grant;
+            }
+        }
+    }
+
+    fn release_prefetch(&self, granted: usize) {
+        if granted > 0 {
+            self.prefetch_in_use.fetch_sub(granted, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A shared-everything warehouse server handing out concurrent sessions.
@@ -99,6 +146,8 @@ impl SharkServer {
                 metrics: MetricsRegistry::default(),
                 next_session_id: AtomicU64::new(1),
                 next_query_id: AtomicU64::new(1),
+                max_total_prefetch: config.max_total_prefetch,
+                prefetch_in_use: AtomicUsize::new(0),
             }),
         }
     }
@@ -167,6 +216,12 @@ impl SharkServer {
         self.shared.admission.running()
     }
 
+    /// Prefetch depth currently granted to open streaming cursors, out of
+    /// [`ServerConfig::max_total_prefetch`].
+    pub fn prefetch_in_use(&self) -> usize {
+        self.shared.prefetch_in_use.load(Ordering::Relaxed)
+    }
+
     /// Current resident bytes charged against the budget.
     pub fn resident_bytes(&self) -> u64 {
         self.shared
@@ -231,6 +286,14 @@ impl SessionHandle {
         self.sql.set_exec_config(exec);
     }
 
+    /// Set how many result partitions this session's streaming cursors ask
+    /// to execute ahead of the consumer. The server may grant less: the sum
+    /// of all open cursors' depths is capped by
+    /// [`ServerConfig::max_total_prefetch`].
+    pub fn set_stream_prefetch(&mut self, depth: usize) {
+        self.sql.set_stream_prefetch(depth);
+    }
+
     /// Execute a SQL statement under admission control, returning the rows
     /// plus per-query serving metrics. Fails fast with
     /// [`SharkError::Execution`] when the admission queue is full.
@@ -288,6 +351,8 @@ impl SessionHandle {
             partitions_streamed: 0,
             partitions_total: 0,
             streamed: false,
+            prefetch_depth: 0,
+            prefetch_hits: 0,
             cache_hit_bytes,
             recomputed_tables,
             evictions_triggered: evictions.len(),
@@ -326,24 +391,30 @@ impl SessionHandle {
         };
         let recomputed_tables = shared.memstore.pin(&tables);
         let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
+        // Clamp this cursor's prefetch under the server-wide budget while
+        // the admission permit is already held, so total speculative work
+        // stays bounded alongside total in-flight queries.
+        let prefetch = shared.acquire_prefetch(self.sql.stream_prefetch());
         let admitted_at = Instant::now();
         match self.sql.sql_to_stream(&statement) {
             Ok(stream) => Ok(QueryCursor {
                 session: self,
                 permit: Some(permit),
-                stream,
+                stream: stream.with_prefetch(prefetch),
                 tables,
                 statement: text.to_string(),
                 queue_wait,
                 admitted_at,
                 recomputed_tables,
                 cache_hit_bytes,
+                prefetch,
                 failed: false,
                 finalized: false,
             }),
             Err(err) => {
                 // Planning failed: release everything and record the
                 // failure before the permit drops.
+                shared.release_prefetch(prefetch);
                 shared.memstore.unpin(&tables);
                 let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
                 drop(permit);
@@ -361,6 +432,8 @@ impl SessionHandle {
                     // No cursor was ever handed out, so this does not
                     // count toward the streamed-query aggregates.
                     streamed: false,
+                    prefetch_depth: 0,
+                    prefetch_hits: 0,
                     cache_hit_bytes,
                     recomputed_tables,
                     evictions_triggered: evictions.len(),
@@ -385,6 +458,8 @@ impl SessionHandle {
             partitions_streamed: 0,
             partitions_total: 0,
             streamed: false,
+            prefetch_depth: 0,
+            prefetch_hits: 0,
             cache_hit_bytes: 0,
             recomputed_tables: 0,
             evictions_triggered: 0,
@@ -453,6 +528,9 @@ pub struct QueryCursor<'s> {
     admitted_at: Instant,
     recomputed_tables: usize,
     cache_hit_bytes: u64,
+    /// Prefetch depth granted out of the server's aggregate budget,
+    /// returned to the pool on finalize.
+    prefetch: usize,
     failed: bool,
     finalized: bool,
 }
@@ -511,8 +589,12 @@ impl QueryCursor<'_> {
         self.finalized = true;
         let shared = &self.session.shared;
         let exec_time = self.admitted_at.elapsed();
+        // Stop the stream first (cancelling + joining any prefetch workers)
+        // so no task can touch a table after its pin is released.
+        self.stream.cancel();
         let progress = self.stream.progress().clone();
         let sim_seconds = self.stream.sim_seconds();
+        shared.release_prefetch(self.prefetch);
         shared.memstore.unpin(&self.tables);
         // Re-enforce the budget while still holding the permit, exactly as
         // the batch path does on completion.
@@ -530,6 +612,8 @@ impl QueryCursor<'_> {
             partitions_streamed: progress.partitions_streamed,
             partitions_total: progress.partitions_total,
             streamed: true,
+            prefetch_depth: self.prefetch,
+            prefetch_hits: progress.prefetch_hits,
             cache_hit_bytes: self.cache_hit_bytes,
             recomputed_tables: self.recomputed_tables,
             evictions_triggered: evictions.len(),

@@ -1,0 +1,155 @@
+//! Cancellation stress: 8 concurrent sessions each open a prefetching
+//! streaming cursor, consume one batch, and drop the cursor mid-stream.
+//! Dropping must cancel the prefetch pool (no partition beyond the window
+//! ever executes — asserted through the table's generator counter and the
+//! recorded `JobReport`s), release the admission permit, the memstore pins
+//! and the prefetch-budget grant, and leave the server able to enforce its
+//! memory budget and admit new queries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use shark_common::{row, DataType, Schema};
+use shark_server::{ServerConfig, SharkServer};
+use shark_sql::TableMeta;
+
+const SESSIONS: usize = 8;
+const PARTITIONS: usize = 16;
+const ROWS_PER_PARTITION: usize = 40;
+const PREFETCH: usize = 2;
+
+#[test]
+fn dropping_prefetching_cursors_mid_stream_releases_everything() {
+    let server = SharkServer::new(
+        ServerConfig::default()
+            .with_admission(SESSIONS, 0)
+            .with_prefetch_budget(SESSIONS * PREFETCH),
+    );
+    // Uncached table: every partition execution calls the generator, so the
+    // counter observes exactly how many result partitions ever ran.
+    let executed = Arc::new(AtomicUsize::new(0));
+    let counter = executed.clone();
+    let schema = Schema::from_pairs(&[("v", DataType::Int)]);
+    server.register_table(TableMeta::new("big", schema, PARTITIONS, move |p| {
+        counter.fetch_add(1, Ordering::SeqCst);
+        (0..ROWS_PER_PARTITION)
+            .map(|i| row![(p * ROWS_PER_PARTITION + i) as i64])
+            .collect()
+    }));
+
+    let barrier = Arc::new(Barrier::new(SESSIONS));
+    let workers: Vec<_> = (0..SESSIONS)
+        .map(|_| {
+            let server = server.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut session = server.session();
+                session.set_stream_prefetch(PREFETCH);
+                barrier.wait();
+                let mut cursor = session.sql_stream("SELECT v FROM big").unwrap();
+                let first = cursor.next_batch().unwrap().expect("first batch");
+                assert_eq!(first.len(), ROWS_PER_PARTITION);
+                // Mid-stream: the cursor holds a permit and a budget grant.
+                assert!(server.running_queries() >= 1);
+                drop(cursor); // cancels + joins the prefetch workers
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    // Everything a cursor held is back: permits, pins, prefetch budget.
+    assert_eq!(server.running_queries(), 0);
+    assert!(server.pinned_tables().is_empty());
+    assert_eq!(server.prefetch_in_use(), 0);
+
+    // Every stream was recorded as an early-terminated, non-failed query.
+    let log = server.query_log();
+    assert_eq!(log.len(), SESSIONS);
+    let mut delivered_total = 0usize;
+    for q in &log {
+        assert!(q.streamed && !q.failed);
+        assert_eq!(q.partitions_total, PARTITIONS);
+        assert!(
+            q.partitions_streamed < q.partitions_total,
+            "cursor drop must stop the stream early: {q:?}"
+        );
+        delivered_total += q.partitions_streamed;
+    }
+
+    // No orphan work: cursor drop joined the workers, so the execution
+    // count is final and bounded by what was delivered plus at most
+    // `PREFETCH` speculative partitions per cursor.
+    let ran = executed.load(Ordering::SeqCst);
+    assert!(
+        ran <= delivered_total + SESSIONS * PREFETCH,
+        "{ran} partitions ran for {delivered_total} delivered (window {PREFETCH})"
+    );
+    assert!(ran >= SESSIONS, "every cursor delivered at least one batch");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        ran,
+        "partitions executed after every cursor was dropped"
+    );
+
+    // The recorded JobReports agree: each sql-stream job simulated exactly
+    // the partitions it delivered, nothing more.
+    let stream_stage_total: usize = server
+        .context()
+        .job_history()
+        .iter()
+        .filter(|j| j.name == "sql-stream")
+        .map(|j| j.stages.len())
+        .sum();
+    assert_eq!(stream_stage_total, delivered_total);
+
+    // The server is still fully operational: admission has free slots and
+    // memstore enforcement proceeds on the next statement.
+    let report = server.report();
+    assert_eq!(report.streamed_queries, SESSIONS as u64);
+    assert_eq!(report.failed_queries, 0);
+    let session = server.session();
+    let count = session.sql("SELECT COUNT(*) FROM big").unwrap();
+    assert_eq!(
+        count.result.rows[0].get_int(0).unwrap(),
+        (PARTITIONS * ROWS_PER_PARTITION) as i64
+    );
+}
+
+#[test]
+fn memstore_enforcement_proceeds_after_mid_stream_drops() {
+    // A budget of one byte makes every enforcement pass evict whatever
+    // loaded; abandoned cursors must not wedge it (stale pins would keep
+    // tables resident forever).
+    let server = SharkServer::new(
+        ServerConfig::default()
+            .with_memory_budget(1)
+            .with_prefetch_budget(4),
+    );
+    let schema = Schema::from_pairs(&[("v", DataType::Int)]);
+    server.register_table(
+        TableMeta::new("hot", schema, 8, |p| {
+            (0..32).map(|i| row![(p * 32 + i) as i64]).collect()
+        })
+        .with_cache(4),
+    );
+    for _ in 0..3 {
+        let mut session = server.session();
+        session.set_stream_prefetch(2);
+        let mut cursor = session.sql_stream("SELECT v FROM hot").unwrap();
+        cursor.next_batch().unwrap().expect("first batch");
+        drop(cursor);
+    }
+    // All pins are gone, so enforcement on the next query evicts the table
+    // down to the (unsatisfiable) budget instead of deadlocking on pins.
+    assert!(server.pinned_tables().is_empty());
+    let session = server.session();
+    let result = session.sql("SELECT COUNT(*) FROM hot").unwrap();
+    assert_eq!(result.result.rows[0].get_int(0).unwrap(), 8 * 32);
+    assert!(result.metrics.evictions_triggered > 0);
+    assert_eq!(server.catalog().memstore_bytes(), 0);
+    let report = server.report();
+    assert!(report.evictions > 0);
+}

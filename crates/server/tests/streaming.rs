@@ -118,6 +118,102 @@ fn limit_stream_executes_fewer_partitions_and_reports_first_row_early() {
 }
 
 #[test]
+fn topk_stream_runs_fewer_partitions_than_the_table_has() {
+    // `k` increases with the partition index, so partition statistics can
+    // prove that partition 0 alone covers ORDER BY k LIMIT 3.
+    let server = server_with(&["t0"], ServerConfig::default());
+    let mut session = server.session();
+    session.set_stream_prefetch(0);
+    let rows = session
+        .sql_stream("SELECT k FROM t0 ORDER BY k LIMIT 3")
+        .unwrap()
+        .fetch_all()
+        .unwrap();
+    assert_eq!(
+        rows.iter()
+            .map(|r| r.get_int(0).unwrap())
+            .collect::<Vec<i64>>(),
+        vec![0, 1, 2]
+    );
+    let log = server.query_log();
+    let metrics = log.last().expect("top-k query recorded");
+    assert!(metrics.streamed && !metrics.failed);
+    assert_eq!(metrics.partitions_total, PARTITIONS);
+    assert!(
+        metrics.partitions_streamed < metrics.partitions_total,
+        "top-k must execute fewer partitions than the table has: {metrics:?}"
+    );
+    assert!(
+        metrics.partitions_streamed <= 3usize.div_ceil(ROWS_PER_PARTITION),
+        "partitions_streamed {} > ceil(limit/partition-rows)",
+        metrics.partitions_streamed
+    );
+    // The matching DESC query starts from the other end of the table.
+    let rows = session
+        .sql_stream("SELECT k FROM t0 ORDER BY k DESC LIMIT 2")
+        .unwrap()
+        .fetch_all()
+        .unwrap();
+    assert_eq!(
+        rows.iter()
+            .map(|r| r.get_int(0).unwrap())
+            .collect::<Vec<i64>>(),
+        vec![199, 198]
+    );
+}
+
+#[test]
+fn aggregate_prefetch_budget_clamps_grants_and_is_restored_on_drop() {
+    let server = server_with(
+        &["t0"],
+        ServerConfig::default()
+            .with_admission(4, 0)
+            .with_prefetch_budget(3),
+    );
+    let mut s1 = server.session();
+    let mut s2 = server.session();
+    let mut s3 = server.session();
+    s1.set_stream_prefetch(2);
+    s2.set_stream_prefetch(2);
+    s3.set_stream_prefetch(2);
+
+    let c1 = s1.sql_stream("SELECT k FROM t0").unwrap();
+    assert_eq!(server.prefetch_in_use(), 2, "first cursor granted in full");
+    let c2 = s2.sql_stream("SELECT k FROM t0").unwrap();
+    assert_eq!(server.prefetch_in_use(), 3, "second cursor clamped to 1");
+    let c3 = s3.sql_stream("SELECT k FROM t0").unwrap();
+    assert_eq!(
+        server.prefetch_in_use(),
+        3,
+        "exhausted budget grants 0 (serial stream), never rejects"
+    );
+    drop(c1);
+    drop(c2);
+    drop(c3);
+    assert_eq!(server.prefetch_in_use(), 0, "grants returned on drop");
+
+    // Grants are visible in the per-query metrics, and with the budget free
+    // again a new cursor gets its full request.
+    let depths: Vec<usize> = server
+        .query_log()
+        .iter()
+        .map(|q| q.prefetch_depth)
+        .collect();
+    assert_eq!(depths, vec![2, 1, 0]);
+    let mut cursor = s1.sql_stream("SELECT k FROM t0").unwrap();
+    assert_eq!(server.prefetch_in_use(), 2);
+    let rows = cursor.fetch_all().unwrap();
+    assert_eq!(rows.len(), PARTITIONS * ROWS_PER_PARTITION);
+    assert_eq!(server.prefetch_in_use(), 0);
+    // A fully prefetched drain of a warm table sees prefetch hits.
+    let hits = server.query_log().last().unwrap().prefetch_hits;
+    assert!(
+        hits <= PARTITIONS as u64,
+        "hits bounded by partitions: {hits}"
+    );
+}
+
+#[test]
 fn dropping_a_cursor_mid_stream_releases_pins_and_permit() {
     let server = server_with(
         &["t0"],
@@ -165,6 +261,7 @@ fn open_cursor_pins_its_table_against_budget_enforcement() {
             memory_budget_bytes: budget,
             max_concurrent_queries: 4,
             max_queued_queries: 16,
+            max_total_prefetch: 8,
         },
     );
     register_tables(&server, &["t1"]);

@@ -52,6 +52,7 @@ fn eight_sessions_share_tables_under_eviction_pressure() {
         memory_budget_bytes: u64::MAX,
         max_concurrent_queries: 3,
         max_queued_queries: 256,
+        max_total_prefetch: 8,
     });
     register_tables(&server, &tables);
     // Load everything once to measure the full footprint, then rebuild the
@@ -68,6 +69,7 @@ fn eight_sessions_share_tables_under_eviction_pressure() {
         memory_budget_bytes: full_bytes / 2,
         max_concurrent_queries: 3,
         max_queued_queries: 256,
+        max_total_prefetch: 8,
     });
     register_tables(&server, &tables);
 

@@ -71,6 +71,18 @@ impl SqlSession {
         self.exec = exec;
     }
 
+    /// Set how many result partitions this session's [`QueryStream`]s may
+    /// execute ahead of the consumer (0 = serial execution inside
+    /// `next_batch`). Serving layers cap this under their admission budget.
+    pub fn set_stream_prefetch(&mut self, depth: usize) {
+        self.exec.stream_prefetch = depth;
+    }
+
+    /// The session's streaming prefetch depth.
+    pub fn stream_prefetch(&self) -> usize {
+        self.exec.stream_prefetch
+    }
+
     /// Register a user-defined scalar function usable from SQL.
     pub fn register_udf<F>(&mut self, name: &str, f: F)
     where
@@ -390,6 +402,153 @@ mod tests {
             "first row ({ttfr_sim}s) must arrive before the stream completes ({}s)",
             stream.sim_seconds()
         );
+    }
+
+    /// A table whose sort key is perfectly correlated with the partition
+    /// index, so partition statistics can prove top-k early termination.
+    fn correlated_session(partitions: usize, rows_per_partition: usize) -> SqlSession {
+        let ctx = RddContext::new(RddConfig::default());
+        let session = SqlSession::new(ctx, ExecConfig::shark());
+        let schema = Schema::from_pairs(&[("v", DataType::Int), ("tag", DataType::Str)]);
+        session.register_table(
+            TableMeta::new("ordered_t", schema, partitions, move |p| {
+                (0..rows_per_partition)
+                    .map(|i| row![(p * rows_per_partition + i) as i64, "x"])
+                    .collect()
+            })
+            .with_cache(4)
+            .with_row_count_hint((partitions * rows_per_partition) as u64),
+        );
+        session
+    }
+
+    #[test]
+    fn topk_stream_executes_at_most_ceil_limit_over_partition_rows_partitions() {
+        for prefetch in [0usize, 2] {
+            let mut s = correlated_session(4, 50);
+            s.set_stream_prefetch(prefetch);
+            s.load_table("ordered_t").unwrap();
+            let limit = 3usize;
+            let mut stream = s
+                .sql_stream("SELECT v FROM ordered_t ORDER BY v LIMIT 3")
+                .unwrap();
+            let mut rows = Vec::new();
+            while let Some(batch) = stream.next_batch().unwrap() {
+                rows.extend(batch);
+            }
+            let got: Vec<i64> = rows.iter().map(|r| r.get_int(0).unwrap()).collect();
+            assert_eq!(got, vec![0, 1, 2], "prefetch={prefetch}");
+            let progress = stream.progress();
+            // The whole limit fits in one partition's rows; the statistics
+            // must prove the other partitions cannot contribute.
+            let bound = limit.div_ceil(50);
+            assert!(
+                progress.partitions_streamed <= bound,
+                "prefetch={prefetch}: streamed {}/{} partitions, bound {bound}",
+                progress.partitions_streamed,
+                progress.partitions_total
+            );
+            assert!(
+                progress.partitions_streamed < progress.partitions_total,
+                "top-k must execute fewer partitions than the table has"
+            );
+            assert!(
+                stream.notes().iter().any(|n| n.contains("top-k pushdown")),
+                "{:?}",
+                stream.notes()
+            );
+        }
+    }
+
+    #[test]
+    fn topk_stream_reaches_first_row_in_less_simulated_time_than_full_collect() {
+        // More partitions than the simulated cluster has task slots, so the
+        // full-collect result stage takes several waves while the top-k
+        // stream's first row needs a single task.
+        let mut s = correlated_session(32, 50);
+        s.set_stream_prefetch(0);
+        s.load_table("ordered_t").unwrap();
+        let blocking = s
+            .sql("SELECT v FROM ordered_t ORDER BY v DESC LIMIT 5")
+            .unwrap();
+        let mut stream = s
+            .sql_stream("SELECT v FROM ordered_t ORDER BY v DESC LIMIT 5")
+            .unwrap();
+        let first = stream.next_batch().unwrap().unwrap();
+        assert_eq!(first[0].get_int(0).unwrap(), 32 * 50 - 1);
+        let ttfr_sim = stream.progress().sim_seconds_to_first_row.unwrap();
+        assert!(
+            ttfr_sim < blocking.sim_seconds,
+            "top-k first row at {ttfr_sim}s vs full collect {}s",
+            blocking.sim_seconds
+        );
+        while stream.next_batch().unwrap().is_some() {}
+        let streamed_rows: u64 = stream.progress().rows_streamed;
+        assert_eq!(streamed_rows, 5);
+        assert_eq!(
+            blocking.rows.len(),
+            5,
+            "blocking path returns the same result"
+        );
+    }
+
+    #[test]
+    fn stream_failure_latches_on_serial_and_prefetched_paths() {
+        for prefetch in [0usize, 3] {
+            let mut s = session();
+            s.set_stream_prefetch(prefetch);
+            // Partition 0 holds days < 1; the UDF explodes on any later
+            // partition, so the first batch succeeds and the failure must
+            // surface on the *next* next_batch call.
+            s.register_udf("explode_after_p0", |args| {
+                let day = args[0].as_float().unwrap_or(0.0) as i64;
+                if day >= 1 {
+                    panic!("boom on day {day}");
+                }
+                args[0].clone()
+            });
+            let mut stream = s
+                .sql_stream("SELECT explode_after_p0(day) FROM sales")
+                .unwrap();
+            let first = stream
+                .next_batch()
+                .unwrap()
+                .expect("partition 0 must deliver");
+            assert_eq!(first.len(), 30, "prefetch={prefetch}");
+            let err = stream.next_batch().unwrap_err();
+            assert!(
+                err.to_string().contains("panicked"),
+                "prefetch={prefetch}: {err}"
+            );
+            // Latched: the stream never resumes past the failed partition.
+            assert!(stream.next_batch().unwrap().is_none());
+            assert!(stream.next_batch().unwrap().is_none());
+            assert!(stream.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn prefetched_stream_matches_serial_stream_and_records_hits() {
+        let s = session();
+        s.load_table("sales").unwrap();
+        let query = "SELECT day, store, amount FROM sales";
+        let serial: Vec<_> = {
+            let mut stream = s.sql_stream(query).unwrap().with_prefetch(0);
+            let mut rows = Vec::new();
+            while let Some(batch) = stream.next_batch().unwrap() {
+                rows.extend(batch);
+            }
+            assert_eq!(stream.progress().prefetch_hits, 0);
+            rows
+        };
+        let mut stream = s.sql_stream(query).unwrap().with_prefetch(4);
+        assert_eq!(stream.prefetch(), 4);
+        let mut rows = Vec::new();
+        while let Some(batch) = stream.next_batch().unwrap() {
+            rows.extend(batch);
+        }
+        assert_eq!(rows, serial);
+        assert_eq!(stream.progress().partitions_streamed, 4);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use shark_cluster::{DfsModel, OutputSink};
 use shark_columnar::ColumnarPartition;
 use shark_common::size::estimate_slice;
 use shark_common::{Result, Row, Schema, SharkError, Value};
-use shark_rdd::{Aggregator, Rdd, RddContext, StreamingJob};
+use shark_rdd::{Aggregator, PipelinedJob, Rdd, RddContext, StreamingJob, TaskMetrics};
 
 use crate::aggregate::{AggExpr, AggStates};
 use crate::catalog::TableMeta;
@@ -68,6 +68,9 @@ pub struct ExecConfig {
     /// optimizer predicts to be small, avoiding map tasks on the large table
     /// when a map join is chosen.
     pub pde_prioritize_small_side: bool,
+    /// How many result partitions a [`QueryStream`] may execute ahead of the
+    /// consumer (0 = serial: each partition runs inside `next_batch`).
+    pub stream_prefetch: usize,
 }
 
 impl ExecConfig {
@@ -84,6 +87,7 @@ impl ExecConfig {
             target_partition_bytes: 256 * 1024,
             max_reducers: 1000,
             pde_prioritize_small_side: true,
+            stream_prefetch: 2,
         }
     }
 
@@ -120,6 +124,7 @@ impl ExecConfig {
             target_partition_bytes: 256 * 1024,
             max_reducers: 1000,
             pde_prioritize_small_side: false,
+            stream_prefetch: 0,
         }
     }
 }
@@ -155,6 +160,20 @@ pub struct TableRdd {
     pub schema: Schema,
     /// Run-time decisions taken while building the pipeline.
     pub notes: Vec<String>,
+    /// When the whole pipeline is a narrow chain over one memstore scan
+    /// (result partition `i` is exactly scan partition `selected[i]`), the
+    /// scan's identity — what top-k pushdown needs to consult partition
+    /// statistics.
+    pub(crate) single_scan: Option<SingleScanInfo>,
+}
+
+/// Identity of the lone memstore scan feeding a narrow result pipeline.
+pub(crate) struct SingleScanInfo {
+    table: Arc<TableMeta>,
+    /// Original table-partition indices, aligned with result partitions.
+    selected: Vec<usize>,
+    /// Original column index of each projected column.
+    projection: Vec<usize>,
 }
 
 /// Report of loading a table into the memstore (§3.3, §6.2.4).
@@ -280,33 +299,59 @@ pub struct StreamProgress {
     pub time_to_first_row: Option<Duration>,
     /// Simulated cluster seconds charged up to the first delivered row.
     pub sim_seconds_to_first_row: Option<f64>,
+    /// Batch deliveries that found their partition already computed by a
+    /// prefetch worker (the consumer never waited for the task to start).
+    pub prefetch_hits: u64,
 }
 
 /// A cursor over a query's result: row batches are delivered as partitions
 /// finish instead of materializing the whole result set on the driver — the
 /// paper's interactivity story (§2) taken to its conclusion.
 ///
-/// * Without ORDER BY, partitions execute one at a time, each producing one
+/// * Without ORDER BY, partitions deliver in order, each producing one
 ///   batch; a LIMIT terminates the stream — and stops launching partition
 ///   tasks — as soon as enough rows have been delivered.
 /// * With ORDER BY, every partition is sorted inside its own task (the sort
 ///   is charged to that task's simulated cost) and the driver k-way-merges
 ///   the sorted runs, emitting batches of at most `batch_size` rows; LIMIT
 ///   stops the merge after the first `k` rows.
+/// * With ORDER BY **and** LIMIT `k` — top-k pushdown: each partition task
+///   keeps only its `k` best rows in a bounded buffer instead of sorting
+///   everything, and when the scan's partition statistics cover the sort
+///   key, partitions execute best-bound first and the stream stops
+///   launching partitions once `k` delivered rows provably beat every
+///   unexecuted partition's bound.
+///
+/// Independently of the delivery mode, a prefetch depth `n ≥ 1` (see
+/// [`ExecConfig::stream_prefetch`] / [`QueryStream::with_prefetch`]) lets a
+/// bounded worker pool execute up to `n` partitions ahead of the consumer;
+/// delivery order, results and simulated timings are identical to the
+/// serial path, only wall-clock time changes.
 pub struct QueryStream {
-    job: StreamingJob<Row>,
+    job: PipelinedJob<Row, Vec<Row>>,
     schema: Schema,
     plan_desc: String,
     notes: Vec<String>,
     order_by: Vec<(usize, bool)>,
     /// Rows still to emit under LIMIT (`None` = unlimited).
     remaining: Option<usize>,
-    next_partition: usize,
-    /// Sorted runs for the ORDER BY path: `(rows, cursor)` per partition.
-    runs: Option<Vec<(Vec<Row>, usize)>>,
+    /// Sorted runs gathered for the ORDER BY path, as
+    /// `(partition, rows, cursor)`, kept sorted by partition index so the
+    /// merge breaks ties exactly like the blocking path's stable sort.
+    runs: Vec<(usize, Vec<Row>, usize)>,
+    /// ORDER BY only: whether every needed run has been gathered.
+    gathered: bool,
+    /// Top-k skip rule: per planned-position key bound (the partition's
+    /// stat min for ASC / max for DESC). `None` disables partition
+    /// skipping.
+    skip_bounds: Option<Vec<Value>>,
     batch_size: usize,
     wall: Instant,
     progress: StreamProgress,
+    /// Whether the effective prefetch depth has been noted (deferred to the
+    /// first batch because a serving layer may clamp the depth after
+    /// construction).
+    prefetch_noted: bool,
     done: bool,
 }
 
@@ -362,12 +407,34 @@ impl QueryStream {
         self
     }
 
+    /// Override the prefetch depth ([`ExecConfig::stream_prefetch`] is the
+    /// default): how many result partitions may execute ahead of the
+    /// consumer. 0 = serial. Only honored before the first batch.
+    pub fn with_prefetch(mut self, depth: usize) -> QueryStream {
+        self.job.set_prefetch(depth);
+        self
+    }
+
+    /// The effective prefetch depth.
+    pub fn prefetch(&self) -> usize {
+        self.job.prefetch()
+    }
+
     /// Produce the next batch of rows, or `None` when the stream is
     /// exhausted. Empty partitions are skipped, so a returned batch is
     /// never empty.
     pub fn next_batch(&mut self) -> Result<Option<Vec<Row>>> {
         if self.done {
             return Ok(None);
+        }
+        if !self.prefetch_noted {
+            self.prefetch_noted = true;
+            if self.job.prefetch() > 0 {
+                self.notes.push(format!(
+                    "prefetch: up to {} partitions ahead of the cursor",
+                    self.job.prefetch()
+                ));
+            }
         }
         if self.remaining == Some(0) {
             self.finish_stream();
@@ -389,6 +456,7 @@ impl QueryStream {
                 return Err(err);
             }
         };
+        self.progress.prefetch_hits = self.job.prefetch_hits();
         match batch {
             Some(rows) => {
                 if self.progress.time_to_first_row.is_none() {
@@ -411,6 +479,14 @@ impl QueryStream {
         }
     }
 
+    /// Stop the stream now: cancel any prefetch workers still running, join
+    /// them (so no task outlives the call), and record the job report.
+    /// Subsequent [`QueryStream::next_batch`] calls return `Ok(None)`.
+    /// Idempotent; dropping the stream does the same.
+    pub fn cancel(&mut self) {
+        self.finish_stream();
+    }
+
     /// Drain the stream into a fully materialized [`QueryResult`].
     pub fn into_result(mut self) -> Result<QueryResult> {
         let mut rows = Vec::new();
@@ -430,12 +506,7 @@ impl QueryStream {
     /// One batch from the unordered path: the next non-empty partition's
     /// rows, truncated to the remaining LIMIT budget.
     fn next_unordered_batch(&mut self) -> Result<Option<Vec<Row>>> {
-        while self.next_partition < self.job.num_partitions() {
-            let partition = self.next_partition;
-            self.next_partition += 1;
-            let rows: Vec<Row> =
-                self.job
-                    .run_partition(partition, OutputSink::Collect, |rows, _metrics| rows)?;
+        while let Some((_partition, rows)) = self.job.next()? {
             self.progress.partitions_streamed += 1;
             if rows.is_empty() {
                 continue;
@@ -449,31 +520,59 @@ impl QueryStream {
         Ok(None)
     }
 
-    /// One batch from the ORDER BY path: materialize per-partition sorted
-    /// runs on first use, then merge up to `batch_size` rows.
-    fn next_merged_batch(&mut self) -> Result<Option<Vec<Row>>> {
-        if self.runs.is_none() {
-            let keys = self.order_by.clone();
-            let mut runs = Vec::with_capacity(self.job.num_partitions());
-            for partition in 0..self.job.num_partitions() {
-                let keys = keys.clone();
-                let sorted: Vec<Row> = self.job.run_partition(
-                    partition,
-                    OutputSink::Collect,
-                    move |mut rows, m| {
-                        m.add_sort(rows.len() as u64);
-                        rows.sort_by(|a, b| compare_rows(a, b, &keys));
-                        rows
-                    },
-                )?;
-                self.progress.partitions_streamed += 1;
-                if !sorted.is_empty() {
-                    runs.push((sorted, 0usize));
+    /// Rows buffered so far whose first sort key sorts strictly before
+    /// `bound` — the certificate the top-k skip rule needs.
+    fn buffered_rows_beating(&self, bound: &Value) -> usize {
+        let (col, desc) = self.order_by[0];
+        self.runs
+            .iter()
+            .flat_map(|(_, rows, _)| rows.iter())
+            .filter(|row| {
+                let ord = row.get(col).total_cmp(bound);
+                if desc {
+                    ord == std::cmp::Ordering::Greater
+                } else {
+                    ord == std::cmp::Ordering::Less
                 }
+            })
+            .count()
+    }
+
+    /// One batch from the ORDER BY path: gather per-partition sorted runs
+    /// (stopping early when the top-k skip rule proves the rest can never
+    /// contribute), then merge up to `batch_size` rows.
+    fn next_merged_batch(&mut self) -> Result<Option<Vec<Row>>> {
+        if !self.gathered {
+            loop {
+                if let (Some(bounds), Some(k)) = (&self.skip_bounds, self.remaining) {
+                    let pos = self.job.delivered();
+                    // Planned order is sorted by bound, so beating the next
+                    // partition's bound k times beats every later one too.
+                    if pos < bounds.len() && k > 0 && self.buffered_rows_beating(&bounds[pos]) >= k
+                    {
+                        self.notes.push(format!(
+                            "top-k pushdown: skipped {} result partitions via partition statistics",
+                            self.job.planned() - pos
+                        ));
+                        break;
+                    }
+                }
+                let Some((partition, rows)) = self.job.next()? else {
+                    break;
+                };
+                self.progress.partitions_streamed += 1;
+                if rows.is_empty() {
+                    continue;
+                }
+                // Keep runs ordered by partition index: the merge's tie-break
+                // must match the stable driver sort of the blocking path.
+                let at = self
+                    .runs
+                    .partition_point(|(existing, _, _)| *existing < partition);
+                self.runs.insert(at, (partition, rows, 0usize));
             }
-            self.runs = Some(runs);
+            self.gathered = true;
         }
-        let runs = self.runs.as_mut().expect("runs just materialized");
         let budget = self
             .remaining
             .unwrap_or(usize::MAX)
@@ -482,16 +581,17 @@ impl QueryStream {
         let mut out = Vec::new();
         while out.len() < budget {
             // Pick the run whose head row sorts first (k is small: the
-            // linear scan beats heap bookkeeping at simulation scale).
+            // linear scan beats heap bookkeeping at simulation scale). Ties
+            // go to the earliest partition, matching the stable sort.
             let mut best: Option<usize> = None;
-            for (i, (rows, cursor)) in runs.iter().enumerate() {
+            for (i, (_, rows, cursor)) in self.runs.iter().enumerate() {
                 if *cursor >= rows.len() {
                     continue;
                 }
                 best = match best {
                     None => Some(i),
                     Some(j) => {
-                        let (jrows, jcur) = &runs[j];
+                        let (_, jrows, jcur) = &self.runs[j];
                         if compare_rows(&rows[*cursor], &jrows[*jcur], &self.order_by)
                             == std::cmp::Ordering::Less
                         {
@@ -504,7 +604,7 @@ impl QueryStream {
             }
             match best {
                 Some(i) => {
-                    let (rows, cursor) = &mut runs[i];
+                    let (_, rows, cursor) = &mut self.runs[i];
                     out.push(rows[*cursor].clone());
                     *cursor += 1;
                 }
@@ -525,10 +625,19 @@ impl QueryStream {
             return;
         }
         self.done = true;
+        self.progress.prefetch_hits = self.job.prefetch_hits();
         let total = self.progress.partitions_total;
         if self.progress.partitions_streamed < total {
+            // Only claim "limit satisfied" when the limit actually ran out;
+            // streams also stop early on statistics-proven top-k skips,
+            // empty partitions left out of the plan, or cancellation.
+            let reason = if self.remaining == Some(0) {
+                " (limit satisfied)"
+            } else {
+                ""
+            };
             self.notes.push(format!(
-                "stream: stopped after {}/{} partitions (limit satisfied)",
+                "stream: stopped after {}/{} partitions{reason}",
                 self.progress.partitions_streamed, total
             ));
         }
@@ -536,32 +645,150 @@ impl QueryStream {
     }
 }
 
+/// Keep only the `k` first rows of `rows` under the stable ordering given by
+/// `keys`, using a bounded buffer of at most `2k` rows (the per-partition
+/// heap of top-k pushdown). Produces exactly the first `k` rows a full
+/// stable sort would.
+fn topk_rows(rows: Vec<Row>, k: usize, keys: &[(usize, bool)], m: &mut TaskMetrics) -> Vec<Row> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let cap = 2 * k;
+    let mut buf: Vec<Row> = Vec::with_capacity(cap.min(rows.len()));
+    for row in rows {
+        buf.push(row);
+        if buf.len() >= cap {
+            m.add_sort(buf.len() as u64);
+            buf.sort_by(|a, b| compare_rows(a, b, keys));
+            buf.truncate(k);
+        }
+    }
+    m.add_sort(buf.len() as u64);
+    buf.sort_by(|a, b| compare_rows(a, b, keys));
+    buf.truncate(k);
+    buf
+}
+
+/// Plan a statistics-driven execution order for a top-k stream over a
+/// single memstore scan: result partitions sorted by their sort-key bound
+/// (stat min for ASC, max for DESC), each paired with that bound so the
+/// driver can stop launching partitions once `k` delivered rows strictly
+/// beat the next bound. Returns `None` — disabling skipping, not
+/// correctness — whenever the statistics cannot bound the key: unloaded
+/// partitions, NULLs in the key column (NULL sorts outside the min/max
+/// range), or a computed sort key.
+fn topk_partition_order(
+    plan: &QueryPlan,
+    info: &SingleScanInfo,
+) -> Option<(Vec<usize>, Vec<Value>)> {
+    plan.limit?;
+    let (col, desc) = *plan.order_by.first()?;
+    let expr = plan.projections.get(col)?;
+    let BoundExpr::Column(projected_col) = expr else {
+        return None;
+    };
+    let table_col = *info.projection.get(*projected_col)?;
+    let mem = info.table.cached.as_ref()?;
+    let mut keyed: Vec<(usize, Value)> = Vec::new();
+    for (pos, &partition) in info.selected.iter().enumerate() {
+        let stats = mem.stats(partition)?;
+        let col_stats = stats.column(table_col);
+        if col_stats.null_count > 0 {
+            return None;
+        }
+        if stats.num_rows == 0 {
+            // An empty partition contributes nothing: leave it out of the
+            // planned order entirely.
+            continue;
+        }
+        let bound = if desc {
+            col_stats.max.clone()?
+        } else {
+            col_stats.min.clone()?
+        };
+        keyed.push((pos, bound));
+    }
+    keyed.sort_by(|a, b| {
+        let ord = a.1.total_cmp(&b.1);
+        let ord = if desc { ord.reverse() } else { ord };
+        ord.then(a.0.cmp(&b.0))
+    });
+    let (order, bounds) = keyed.into_iter().unzip();
+    Some((order, bounds))
+}
+
 /// Execute a plan incrementally: build the pipeline, run its shuffle
 /// dependencies, and return a [`QueryStream`] cursor that executes result
-/// partitions on demand. The counterpart of [`execute`] for serving layers
-/// that care about time-to-first-row.
+/// partitions on demand (ahead of demand, with a prefetch depth ≥ 1). The
+/// counterpart of [`execute`] for serving layers that care about
+/// time-to-first-row.
 pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<QueryStream> {
     let wall = Instant::now();
     let table_rdd = build_pipeline(ctx, plan, cfg)?;
     let mut notes = table_rdd.notes;
     notes.push("result streaming: partitions delivered incrementally".into());
-    let job = StreamingJob::new(ctx, &table_rdd.rdd, "sql-stream")?;
-    let partitions_total = job.num_partitions();
+    let streaming = StreamingJob::new(ctx, &table_rdd.rdd, "sql-stream")?;
+    let partitions_total = streaming.num_partitions();
+
+    // Pick the per-partition task transformation and the execution order.
+    let keys = plan.order_by.clone();
+    let limit = plan.limit;
+    let mut skip_bounds = None;
+    let order: Vec<usize>;
+    if keys.is_empty() {
+        order = (0..partitions_total).collect();
+    } else if let Some((planned, bounds)) = (limit.is_some())
+        .then_some(table_rdd.single_scan.as_ref())
+        .flatten()
+        .and_then(|info| topk_partition_order(plan, info))
+    {
+        notes.push(format!(
+            "top-k pushdown: per-partition bounded heaps (k={}), partitions ordered by statistics",
+            limit.unwrap_or(0)
+        ));
+        order = planned;
+        skip_bounds = Some(bounds);
+    } else {
+        if limit.is_some() {
+            notes.push(format!(
+                "top-k pushdown: per-partition bounded heaps (k={})",
+                limit.unwrap_or(0)
+            ));
+        }
+        order = (0..partitions_total).collect();
+    }
+    let task_keys = keys.clone();
+    let mut job = streaming.pipelined(order, OutputSink::Collect, move |mut rows, m| {
+        if task_keys.is_empty() {
+            return rows;
+        }
+        match limit {
+            Some(k) => topk_rows(rows, k, &task_keys, m),
+            None => {
+                m.add_sort(rows.len() as u64);
+                rows.sort_by(|a, b| compare_rows(a, b, &task_keys));
+                rows
+            }
+        }
+    });
+    job.set_prefetch(cfg.stream_prefetch);
     Ok(QueryStream {
         job,
         schema: plan.output_schema.clone(),
         plan_desc: plan.describe(),
         notes,
-        order_by: plan.order_by.clone(),
-        remaining: plan.limit,
-        next_partition: 0,
-        runs: None,
+        order_by: keys,
+        remaining: limit,
+        runs: Vec::new(),
+        gathered: false,
+        skip_bounds,
         batch_size: DEFAULT_STREAM_BATCH_ROWS,
         wall,
         progress: StreamProgress {
             partitions_total,
             ..StreamProgress::default()
         },
+        prefetch_noted: false,
         done: false,
     })
 }
@@ -575,11 +802,21 @@ pub fn build_pipeline(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
     // ----- scans ---------------------------------------------------------------
     let mut scan_rdds: Vec<Rdd<Row>> = Vec::new();
     let mut scan_all_partitions: Vec<bool> = Vec::new();
+    let mut scan_infos: Vec<Option<SingleScanInfo>> = Vec::new();
     for scan in &plan.scans {
-        let (rdd, full) = build_scan(ctx, scan, cfg, &mut notes)?;
+        let (rdd, full, info) = build_scan(ctx, scan, cfg, &mut notes)?;
         scan_rdds.push(rdd);
         scan_all_partitions.push(full);
+        scan_infos.push(info);
     }
+    // Result partitions map 1:1 onto the scan's partitions only while the
+    // pipeline stays narrow: one scan, no joins, no aggregation.
+    let single_scan = if plan.scans.len() == 1 && plan.joins.is_empty() && plan.aggregate.is_none()
+    {
+        scan_infos.pop().flatten()
+    } else {
+        None
+    };
 
     // ----- joins ---------------------------------------------------------------
     let mut combined = scan_rdds[0].clone();
@@ -636,17 +873,19 @@ pub fn build_pipeline(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
         rdd: output,
         schema: plan.output_schema.clone(),
         notes,
+        single_scan,
     })
 }
 
-/// Build a scan RDD; returns the RDD and whether it covers every partition
-/// of the table (needed for the co-partitioned join fast path).
+/// Build a scan RDD; returns the RDD, whether it covers every partition of
+/// the table (needed for the co-partitioned join fast path), and — for
+/// memstore scans — the scan identity top-k pushdown needs.
 fn build_scan(
     ctx: &RddContext,
     scan: &ScanNode,
     cfg: &ExecConfig,
     notes: &mut Vec<String>,
-) -> Result<(Rdd<Row>, bool)> {
+) -> Result<(Rdd<Row>, bool, Option<SingleScanInfo>)> {
     let use_memstore = matches!(
         cfg.mode,
         ExecutionMode::Shark {
@@ -668,11 +907,16 @@ fn build_scan(
         let rdd = MemTableScanRdd::create(
             ctx,
             scan.table.clone(),
-            selected,
+            selected.clone(),
             scan.projection.clone(),
             scan.filters.clone(),
         )?;
-        Ok((rdd, full))
+        let info = SingleScanInfo {
+            table: scan.table.clone(),
+            selected,
+            projection: scan.projection.clone(),
+        };
+        Ok((rdd, full, Some(info)))
     } else {
         let rdd = DfsScanRdd::create(
             ctx,
@@ -680,7 +924,7 @@ fn build_scan(
             scan.projection.clone(),
             scan.filters.clone(),
         );
-        Ok((rdd, true))
+        Ok((rdd, true, None))
     }
 }
 

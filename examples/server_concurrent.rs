@@ -5,7 +5,11 @@
 //! recomputing them, while admission control bounds the in-flight queries.
 //! LIMIT queries go through the streaming cursor (`sql_stream`), which
 //! stops launching partitions once enough rows were delivered and records
-//! per-query time-to-first-row.
+//! per-query time-to-first-row. Streaming cursors prefetch: a bounded
+//! worker pool (capped by the server's aggregate prefetch budget) executes
+//! partitions ahead of the consumer, and ORDER BY + LIMIT queries use
+//! top-k pushdown — per-partition bounded heaps plus statistics-ordered
+//! partition launches.
 //!
 //! Run with: `cargo run --release -p shark-examples --example server_concurrent`
 
@@ -64,9 +68,10 @@ fn main() -> shark_common::Result<()> {
     }
     let full_bytes = sizing.catalog().memstore_bytes();
 
-    // Pass 2: the real server, with room for roughly 60% of that working
-    // set — lineitem alone fits, but not all three tables at once.
-    let budget = full_bytes * 6 / 10;
+    // Pass 2: the real server, with room for roughly 85% of that working
+    // set — lineitem alone fits, but not together with either of the other
+    // tables, so the LRU policy keeps displacing somebody.
+    let budget = full_bytes * 17 / 20;
     println!("full working set: {full_bytes} columnar bytes; server budget: {budget} bytes");
     let server = SharkServer::new(ServerConfig {
         rdd: RddConfig::default(),
@@ -74,6 +79,7 @@ fn main() -> shark_common::Result<()> {
         memory_budget_bytes: budget,
         max_concurrent_queries: 4,
         max_queued_queries: 128,
+        max_total_prefetch: 8,
     });
     register_tpch(&server, &tpch_cfg, partitions);
 
@@ -88,7 +94,10 @@ fn main() -> shark_common::Result<()> {
     let barrier = Arc::new(Barrier::new(SESSIONS));
     let mut workers = Vec::new();
     for s in 0..SESSIONS {
-        let session = server.session();
+        let mut session = server.session();
+        // Ask for 2 partitions of prefetch per cursor; the server clamps the
+        // aggregate under its prefetch budget.
+        session.set_stream_prefetch(2);
         let barrier = barrier.clone();
         workers.push(std::thread::spawn(move || {
             barrier.wait();
@@ -121,20 +130,42 @@ fn main() -> shark_common::Result<()> {
         println!("session {id} finished ({rows} result rows)");
     }
 
-    // Streaming close-up: a full lineitem scan through a cursor, showing
-    // how early the first batch lands relative to the whole result.
-    let session = server.session();
+    // Streaming close-up: a full lineitem scan through a prefetching
+    // cursor, showing how early the first batch lands relative to the whole
+    // result and how many deliveries the worker pool had ready in advance.
+    let mut session = server.session();
+    session.set_stream_prefetch(4);
     let mut cursor = session.sql_stream("SELECT l_orderkey, l_shipmode FROM lineitem")?;
     let first = cursor.next_batch()?.unwrap_or_default();
     let progress = cursor.progress().clone();
     let rest = cursor.fetch_all()?;
+    let done = cursor.progress().clone();
     println!(
-        "\nstreamed scan: first batch of {} rows after {:?} ({}/{} partitions); {} rows total",
+        "\nstreamed scan: first batch of {} rows after {:?} ({}/{} partitions); \
+         {} rows total, {} prefetch hits",
         first.len(),
         progress.time_to_first_row.unwrap_or_default(),
         progress.partitions_streamed,
         progress.partitions_total,
         first.len() + rest.len(),
+        done.prefetch_hits,
+    );
+
+    // Top-k close-up: ORDER BY + LIMIT over the statistics-ordered stream
+    // executes only as many partitions as the limit needs. (Re-load first:
+    // the budget churn above may have evicted lineitem's partitions, and
+    // without resident statistics top-k falls back to running every
+    // partition.)
+    server.load_table("lineitem")?;
+    let mut cursor =
+        session.sql_stream("SELECT l_orderkey FROM lineitem ORDER BY l_orderkey LIMIT 5")?;
+    let top = cursor.next_batch()?.unwrap_or_default();
+    let progress = cursor.progress().clone();
+    println!(
+        "top-k stream: {} rows via {}/{} partitions (per-partition heaps + stat-ordered launch)",
+        top.len(),
+        progress.partitions_streamed,
+        progress.partitions_total,
     );
 
     println!("\n--- server report ---");

@@ -1,0 +1,191 @@
+//! Equivalence suite for pipelined/top-k streaming: across a randomized
+//! grid of (partition count × prefetch depth × LIMIT/ORDER BY shapes), the
+//! streaming path must return **byte-identical** rows to the blocking
+//! `sql()` path — including the order of rows with duplicate sort keys,
+//! which exercises the merge's stable tie-breaking and the soundness of the
+//! statistics-driven partition skipping.
+//!
+//! Driven by the vendored seeded-`rand` harness (style of
+//! `examples/tests/properties.rs`): every failure message carries the seed
+//! that replays it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shark_common::{DataType, Row, Schema, Value};
+use shark_rdd::{RddConfig, RddContext};
+use shark_sql::{ExecConfig, SqlSession, TableMeta};
+
+const PREFETCH_DEPTHS: [usize; 4] = [0, 1, 2, 8];
+
+/// Build a session over a randomly-shaped cached table. Values are drawn
+/// from a small domain so duplicate sort keys appear within and across
+/// partitions; `correlated` makes the sort key increase with the partition
+/// index so partition statistics can prove top-k skipping.
+fn random_session(rng: &mut StdRng, correlated: bool) -> (SqlSession, usize, usize) {
+    let partitions = rng.gen_range(1..9usize);
+    let rows_per_partition = rng.gen_range(1..60usize);
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("grp", DataType::Str),
+        ("amount", DataType::Float),
+    ]);
+    // Pre-generate deterministic partition contents.
+    let data: Vec<Vec<Row>> = (0..partitions)
+        .map(|p| {
+            (0..rows_per_partition)
+                .map(|i| {
+                    let key = if correlated {
+                        (p * rows_per_partition + i) as i64
+                    } else {
+                        rng.gen_range(0i64..20)
+                    };
+                    Row::new(vec![
+                        Value::Int(key),
+                        Value::str(["alpha", "beta", "gamma"][rng.gen_range(0..3usize)]),
+                        Value::Float(rng.gen_range(0u32..50) as f64 * 0.5),
+                    ])
+                })
+                .collect()
+        })
+        .collect();
+    let data = std::sync::Arc::new(data);
+    let session = SqlSession::new(RddContext::new(RddConfig::default()), ExecConfig::shark());
+    session.register_table(
+        TableMeta::new("t", schema, partitions, move |p| data[p].clone())
+            .with_cache(4)
+            .with_row_count_hint((partitions * rows_per_partition) as u64),
+    );
+    session.load_table("t").unwrap();
+    (session, partitions, rows_per_partition)
+}
+
+/// Drain a stream with a given prefetch depth and batch size.
+fn drain(session: &SqlSession, query: &str, prefetch: usize, batch: usize) -> Vec<Row> {
+    let mut stream = session
+        .sql_stream(query)
+        .unwrap()
+        .with_prefetch(prefetch)
+        .with_batch_size(batch);
+    let mut rows = Vec::new();
+    while let Some(b) = stream.next_batch().unwrap() {
+        assert!(!b.is_empty(), "streams never deliver empty batches");
+        rows.extend(b);
+    }
+    assert!(stream.is_exhausted());
+    rows
+}
+
+#[test]
+fn streamed_rows_are_byte_identical_to_blocking_sql_across_the_grid() {
+    for case in 0..24u64 {
+        let seed = 0x704B_0000 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let correlated = rng.gen_range(0..2u32) == 0;
+        let (session, partitions, rows_per_partition) = random_session(&mut rng, correlated);
+        let total = partitions * rows_per_partition;
+        let limit = match rng.gen_range(0..3u32) {
+            0 => rng.gen_range(1..=total.min(7)),
+            1 => rng.gen_range(1..=total),
+            _ => total + rng.gen_range(1..10usize), // larger than the table
+        };
+        let desc = if rng.gen_range(0..2u32) == 0 {
+            " DESC"
+        } else {
+            ""
+        };
+        let queries = [
+            "SELECT k, grp, amount FROM t".to_string(),
+            format!("SELECT k, amount FROM t LIMIT {limit}"),
+            format!("SELECT k, grp FROM t ORDER BY k{desc}"),
+            format!("SELECT k, grp, amount FROM t ORDER BY k{desc} LIMIT {limit}"),
+            format!("SELECT grp, amount FROM t ORDER BY grp, amount{desc} LIMIT {limit}"),
+            format!(
+                "SELECT k, amount FROM t WHERE amount > 5 ORDER BY amount{desc}, k LIMIT {limit}"
+            ),
+        ];
+        let batch = rng.gen_range(1..40usize);
+        for query in &queries {
+            let blocking = session.sql(query).unwrap().rows;
+            for prefetch in PREFETCH_DEPTHS {
+                let streamed = drain(&session, query, prefetch, batch);
+                assert_eq!(
+                    streamed, blocking,
+                    "seed {seed:#x}: '{query}' diverged at prefetch={prefetch} \
+                     (partitions={partitions}, rows/part={rows_per_partition}, batch={batch})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn topk_skipping_never_changes_results_on_correlated_tables() {
+    // Focused pressure on the statistics-driven skip rule: correlated keys,
+    // tiny limits, both directions, duplicate keys at partition boundaries.
+    for case in 0..16u64 {
+        let seed = 0x704B_1000 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partitions = rng.gen_range(2..9usize);
+        let rows_per_partition = rng.gen_range(2..40usize);
+        // Keys repeat `dup` times so runs of equal keys straddle partition
+        // boundaries — the stable-merge tie-break must still match the
+        // blocking path's stable driver sort.
+        let dup = rng.gen_range(1..5usize);
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("p", DataType::Int)]);
+        let rpp = rows_per_partition;
+        let session = SqlSession::new(RddContext::new(RddConfig::default()), ExecConfig::shark());
+        session.register_table(
+            TableMeta::new("t", schema, partitions, move |part| {
+                (0..rpp)
+                    .map(|i| {
+                        Row::new(vec![
+                            Value::Int(((part * rpp + i) / dup) as i64),
+                            Value::Int(part as i64),
+                        ])
+                    })
+                    .collect()
+            })
+            .with_cache(4),
+        );
+        session.load_table("t").unwrap();
+        for desc in ["", " DESC"] {
+            let limit = rng.gen_range(1..=rows_per_partition * 2);
+            let query = format!("SELECT k, p FROM t ORDER BY k{desc} LIMIT {limit}");
+            let blocking = session.sql(&query).unwrap().rows;
+            for prefetch in PREFETCH_DEPTHS {
+                let streamed = drain(&session, &query, prefetch, 16);
+                assert_eq!(
+                    streamed, blocking,
+                    "seed {seed:#x}: '{query}' diverged at prefetch={prefetch}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_aggregates_and_joins_match_blocking_results() {
+    // Multi-stage pipelines (shuffle deps up front) keep their equivalence
+    // under prefetching too, including ORDER BY over aggregated output
+    // where top-k pushdown must stand down (no single-scan statistics).
+    for case in 0..8u64 {
+        let seed = 0x704B_2000 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (session, _, _) = random_session(&mut rng, false);
+        let queries = [
+            "SELECT grp, COUNT(*), SUM(amount) FROM t GROUP BY grp ORDER BY grp",
+            "SELECT grp, SUM(amount) FROM t GROUP BY grp ORDER BY SUM(amount) DESC LIMIT 2",
+            "SELECT a.k, b.amount FROM t a JOIN t b ON a.k = b.k ORDER BY a.k, b.amount LIMIT 9",
+        ];
+        for query in queries {
+            let blocking = session.sql(query).unwrap().rows;
+            for prefetch in [0usize, 3] {
+                let streamed = drain(&session, query, prefetch, 8);
+                assert_eq!(
+                    streamed, blocking,
+                    "seed {seed:#x}: '{query}' diverged at prefetch={prefetch}"
+                );
+            }
+        }
+    }
+}
