@@ -7,7 +7,7 @@ use shark_datagen::tpch::TpchConfig;
 
 fn session(exec: ExecConfig) -> SharkContext {
     let shark = SharkContext::new(SharkConfig::default().with_exec(exec));
-    register_tpch(&shark, &TpchConfig::tiny(), 8, true).unwrap();
+    register_tpch(&shark, &shark_bench::tpch(TpchConfig::tiny()), 8, true).unwrap();
     shark.load_table("lineitem").unwrap();
     shark
 }
@@ -16,7 +16,7 @@ fn bench_aggregation(c: &mut Criterion) {
     let shark = session(ExecConfig::shark());
     let hive = session(ExecConfig::hive());
     let mut g = c.benchmark_group("aggregation");
-    g.sample_size(10);
+    g.sample_size(shark_bench::samples(10));
     g.bench_function("shark_7_groups", |b| {
         b.iter(|| {
             shark

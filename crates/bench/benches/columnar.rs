@@ -5,11 +5,11 @@ use shark_columnar::{ColumnarPartition, EncodingChoice};
 use shark_datagen::tpch::{lineitem_partition, lineitem_schema, TpchConfig};
 
 fn bench_columnar(c: &mut Criterion) {
-    let cfg = TpchConfig::default();
+    let cfg = shark_bench::tpch(TpchConfig::default());
     let rows = lineitem_partition(&cfg, 8, 0);
     let schema = lineitem_schema();
     let mut g = c.benchmark_group("columnar");
-    g.sample_size(10);
+    g.sample_size(shark_bench::samples(10));
     g.bench_function("build_compressed", |b| {
         b.iter(|| ColumnarPartition::from_rows(&schema, &rows))
     });

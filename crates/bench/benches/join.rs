@@ -10,7 +10,7 @@ const JOIN: &str =
 
 fn session(exec: ExecConfig) -> SharkContext {
     let shark = SharkContext::new(SharkConfig::default().with_exec(exec));
-    register_tpch(&shark, &TpchConfig::tiny(), 8, true).unwrap();
+    register_tpch(&shark, &shark_bench::tpch(TpchConfig::tiny()), 8, true).unwrap();
     shark.load_table("lineitem").unwrap();
     shark.load_table("supplier").unwrap();
     shark
@@ -20,7 +20,7 @@ fn bench_join(c: &mut Criterion) {
     let adaptive = session(ExecConfig::shark());
     let static_plan = session(ExecConfig::shark_static());
     let mut g = c.benchmark_group("join");
-    g.sample_size(10);
+    g.sample_size(shark_bench::samples(10));
     g.bench_function("pde_adaptive_join", |b| {
         b.iter(|| adaptive.sql(JOIN).unwrap())
     });

@@ -8,7 +8,7 @@ use shark_rdd::RddContext;
 fn bench_ml(c: &mut Criterion) {
     let ctx = RddContext::local();
     let cfg = MlConfig {
-        rows: 20_000,
+        rows: shark_bench::scaled(20_000),
         dims: 10,
         clusters: 5,
         seed: 5,
@@ -23,7 +23,7 @@ fn bench_ml(c: &mut Criterion) {
     features.count().unwrap();
 
     let mut g = c.benchmark_group("ml");
-    g.sample_size(10);
+    g.sample_size(shark_bench::samples(10));
     g.bench_function("logistic_regression_1_iter", |b| {
         b.iter(|| {
             LogisticRegression {

@@ -5,8 +5,9 @@ use shark_sql::{choose_join_strategy, coalesce_buckets};
 
 fn bench_pde(c: &mut Criterion) {
     let mut g = c.benchmark_group("pde");
-    g.sample_size(20);
-    let skewed: Vec<u64> = (0..2000)
+    g.sample_size(shark_bench::samples(20));
+    let buckets = shark_bench::scaled(2000) as u64;
+    let skewed: Vec<u64> = (0..buckets)
         .map(|i| {
             if i % 97 == 0 {
                 1_000_000
@@ -15,7 +16,7 @@ fn bench_pde(c: &mut Criterion) {
             }
         })
         .collect();
-    g.bench_function("coalesce_2000_buckets", |b| {
+    g.bench_function("coalesce_skewed_buckets", |b| {
         b.iter(|| coalesce_buckets(&skewed, 500_000, 200))
     });
     g.bench_function("join_strategy_choice", |b| {

@@ -9,13 +9,23 @@ const QUERY: &str = "SELECT COUNT(*) FROM sessions WHERE day = 15001 AND country
 
 fn bench_pruning(c: &mut Criterion) {
     let cached = SharkContext::new(SharkConfig::default().with_exec(ExecConfig::shark()));
-    register_warehouse(&cached, &WarehouseConfig::tiny(), true).unwrap();
+    register_warehouse(
+        &cached,
+        &shark_bench::warehouse(WarehouseConfig::tiny()),
+        true,
+    )
+    .unwrap();
     cached.load_table("sessions").unwrap();
     let uncached = SharkContext::new(SharkConfig::default().with_exec(ExecConfig::shark_disk()));
-    register_warehouse(&uncached, &WarehouseConfig::tiny(), false).unwrap();
+    register_warehouse(
+        &uncached,
+        &shark_bench::warehouse(WarehouseConfig::tiny()),
+        false,
+    )
+    .unwrap();
 
     let mut g = c.benchmark_group("pruning");
-    g.sample_size(10);
+    g.sample_size(shark_bench::samples(10));
     g.bench_function("with_map_pruning", |b| {
         b.iter(|| cached.sql(QUERY).unwrap())
     });

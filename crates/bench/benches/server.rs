@@ -14,7 +14,7 @@ const QUERY: &str = "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmo
 
 fn server(budget: u64) -> SharkServer {
     let server = SharkServer::new(ServerConfig::default().with_memory_budget(budget));
-    let cfg = TpchConfig::tiny();
+    let cfg = shark_bench::tpch(TpchConfig::tiny());
     let partitions = 8;
     let nodes = server.context().config().cluster.num_nodes;
     server.register_table(
@@ -29,7 +29,7 @@ fn server(budget: u64) -> SharkServer {
 
 fn bench_server(c: &mut Criterion) {
     let mut g = c.benchmark_group("server");
-    g.sample_size(10);
+    g.sample_size(shark_bench::samples(10));
 
     let single = server(u64::MAX);
     let session = single.session();
@@ -108,7 +108,7 @@ fn bench_server(c: &mut Criterion) {
     let pipelined = server(u64::MAX);
     // Default-size lineitem (60k rows): each partition is ~1 ms of
     // generator + scan work, comparable to the client's per-batch cost.
-    let cfg = TpchConfig::default();
+    let cfg = shark_bench::tpch(TpchConfig::default());
     let raw_partitions = 16;
     pipelined.register_table(TableMeta::new(
         "lineitem_raw",

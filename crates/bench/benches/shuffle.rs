@@ -5,11 +5,12 @@ use shark_rdd::RddContext;
 
 fn bench_shuffle(c: &mut Criterion) {
     let mut g = c.benchmark_group("shuffle");
-    g.sample_size(10);
+    g.sample_size(shark_bench::samples(10));
     g.bench_function("reduce_by_key_50k", |b| {
         b.iter(|| {
             let ctx = RddContext::local();
-            let rdd = ctx.parallelize((0i64..50_000).collect(), 16);
+            let n = shark_bench::scaled(50_000) as i64;
+            let rdd = ctx.parallelize((0i64..n).collect(), 16);
             rdd.map(|x| (x % 1000, 1i64))
                 .reduce_by_key(16, |a, b| a + b)
                 .collect()
@@ -19,7 +20,8 @@ fn bench_shuffle(c: &mut Criterion) {
     g.bench_function("pre_shuffle_statistics_50k", |b| {
         b.iter(|| {
             let ctx = RddContext::local();
-            let rdd = ctx.parallelize((0i64..50_000).collect(), 16);
+            let n = shark_bench::scaled(50_000) as i64;
+            let rdd = ctx.parallelize((0i64..n).collect(), 16);
             let pre = rdd.map(|x| (x % 1000, x)).pre_shuffle(64).unwrap();
             pre.summary().skew_factor()
         })

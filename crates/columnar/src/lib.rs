@@ -12,7 +12,8 @@
 //!   column *per partition* by [`encoding::choose_encoding`] exactly as the
 //!   paper's data-loading tasks do (§3.3).
 //! * [`ColumnarPartition`] — a partition of rows in columnar form, with
-//!   conversion to/from [`Row`]s, per-column decode, and memory accounting.
+//!   conversion to/from [`shark_common::Row`]s, per-column decode, and
+//!   memory accounting.
 //! * [`PartitionStats`] / [`ColumnStats`] — min/max and small-cardinality
 //!   distinct-value statistics collected while loading, used by the query
 //!   optimizer to skip partitions whose values cannot satisfy a predicate

@@ -5,6 +5,13 @@
 //! manager therefore records which simulated node holds each partition so
 //! that a node failure can invalidate exactly the partitions that lived
 //! there; the scheduler then recomputes them from their lineage (Figure 9).
+//!
+//! Accounting, recency and pinning are all *partition*-granular: every
+//! cached `(rdd, partition)` pair carries its own last-access tick and pin
+//! count, so a memory manager can evict exactly the coldest partitions
+//! ([`CacheManager::lru_partition`] + [`CacheManager::evict_partition`])
+//! instead of dropping whole RDDs — whole-RDD eviction
+//! ([`CacheManager::evict_rdd`]) remains as the wholesale limit case.
 
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,7 +29,7 @@ struct CachedPartition {
     rows: u64,
 }
 
-/// What an [`CacheManager::evict_rdd`] call removed.
+/// What an eviction call removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EvictionStats {
     /// Partitions dropped.
@@ -31,15 +38,30 @@ pub struct EvictionStats {
     pub bytes: u64,
 }
 
+/// One cached RDD partition eligible for eviction, as reported by
+/// [`CacheManager::lru_candidates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedPartitionInfo {
+    /// Owning RDD id.
+    pub rdd_id: usize,
+    /// Partition index.
+    pub partition: usize,
+    /// Cached bytes.
+    pub bytes: u64,
+    /// Last-access tick (smaller = colder).
+    pub last_tick: u64,
+}
+
 /// Tracks cached RDD partitions, their sizes and their node placement, plus
-/// a per-RDD last-access clock so a memory manager can evict whole RDDs in
-/// least-recently-used order ([`CacheManager::lru_rdd`] +
-/// [`CacheManager::evict_rdd`]).
+/// a per-partition last-access clock and pin counts so a memory manager can
+/// evict individual partitions in least-recently-used order.
 #[derive(Default)]
 pub struct CacheManager {
     entries: RwLock<FxHashMap<(usize, usize), CachedPartition>>,
-    /// Last-access tick per cached RDD (LRU order for whole-RDD eviction).
-    touches: RwLock<FxHashMap<usize, u64>>,
+    /// Last-access tick per cached partition (partition-granular LRU).
+    touches: RwLock<FxHashMap<(usize, usize), u64>>,
+    /// Pin counts per partition: pinned partitions are never LRU victims.
+    pins: RwLock<FxHashMap<(usize, usize), usize>>,
     clock: AtomicU64,
 }
 
@@ -69,10 +91,10 @@ impl CacheManager {
                 rows,
             },
         );
-        self.touch_rdd(rdd_id);
+        self.touch_partition(rdd_id, partition);
     }
 
-    /// Fetch a cached partition if present, refreshing the RDD's LRU clock.
+    /// Fetch a cached partition if present, refreshing its LRU tick.
     pub fn get<T: Send + Sync + 'static>(
         &self,
         rdd_id: usize,
@@ -83,14 +105,56 @@ impl CacheManager {
             let entry = guard.get(&(rdd_id, partition))?;
             entry.data.clone()
         };
-        self.touch_rdd(rdd_id);
+        self.touch_partition(rdd_id, partition);
         data.downcast::<Vec<T>>().ok()
     }
 
-    /// Mark an RDD as just-used for LRU purposes.
-    pub fn touch_rdd(&self, rdd_id: usize) {
+    /// Mark one partition as just-used for LRU purposes.
+    pub fn touch_partition(&self, rdd_id: usize, partition: usize) {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        self.touches.write().insert(rdd_id, tick);
+        self.touches.write().insert((rdd_id, partition), tick);
+    }
+
+    /// Mark every cached partition of an RDD as just-used.
+    pub fn touch_rdd(&self, rdd_id: usize) {
+        let partitions: Vec<usize> = {
+            let guard = self.entries.read();
+            guard
+                .keys()
+                .filter(|(id, _)| *id == rdd_id)
+                .map(|(_, p)| *p)
+                .collect()
+        };
+        for p in partitions {
+            self.touch_partition(rdd_id, p);
+        }
+    }
+
+    /// Pin one cached partition against eviction. Pins nest; release with
+    /// [`CacheManager::unpin_partition`].
+    pub fn pin_partition(&self, rdd_id: usize, partition: usize) {
+        // Taking the entries lock first serializes this against
+        // `evict_partition` (same lock order), so a pin either lands before
+        // the eviction's pin re-check or waits until the slot is gone —
+        // never in between.
+        let _entries = self.entries.read();
+        *self.pins.write().entry((rdd_id, partition)).or_insert(0) += 1;
+    }
+
+    /// Release one pin on a partition.
+    pub fn unpin_partition(&self, rdd_id: usize, partition: usize) {
+        let mut pins = self.pins.write();
+        if let Some(count) = pins.get_mut(&(rdd_id, partition)) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&(rdd_id, partition));
+            }
+        }
+    }
+
+    /// Whether a partition is currently pinned.
+    pub fn is_pinned(&self, rdd_id: usize, partition: usize) -> bool {
+        self.pins.read().contains_key(&(rdd_id, partition))
     }
 
     /// The node holding a cached partition, if cached.
@@ -142,22 +206,65 @@ impl CacheManager {
         out
     }
 
-    /// The cached RDD that was least recently touched, if any.
-    pub fn lru_rdd(&self) -> Option<usize> {
-        let cached: std::collections::HashSet<usize> =
-            self.entries.read().keys().map(|(id, _)| *id).collect();
-        self.touches
-            .read()
+    /// Every cached, unpinned partition with its bytes and last-access tick
+    /// — the candidate list for partition-granular LRU eviction.
+    pub fn lru_candidates(&self) -> Vec<CachedPartitionInfo> {
+        let entries = self.entries.read();
+        let touches = self.touches.read();
+        let pins = self.pins.read();
+        entries
             .iter()
-            .filter(|(id, _)| cached.contains(id))
-            .min_by_key(|(_, &tick)| tick)
-            .map(|(&id, _)| id)
+            .filter(|(key, _)| !pins.contains_key(key))
+            .map(|(&(rdd_id, partition), e)| CachedPartitionInfo {
+                rdd_id,
+                partition,
+                bytes: e.bytes,
+                last_tick: touches.get(&(rdd_id, partition)).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// The cached, unpinned partition that was least recently touched.
+    pub fn lru_partition(&self) -> Option<(usize, usize)> {
+        self.lru_candidates()
+            .into_iter()
+            .min_by_key(|c| (c.last_tick, c.rdd_id, c.partition))
+            .map(|c| (c.rdd_id, c.partition))
+    }
+
+    /// The cached RDD holding the least recently touched unpinned partition,
+    /// if any (whole-RDD LRU, derived from the partition clock).
+    pub fn lru_rdd(&self) -> Option<usize> {
+        self.lru_partition().map(|(id, _)| id)
+    }
+
+    /// Evict one cached partition, returning the accounting. Unlike a node
+    /// failure this is a *policy* eviction: the data is recomputable from
+    /// lineage, so the caller only needs the accounting. Pinned partitions
+    /// are refused (zero stats returned): pins are re-checked here, under
+    /// the entries lock, so a pin taken after a caller's
+    /// [`CacheManager::lru_candidates`] snapshot still protects its
+    /// partition.
+    pub fn evict_partition(&self, rdd_id: usize, partition: usize) -> EvictionStats {
+        let removed = {
+            let mut entries = self.entries.write();
+            if self.pins.read().contains_key(&(rdd_id, partition)) {
+                return EvictionStats::default();
+            }
+            entries.remove(&(rdd_id, partition))
+        };
+        self.touches.write().remove(&(rdd_id, partition));
+        match removed {
+            Some(e) => EvictionStats {
+                partitions: 1,
+                bytes: e.bytes,
+            },
+            None => EvictionStats::default(),
+        }
     }
 
     /// Evict every cached partition of one RDD, returning how many
-    /// partitions and bytes were freed. Unlike a node failure this is a
-    /// *policy* eviction: the data is recomputable from lineage, so the
-    /// caller only needs the accounting.
+    /// partitions and bytes were freed.
     pub fn evict_rdd(&self, rdd_id: usize) -> EvictionStats {
         let mut stats = EvictionStats::default();
         {
@@ -172,7 +279,7 @@ impl CacheManager {
                 }
             });
         }
-        self.touches.write().remove(&rdd_id);
+        self.touches.write().retain(|(id, _), _| *id != rdd_id);
         stats
     }
 
@@ -199,6 +306,7 @@ impl CacheManager {
     pub fn clear(&self) {
         self.entries.write().clear();
         self.touches.write().clear();
+        self.pins.write().clear();
     }
 }
 
@@ -273,6 +381,25 @@ mod tests {
     }
 
     #[test]
+    fn evict_partition_frees_only_that_partition() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 100);
+        cache.put(1, 1, Arc::new(vec![2i64]), 1, 50);
+        let stats = cache.evict_partition(1, 0);
+        assert_eq!(
+            stats,
+            EvictionStats {
+                partitions: 1,
+                bytes: 100
+            }
+        );
+        assert!(!cache.contains(1, 0));
+        assert!(cache.contains(1, 1));
+        assert_eq!(cache.total_bytes(), 50);
+        assert_eq!(cache.evict_partition(1, 0), EvictionStats::default());
+    }
+
+    #[test]
     fn lru_order_follows_touches() {
         let cache = CacheManager::new();
         cache.put(1, 0, Arc::new(vec![1i64]), 0, 8);
@@ -282,12 +409,63 @@ mod tests {
         let _: Option<Arc<Vec<i64>>> = cache.get(1, 0);
         let _: Option<Arc<Vec<i64>>> = cache.get(3, 0);
         assert_eq!(cache.lru_rdd(), Some(2));
+        assert_eq!(cache.lru_partition(), Some((2, 0)));
         cache.evict_rdd(2);
         assert_eq!(cache.lru_rdd(), Some(1));
         cache.touch_rdd(1);
         assert_eq!(cache.lru_rdd(), Some(3));
         cache.clear();
         assert_eq!(cache.lru_rdd(), None);
+    }
+
+    #[test]
+    fn partition_lru_is_finer_than_rdd_lru() {
+        let cache = CacheManager::new();
+        // One RDD, three partitions, touched in order 0, 2 — partition 1 is
+        // the coldest even though the *RDD* was just used.
+        cache.put(5, 0, Arc::new(vec![0i64]), 0, 8);
+        cache.put(5, 1, Arc::new(vec![1i64]), 1, 8);
+        cache.put(5, 2, Arc::new(vec![2i64]), 2, 8);
+        let _: Option<Arc<Vec<i64>>> = cache.get(5, 0);
+        let _: Option<Arc<Vec<i64>>> = cache.get(5, 2);
+        assert_eq!(cache.lru_partition(), Some((5, 1)));
+        let stats = cache.evict_partition(5, 1);
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(cache.cached_partitions(5), 2);
+        assert_eq!(cache.lru_partition(), Some((5, 0)));
+    }
+
+    #[test]
+    fn pinned_partitions_are_never_lru_victims() {
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 8);
+        cache.put(1, 1, Arc::new(vec![2i64]), 1, 8);
+        // Partition 0 is the coldest, but pinned.
+        cache.pin_partition(1, 0);
+        assert!(cache.is_pinned(1, 0));
+        assert_eq!(cache.lru_partition(), Some((1, 1)));
+        assert_eq!(cache.lru_candidates().len(), 1);
+        // Pins nest.
+        cache.pin_partition(1, 0);
+        cache.unpin_partition(1, 0);
+        assert!(cache.is_pinned(1, 0));
+        cache.unpin_partition(1, 0);
+        assert!(!cache.is_pinned(1, 0));
+        assert_eq!(cache.lru_partition(), Some((1, 0)));
+    }
+
+    #[test]
+    fn evict_partition_refuses_pinned_partitions() {
+        // A pin taken after a caller snapshotted its LRU candidates must
+        // still protect the partition: eviction re-checks pins itself.
+        let cache = CacheManager::new();
+        cache.put(1, 0, Arc::new(vec![1i64]), 0, 8);
+        cache.pin_partition(1, 0);
+        assert_eq!(cache.evict_partition(1, 0), EvictionStats::default());
+        assert!(cache.contains(1, 0));
+        cache.unpin_partition(1, 0);
+        assert_eq!(cache.evict_partition(1, 0).partitions, 1);
+        assert!(!cache.contains(1, 0));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
 
-pub use cache::{CacheManager, EvictionStats};
+pub use cache::{CacheManager, CachedPartitionInfo, EvictionStats};
 pub use context::{JobReport, RddConfig, RddContext, StageReport};
 pub use metrics::TaskMetrics;
 pub use pair::{Aggregator, PreShuffledRdd};

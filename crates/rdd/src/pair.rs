@@ -5,7 +5,7 @@
 //! `group_by_key`, `combine_by_key`, `partition_by`, `cogroup` and `join`.
 //! In addition, [`Rdd::pre_shuffle`] materializes just the *map side* of a
 //! shuffle and hands back a [`PreShuffledRdd`] whose statistics
-//! ([`ShuffleSummary`](crate::shuffle::ShuffleSummary)) the query optimizer
+//! ([`crate::shuffle::ShuffleSummary`]) the query optimizer
 //! can inspect before deciding how to consume the shuffle — the mechanism
 //! behind the paper's partial DAG execution (§3.1): choosing map vs. shuffle
 //! joins, picking the number of reducers, and bin-packing skewed buckets.

@@ -2,40 +2,60 @@
 //!
 //! Layered over the two caches a Shark deployment fills up — the SQL
 //! catalog's per-table columnar [`MemTable`]s and the RDD-level
-//! [`CacheManager`] — this tracks per-table cached bytes against a single
-//! server-wide budget and, under pressure, evicts whole cached tables in
-//! least-recently-used order (then LRU RDDs). Eviction only drops the
-//! in-memory copy: Shark keeps exactly one copy of cached data and relies on
-//! lineage, not replication (§2.2), so an evicted table is transparently
-//! recomputed from its base generator by the next scan that touches it.
-//! Tables pinned by currently executing queries are never victims.
+//! [`CacheManager`] — this tracks resident bytes against a single
+//! server-wide budget and, under pressure, evicts individual cached
+//! *partitions* in globally least-recently-used order (tables first, then
+//! cached RDDs). The partition, not the table, is Shark's unit of storage
+//! and lineage recovery (§3.1–3.2): one oversized table no longer dumps
+//! every hot partition of every workload at once — only the coldest
+//! partitions go, and a table is evicted wholesale only when every one of
+//! its partitions is cold. Eviction only drops the in-memory copy: Shark
+//! keeps exactly one copy of cached data and relies on lineage, not
+//! replication (§2.2), so an evicted partition is transparently recomputed
+//! from the table's base generator by the next scan that needs it (the
+//! partition statistics survive eviction, so map pruning and top-k
+//! ordering still work meanwhile). Tables pinned by currently executing
+//! queries are never victims, and individual partitions can be pinned too.
+//!
+//! A second, per-session layer sits under the global budget: each session
+//! is charged for the tables it explicitly loaded, created, or faulted in
+//! through its queries (first owner wins), and a session over its quota
+//! has *its own* least-recently-used partitions evicted first — the
+//! tenant-isolation lesson of production multi-tenant SQL serving —
+//! before global pressure touches anyone else's.
 //!
 //! [`MemTable`]: shark_sql::MemTable
 
 use parking_lot::Mutex;
 use shark_common::hash::FxHashMap;
 use shark_rdd::CacheManager;
-use shark_sql::Catalog;
+use shark_sql::{Catalog, MemTable};
 use std::collections::HashSet;
+use std::sync::Arc;
 
-/// One eviction performed while enforcing the budget.
+/// One eviction performed while enforcing a budget or quota.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvictionEvent {
-    /// A whole cached table was dropped from the memstore.
+    /// LRU partitions dropped from one cached table during a single
+    /// enforcement pass.
     Table {
         /// Table name.
         name: String,
-        /// Partitions dropped.
-        partitions: usize,
+        /// Partition indices dropped, in eviction (coldest-first) order.
+        partitions: Vec<usize>,
         /// Bytes freed.
         bytes: u64,
+        /// Whether the pass left no partition of the table resident — the
+        /// old wholesale eviction, now the every-partition-cold limit case.
+        whole_table: bool,
     },
-    /// A cached RDD (e.g. a `.cache()`d intermediate) was dropped.
+    /// LRU partitions dropped from one cached RDD (e.g. a `.cache()`d
+    /// intermediate).
     Rdd {
         /// RDD id.
         id: usize,
-        /// Partitions dropped.
-        partitions: usize,
+        /// Partition indices dropped, in eviction order.
+        partitions: Vec<usize>,
         /// Bytes freed.
         bytes: u64,
     },
@@ -48,35 +68,67 @@ impl EvictionEvent {
             EvictionEvent::Table { bytes, .. } | EvictionEvent::Rdd { bytes, .. } => *bytes,
         }
     }
+
+    /// Partitions this eviction dropped.
+    pub fn partitions(&self) -> usize {
+        match self {
+            EvictionEvent::Table { partitions, .. } | EvictionEvent::Rdd { partitions, .. } => {
+                partitions.len()
+            }
+        }
+    }
 }
 
 #[derive(Default)]
 struct MemstoreState {
-    clock: u64,
-    last_touch: FxHashMap<String, u64>,
+    /// Whole-table pins taken by in-flight queries: no partition of a
+    /// pinned table is ever a victim.
     pins: FxHashMap<String, usize>,
-    /// Tables evicted by policy whose reload has not yet been observed;
-    /// touching one of these counts as a lineage recompute.
-    awaiting_recompute: HashSet<String>,
+    /// Finer-grained pins on individual partitions.
+    partition_pins: FxHashMap<(String, usize), usize>,
+    /// Partitions evicted by policy whose reload has not yet been observed;
+    /// touching their table counts as a lineage recompute.
+    awaiting_recompute: FxHashMap<String, HashSet<usize>>,
+    /// Which session is charged for each table (the first session that
+    /// loaded or created it).
+    owners: FxHashMap<String, u64>,
     evictions: u64,
+    evicted_partitions: u64,
+    partial_evictions: u64,
     evicted_bytes: u64,
     lineage_recomputes: u64,
+    quota_hits: u64,
+    quota_evicted_partitions: u64,
+    /// Rebuild counts of tables since dropped from the catalog, folded in
+    /// so the server-wide rebuild metric stays monotonic.
+    retired_rebuilds: u64,
 }
 
-/// Tracks table usage recency and enforces the server memory budget.
+/// Tracks table usage recency and enforces the server memory budget plus
+/// per-session memory quotas, at partition granularity.
 pub struct MemstoreManager {
     budget_bytes: u64,
+    session_quota_bytes: u64,
     state: Mutex<MemstoreState>,
 }
 
 impl MemstoreManager {
     /// Create a manager enforcing `budget_bytes` across table memstore +
-    /// RDD cache.
+    /// RDD cache, with unlimited per-session quotas.
     pub fn new(budget_bytes: u64) -> MemstoreManager {
         MemstoreManager {
             budget_bytes: budget_bytes.max(1),
+            session_quota_bytes: u64::MAX,
             state: Mutex::new(MemstoreState::default()),
         }
+    }
+
+    /// Cap each session's owned resident bytes at `quota_bytes` (tables it
+    /// loaded or created). Exceeding the quota evicts that session's own
+    /// LRU partitions first.
+    pub fn with_session_quota(mut self, quota_bytes: u64) -> MemstoreManager {
+        self.session_quota_bytes = quota_bytes.max(1);
+        self
     }
 
     /// The configured budget in bytes.
@@ -84,19 +136,29 @@ impl MemstoreManager {
         self.budget_bytes
     }
 
-    /// Mark `tables` as in use by a starting query: refreshes their LRU
-    /// clock and pins them against eviction until [`MemstoreManager::unpin`].
-    /// Returns how many of them were previously evicted and are therefore
-    /// about to be recomputed from lineage.
+    /// The configured per-session quota in bytes (`u64::MAX` = unlimited).
+    pub fn session_quota_bytes(&self) -> u64 {
+        self.session_quota_bytes
+    }
+
+    /// Mark `tables` as in use by a starting query: pins them (whole-table)
+    /// against eviction until [`MemstoreManager::unpin`]. Returns how many
+    /// of them had partitions evicted earlier — an *upper bound* on the
+    /// tables this query will actually recompute from lineage, since
+    /// retained partition statistics may prune the evicted partitions
+    /// before the scan ever needs them. The exact per-partition count is
+    /// the memtables' rebuild counter (`ServerReport::partition_rebuilds`).
     pub fn pin(&self, tables: &[String]) -> usize {
         let mut state = self.state.lock();
         let mut recomputes = 0;
         for name in tables {
-            state.clock += 1;
-            let tick = state.clock;
-            state.last_touch.insert(name.clone(), tick);
             *state.pins.entry(name.clone()).or_insert(0) += 1;
-            if state.awaiting_recompute.remove(name) {
+            if state
+                .awaiting_recompute
+                .remove(name)
+                .map(|parts| !parts.is_empty())
+                .unwrap_or(false)
+            {
                 recomputes += 1;
             }
         }
@@ -117,74 +179,255 @@ impl MemstoreManager {
         }
     }
 
+    /// Pin one partition of a table against eviction (finer-grained than
+    /// [`MemstoreManager::pin`]; pins nest).
+    pub fn pin_partition(&self, table: &str, partition: usize) {
+        let mut state = self.state.lock();
+        *state
+            .partition_pins
+            .entry((table.to_string(), partition))
+            .or_insert(0) += 1;
+    }
+
+    /// Release one pin taken by [`MemstoreManager::pin_partition`].
+    pub fn unpin_partition(&self, table: &str, partition: usize) {
+        let mut state = self.state.lock();
+        let key = (table.to_string(), partition);
+        if let Some(count) = state.partition_pins.get_mut(&key) {
+            *count -= 1;
+            if *count == 0 {
+                state.partition_pins.remove(&key);
+            }
+        }
+    }
+
+    /// Charge a table to a session (the session that loaded or created it).
+    /// The first owner wins: a shared table is charged to whoever faulted
+    /// it in.
+    pub fn record_owner(&self, table: &str, session_id: u64) {
+        let mut state = self.state.lock();
+        state.owners.entry(table.to_string()).or_insert(session_id);
+    }
+
+    /// The session charged for a table, if any.
+    pub fn owner(&self, table: &str) -> Option<u64> {
+        self.state.lock().owners.get(table).copied()
+    }
+
+    /// Resident bytes currently charged to one session (the memstore bytes
+    /// of the tables it owns).
+    pub fn session_bytes(&self, session_id: u64, catalog: &Catalog) -> u64 {
+        let state = self.state.lock();
+        Self::session_bytes_locked(&state, session_id, catalog)
+    }
+
+    fn session_bytes_locked(state: &MemstoreState, session_id: u64, catalog: &Catalog) -> u64 {
+        catalog
+            .cached_tables()
+            .into_iter()
+            .filter(|t| state.owners.get(&t.name) == Some(&session_id))
+            .filter_map(|t| t.cached.as_ref().map(|m| m.memory_bytes()))
+            .sum()
+    }
+
     /// Resident bytes currently charged against the budget.
     pub fn resident_bytes(&self, catalog: &Catalog, rdd_cache: &CacheManager) -> u64 {
         catalog.memstore_bytes() + rdd_cache.total_bytes()
     }
 
-    /// Bring residency back under the budget, evicting least-recently-used
-    /// unpinned tables first, then least-recently-used cached RDDs. Returns
-    /// the evictions performed (empty when already under budget or when
-    /// everything over budget is pinned).
+    /// Evict unpinned table partitions in globally-LRU order until `need`
+    /// bytes are freed (or no candidate is left). With `owner_filter`, only
+    /// tables owned by that session are candidates. Returns bytes freed and
+    /// appends one aggregated event per victim table.
+    fn evict_table_partitions(
+        state: &mut MemstoreState,
+        catalog: &Catalog,
+        need: u64,
+        owner_filter: Option<u64>,
+        events: &mut Vec<EvictionEvent>,
+    ) -> u64 {
+        // Gather every evictable partition: unpinned table, unpinned
+        // partition, matching owner when session-scoped.
+        let mut candidates: Vec<(u64, String, Arc<MemTable>, usize)> = Vec::new();
+        for table in catalog.cached_tables() {
+            if state.pins.contains_key(&table.name) {
+                continue;
+            }
+            if let Some(session) = owner_filter {
+                if state.owners.get(&table.name) != Some(&session) {
+                    continue;
+                }
+            }
+            let Some(mem) = table.cached.clone() else {
+                continue;
+            };
+            for c in mem.lru_candidates() {
+                if state
+                    .partition_pins
+                    .contains_key(&(table.name.clone(), c.partition))
+                {
+                    continue;
+                }
+                candidates.push((c.last_tick, table.name.clone(), mem.clone(), c.partition));
+            }
+        }
+        // Coldest first; ties broken by name/partition for determinism.
+        candidates.sort_by(|a, b| (a.0, &a.1, a.3).cmp(&(b.0, &b.1, b.3)));
+
+        let mut freed = 0u64;
+        // Aggregate per table, preserving first-eviction order.
+        let mut victims: Vec<(String, Arc<MemTable>, Vec<usize>, u64)> = Vec::new();
+        for (_tick, name, mem, partition) in candidates {
+            if freed >= need {
+                break;
+            }
+            let bytes = mem.evict_partition(partition);
+            if bytes == 0 {
+                // A failure-path drop raced us; nothing freed for this one.
+                continue;
+            }
+            freed += bytes;
+            state
+                .awaiting_recompute
+                .entry(name.clone())
+                .or_default()
+                .insert(partition);
+            match victims.iter_mut().find(|(n, _, _, _)| *n == name) {
+                Some((_, _, parts, total)) => {
+                    parts.push(partition);
+                    *total += bytes;
+                }
+                None => victims.push((name, mem, vec![partition], bytes)),
+            }
+        }
+        for (name, mem, partitions, bytes) in victims {
+            let whole_table = mem.loaded_partitions() == 0;
+            state.evictions += 1;
+            state.evicted_partitions += partitions.len() as u64;
+            if !whole_table {
+                state.partial_evictions += 1;
+            }
+            state.evicted_bytes += bytes;
+            events.push(EvictionEvent::Table {
+                name,
+                partitions,
+                bytes,
+                whole_table,
+            });
+        }
+        freed
+    }
+
+    /// Evict unpinned RDD-cache partitions in LRU order until `need` bytes
+    /// are freed. Returns bytes freed and appends one aggregated event per
+    /// victim RDD.
+    fn evict_rdd_partitions(
+        state: &mut MemstoreState,
+        rdd_cache: &CacheManager,
+        need: u64,
+        events: &mut Vec<EvictionEvent>,
+    ) -> u64 {
+        let mut candidates = rdd_cache.lru_candidates();
+        candidates.sort_by_key(|c| (c.last_tick, c.rdd_id, c.partition));
+        let mut freed = 0u64;
+        let mut victims: Vec<(usize, Vec<usize>, u64)> = Vec::new();
+        for c in candidates {
+            if freed >= need {
+                break;
+            }
+            let stats = rdd_cache.evict_partition(c.rdd_id, c.partition);
+            if stats.partitions == 0 {
+                continue;
+            }
+            freed += stats.bytes;
+            match victims.iter_mut().find(|(id, _, _)| *id == c.rdd_id) {
+                Some((_, parts, total)) => {
+                    parts.push(c.partition);
+                    *total += stats.bytes;
+                }
+                None => victims.push((c.rdd_id, vec![c.partition], stats.bytes)),
+            }
+        }
+        for (id, partitions, bytes) in victims {
+            state.evictions += 1;
+            state.evicted_partitions += partitions.len() as u64;
+            state.evicted_bytes += bytes;
+            events.push(EvictionEvent::Rdd {
+                id,
+                partitions,
+                bytes,
+            });
+        }
+        freed
+    }
+
+    /// Bring residency back under the budget by evicting the globally
+    /// least-recently-used unpinned table partitions first, then LRU
+    /// RDD-cache partitions — freeing roughly the overshoot instead of
+    /// dumping whole tables. Returns the evictions performed (empty when
+    /// already under budget or when everything over budget is pinned).
     pub fn enforce(&self, catalog: &Catalog, rdd_cache: &CacheManager) -> Vec<EvictionEvent> {
         let mut events = Vec::new();
         loop {
-            if self.resident_bytes(catalog, rdd_cache) <= self.budget_bytes {
+            let resident = self.resident_bytes(catalog, rdd_cache);
+            if resident <= self.budget_bytes {
                 break;
             }
+            let need = resident - self.budget_bytes;
             // Hold the state lock across victim selection AND eviction:
             // otherwise a query admitted in between could pin the chosen
-            // table and still lose it, and two concurrent enforce() calls
-            // could both evict (and double-count) the same victim.
+            // partition and still lose it, and two concurrent enforce()
+            // calls could both evict (and double-count) the same victim.
             let mut state = self.state.lock();
-            let victim = catalog
-                .cached_tables()
-                .into_iter()
-                .filter(|t| !state.pins.contains_key(&t.name))
-                .filter(|t| {
-                    t.cached
-                        .as_ref()
-                        .map(|m| m.memory_bytes() > 0)
-                        .unwrap_or(false)
-                })
-                // Never-touched tables are the coldest of all.
-                .min_by_key(|t| state.last_touch.get(&t.name).copied().unwrap_or(0));
-            if let Some(table) = victim {
-                let mem = table.cached.as_ref().expect("victim tables are cached");
-                let (partitions, bytes) = mem.evict_all();
-                if partitions == 0 {
-                    // A failure-path drop raced us and emptied the table;
-                    // nothing freed, nothing to record — try the next victim.
-                    continue;
-                }
-                state.awaiting_recompute.insert(table.name.clone());
-                state.evictions += 1;
-                state.evicted_bytes += bytes;
-                drop(state);
-                events.push(EvictionEvent::Table {
-                    name: table.name.clone(),
-                    partitions,
-                    bytes,
-                });
-                continue;
+            let freed = Self::evict_table_partitions(&mut state, catalog, need, None, &mut events);
+            if freed >= need {
+                continue; // re-check the budget (concurrent loads may race)
             }
-            // No evictable table left: fall back to the RDD cache.
-            if let Some(rdd_id) = rdd_cache.lru_rdd() {
-                let stats = rdd_cache.evict_rdd(rdd_id);
-                if stats.partitions > 0 {
-                    state.evictions += 1;
-                    state.evicted_bytes += stats.bytes;
-                    drop(state);
-                    events.push(EvictionEvent::Rdd {
-                        id: rdd_id,
-                        partitions: stats.partitions,
-                        bytes: stats.bytes,
-                    });
-                    continue;
-                }
+            let rdd_freed =
+                Self::evict_rdd_partitions(&mut state, rdd_cache, need - freed, &mut events);
+            if freed + rdd_freed == 0 {
+                // Everything still resident is pinned; give up, don't spin.
+                break;
             }
-            // Everything still resident is pinned; give up rather than spin.
-            break;
+        }
+        events
+    }
+
+    /// Bring one session's owned residency back under the per-session
+    /// quota, evicting *that session's* least-recently-used unpinned
+    /// partitions first. A no-op when quotas are unlimited or the session
+    /// is within its quota. Returns the evictions performed.
+    pub fn enforce_session_quota(&self, session_id: u64, catalog: &Catalog) -> Vec<EvictionEvent> {
+        let mut events = Vec::new();
+        if self.session_quota_bytes == u64::MAX {
+            return events;
+        }
+        let mut hit_recorded = false;
+        loop {
+            let mut state = self.state.lock();
+            let owned = Self::session_bytes_locked(&state, session_id, catalog);
+            if owned <= self.session_quota_bytes {
+                break;
+            }
+            if !hit_recorded {
+                hit_recorded = true;
+                state.quota_hits += 1;
+            }
+            let need = owned - self.session_quota_bytes;
+            let before = events.iter().map(EvictionEvent::partitions).sum::<usize>();
+            let freed = Self::evict_table_partitions(
+                &mut state,
+                catalog,
+                need,
+                Some(session_id),
+                &mut events,
+            );
+            let evicted_now = events.iter().map(EvictionEvent::partitions).sum::<usize>() - before;
+            state.quota_evicted_partitions += evicted_now as u64;
+            if freed == 0 {
+                // Everything the session still holds is pinned.
+                break;
+            }
         }
         events
     }
@@ -193,14 +436,27 @@ impl MemstoreManager {
     /// catalog, so a future table of the same name starts clean).
     pub fn forget(&self, table: &str) {
         let mut state = self.state.lock();
-        state.last_touch.remove(table);
         state.pins.remove(table);
+        state.partition_pins.retain(|(name, _), _| name != table);
         state.awaiting_recompute.remove(table);
+        state.owners.remove(table);
     }
 
-    /// Total policy evictions performed so far.
+    /// Total eviction events recorded so far (one per victim table or RDD
+    /// per enforcement pass).
     pub fn evictions(&self) -> u64 {
         self.state.lock().evictions
+    }
+
+    /// Total individual partitions evicted by policy.
+    pub fn evicted_partitions(&self) -> u64 {
+        self.state.lock().evicted_partitions
+    }
+
+    /// Eviction events that left their table partially resident — the
+    /// partition-granular evictions the whole-table policy could not do.
+    pub fn partial_evictions(&self) -> u64 {
+        self.state.lock().partial_evictions
     }
 
     /// Total bytes freed by policy evictions.
@@ -208,10 +464,35 @@ impl MemstoreManager {
         self.state.lock().evicted_bytes
     }
 
-    /// Tables whose eviction was later followed by a re-access (and thus a
-    /// lineage recompute).
+    /// Times a session was found over its quota by
+    /// [`MemstoreManager::enforce_session_quota`].
+    pub fn quota_hits(&self) -> u64 {
+        self.state.lock().quota_hits
+    }
+
+    /// Partitions evicted because their owning session exceeded its quota.
+    pub fn quota_evicted_partitions(&self) -> u64 {
+        self.state.lock().quota_evicted_partitions
+    }
+
+    /// Tables whose eviction was later followed by a re-access. This is a
+    /// re-access signal, not an exact recompute count: map pruning over
+    /// retained statistics can satisfy the re-access without rebuilding
+    /// the evicted partitions. For the exact number of partitions rebuilt
+    /// from lineage, see `ServerReport::partition_rebuilds`.
     pub fn lineage_recomputes(&self) -> u64 {
         self.state.lock().lineage_recomputes
+    }
+
+    /// Fold a dropped table's lineage-rebuild count into the retired total
+    /// (call alongside [`MemstoreManager::forget`] when dropping a table).
+    pub fn retire_rebuilds(&self, rebuilds: u64) {
+        self.state.lock().retired_rebuilds += rebuilds;
+    }
+
+    /// Rebuild counts of tables since dropped from the catalog.
+    pub fn retired_rebuilds(&self) -> u64 {
+        self.state.lock().retired_rebuilds
     }
 
     /// Tables currently pinned by in-flight queries or open cursors,
@@ -222,14 +503,15 @@ impl MemstoreManager {
         names
     }
 
-    /// Tables evicted and not yet re-accessed.
+    /// Tables with evicted-and-not-yet-reloaded partitions, sorted by name.
     pub fn awaiting_recompute(&self) -> Vec<String> {
         let mut names: Vec<String> = self
             .state
             .lock()
             .awaiting_recompute
             .iter()
-            .cloned()
+            .filter(|(_, parts)| !parts.is_empty())
+            .map(|(name, _)| name.clone())
             .collect();
         names.sort();
         names
@@ -275,20 +557,29 @@ mod tests {
         }
     }
 
+    /// Touch every partition of a table, making it the most recently used.
+    fn touch_table(catalog: &Catalog, name: &str) {
+        let table = catalog.get(name).unwrap();
+        let mem = table.cached.as_ref().unwrap();
+        for p in 0..table.num_partitions {
+            mem.touch(p);
+        }
+    }
+
     #[test]
-    fn evicts_lru_first_and_spares_pinned_tables() {
+    fn evicts_lru_partitions_and_spares_pinned_tables() {
         let catalog = catalog_with_tables(&["a", "b", "c"]);
         load_all(&catalog);
         let rdd_cache = CacheManager::new();
         let per_table = catalog.memstore_bytes() / 3;
-        // Budget fits two tables: one eviction needed.
+        // Budget fits two and a half tables: one partition must go.
         let manager = MemstoreManager::new(per_table * 2 + per_table / 2);
-        // Touch order: a (oldest), b, c — and pin a, so b is the victim.
+        // Touch order: a (oldest), b, c — and pin a, so b's LRU partition
+        // is the victim.
+        touch_table(&catalog, "a");
+        touch_table(&catalog, "b");
+        touch_table(&catalog, "c");
         manager.pin(&["a".into()]);
-        manager.pin(&["b".into()]);
-        manager.pin(&["c".into()]);
-        manager.unpin(&["b".into()]);
-        manager.unpin(&["c".into()]);
         let events = manager.enforce(&catalog, &rdd_cache);
         assert_eq!(events.len(), 1);
         match &events[0] {
@@ -296,19 +587,88 @@ mod tests {
                 name,
                 partitions,
                 bytes,
+                whole_table,
             } => {
                 assert_eq!(name, "b");
-                assert_eq!(*partitions, 2);
+                // Half a table was over budget: one partition suffices.
+                assert_eq!(partitions, &vec![0]);
                 assert!(*bytes > 0);
+                assert!(!whole_table, "b must survive partially resident");
             }
             other => panic!("expected table eviction, got {other:?}"),
         }
+        // b is partially resident: one partition evicted, one still loaded.
+        let b = catalog.get("b").unwrap();
+        assert_eq!(b.cached.as_ref().unwrap().loaded_partitions(), 1);
         assert_eq!(manager.evictions(), 1);
+        assert_eq!(manager.evicted_partitions(), 1);
+        assert_eq!(manager.partial_evictions(), 1);
         assert_eq!(manager.awaiting_recompute(), vec!["b".to_string()]);
         // Re-accessing b counts as a lineage recompute.
         assert_eq!(manager.pin(&["b".into()]), 1);
         assert_eq!(manager.lineage_recomputes(), 1);
         assert!(manager.awaiting_recompute().is_empty());
+    }
+
+    #[test]
+    fn enforcement_frees_roughly_the_overshoot_not_whole_tables() {
+        let catalog = catalog_with_tables(&["a", "b"]);
+        load_all(&catalog);
+        let rdd_cache = CacheManager::new();
+        let total = catalog.memstore_bytes();
+        let largest_partition = catalog
+            .cached_tables()
+            .iter()
+            .flat_map(|t| {
+                let mem = t.cached.as_ref().unwrap();
+                (0..t.num_partitions)
+                    .map(|p| mem.partition_bytes(p))
+                    .collect::<Vec<_>>()
+            })
+            .max()
+            .unwrap();
+        // Need exactly one partition's worth of space.
+        let need = largest_partition;
+        let manager = MemstoreManager::new(total - need);
+        let events = manager.enforce(&catalog, &rdd_cache);
+        let freed: u64 = events.iter().map(EvictionEvent::bytes).sum();
+        assert!(freed >= need, "must free at least the overshoot");
+        assert!(
+            freed <= need + largest_partition,
+            "freed {freed} but only {need} was needed (partition ≤ {largest_partition})"
+        );
+        // 4 partitions resident, ~1 needed: at most 2 may go (overshoot by
+        // at most one partition), so at least 2 stay.
+        let resident: usize = catalog
+            .cached_tables()
+            .iter()
+            .map(|t| t.cached.as_ref().unwrap().loaded_partitions())
+            .sum();
+        assert!(resident >= 2, "whole-store dump: only {resident} left");
+    }
+
+    #[test]
+    fn pinned_partition_survives_while_colder_neighbors_go() {
+        let catalog = catalog_with_tables(&["a"]);
+        load_all(&catalog);
+        let rdd_cache = CacheManager::new();
+        let manager = MemstoreManager::new(1);
+        // Partition 0 is the coldest — and pinned.
+        manager.pin_partition("a", 0);
+        let events = manager.enforce(&catalog, &rdd_cache);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            EvictionEvent::Table { partitions, .. } => assert_eq!(partitions, &vec![1]),
+            other => panic!("expected table eviction, got {other:?}"),
+        }
+        let mem = catalog.get("a").unwrap().cached.clone().unwrap();
+        assert!(mem.is_loaded(0), "pinned partition must survive");
+        assert!(!mem.is_loaded(1));
+        // Unpinning makes it evictable.
+        manager.unpin_partition("a", 0);
+        let events = manager.enforce(&catalog, &rdd_cache);
+        assert_eq!(events.len(), 1);
+        assert!(!mem.is_loaded(0));
     }
 
     #[test]
@@ -331,9 +691,61 @@ mod tests {
         manager.pin(&["a".into()]);
         let events = manager.enforce(&catalog, &rdd_cache);
         assert_eq!(events.len(), 1);
-        assert!(matches!(events[0], EvictionEvent::Rdd { id: 7, .. }));
+        assert!(matches!(
+            &events[0],
+            EvictionEvent::Rdd { id: 7, partitions, .. } if partitions == &vec![0]
+        ));
         // Table a survived; nothing else to evict even though still over.
         assert!(catalog.memstore_bytes() > 0);
         assert!(manager.enforce(&catalog, &rdd_cache).is_empty());
+    }
+
+    #[test]
+    fn session_quota_evicts_own_partitions_first() {
+        let catalog = catalog_with_tables(&["mine", "theirs"]);
+        load_all(&catalog);
+        let per_table = catalog.memstore_bytes() / 2;
+        let manager = MemstoreManager::new(u64::MAX).with_session_quota(per_table / 2);
+        manager.record_owner("mine", 1);
+        manager.record_owner("theirs", 2);
+        // Session 2 is under quota (owns one table of two partitions but we
+        // only enforce for session 1 here).
+        let events = manager.enforce_session_quota(1, &catalog);
+        assert!(!events.is_empty());
+        for event in &events {
+            match event {
+                EvictionEvent::Table { name, .. } => assert_eq!(name, "mine"),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(manager.session_bytes(1, &catalog) <= per_table / 2);
+        // The other session's table is untouched.
+        let theirs = catalog.get("theirs").unwrap();
+        assert_eq!(theirs.cached.as_ref().unwrap().loaded_partitions(), 2);
+        assert_eq!(manager.quota_hits(), 1);
+        assert!(manager.quota_evicted_partitions() > 0);
+        // Within quota now: enforcing again is a no-op.
+        assert!(manager.enforce_session_quota(1, &catalog).is_empty());
+        assert_eq!(manager.quota_hits(), 1);
+    }
+
+    #[test]
+    fn unlimited_quota_never_evicts() {
+        let catalog = catalog_with_tables(&["a"]);
+        load_all(&catalog);
+        let manager = MemstoreManager::new(u64::MAX);
+        manager.record_owner("a", 1);
+        assert!(manager.enforce_session_quota(1, &catalog).is_empty());
+        assert_eq!(manager.quota_hits(), 0);
+    }
+
+    #[test]
+    fn owner_is_first_loader_and_forgotten_on_drop() {
+        let manager = MemstoreManager::new(u64::MAX);
+        manager.record_owner("t", 3);
+        manager.record_owner("t", 9);
+        assert_eq!(manager.owner("t"), Some(3));
+        manager.forget("t");
+        assert_eq!(manager.owner("t"), None);
     }
 }

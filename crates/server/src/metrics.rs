@@ -47,6 +47,9 @@ pub struct QueryMetrics {
     pub recomputed_tables: usize,
     /// Evictions this query's budget enforcement triggered on completion.
     pub evictions_triggered: usize,
+    /// Partitions evicted on completion because this query pushed its
+    /// session over its memory quota (own-session LRU partitions go first).
+    pub quota_evictions: usize,
     /// Whether the query failed (parse/plan/execution error).
     pub failed: bool,
 }
@@ -105,18 +108,33 @@ pub struct ServerReport {
     pub prefetch_hits: u64,
     /// Total cache-hit bytes served.
     pub cache_hit_bytes: u64,
-    /// Policy evictions performed by the memstore manager.
+    /// Policy eviction events performed by the memstore manager (one per
+    /// victim table or RDD per enforcement pass).
     pub evictions: u64,
+    /// Individual partitions those evictions dropped.
+    pub evicted_partitions: u64,
+    /// Eviction events that left their table partially resident — the
+    /// partition-granular evictions a whole-table policy could not do.
+    pub partial_evictions: u64,
     /// Bytes freed by those evictions.
     pub evicted_bytes: u64,
     /// Evicted tables later recomputed from lineage on re-access.
     pub lineage_recomputes: u64,
+    /// Times a session was found over its memory quota.
+    pub quota_hits: u64,
+    /// Partitions evicted because their owning session exceeded its quota.
+    pub quota_evicted_partitions: u64,
+    /// Partitions rebuilt from the base generator by scans (lineage
+    /// recovery after eviction or node failure), summed over cached tables.
+    pub partition_rebuilds: u64,
     /// Resident table-memstore bytes at report time.
     pub memstore_bytes: u64,
     /// Resident RDD-cache bytes at report time.
     pub rdd_cache_bytes: u64,
     /// The configured memory budget.
     pub memory_budget_bytes: u64,
+    /// The configured per-session memory quota (`u64::MAX` = unlimited).
+    pub session_quota_bytes: u64,
     /// Per-session aggregates, ordered by session id.
     pub sessions: Vec<SessionStats>,
 }
@@ -140,14 +158,23 @@ impl ServerReport {
             self.total_exec_time.as_secs_f64() * 1e3,
         ));
         out.push_str(&format!(
-            "memstore: {} of {} budget bytes resident (+{} rdd-cache); {} evictions freed {} bytes; {} lineage recomputes\n",
+            "memstore: {} of {} budget bytes resident (+{} rdd-cache); {} evictions dropped {} partitions ({} partial) freeing {} bytes; {} lineage recomputes, {} partition rebuilds\n",
             self.memstore_bytes,
             self.memory_budget_bytes,
             self.rdd_cache_bytes,
             self.evictions,
+            self.evicted_partitions,
+            self.partial_evictions,
             self.evicted_bytes,
             self.lineage_recomputes,
+            self.partition_rebuilds,
         ));
+        if self.session_quota_bytes != u64::MAX {
+            out.push_str(&format!(
+                "session quota: {} bytes per session; {} quota hits evicted {} partitions\n",
+                self.session_quota_bytes, self.quota_hits, self.quota_evicted_partitions,
+            ));
+        }
         let avg_ttfr_ms = if self.streamed_queries > 0 {
             self.streamed_time_to_first_row.as_secs_f64() * 1e3 / self.streamed_queries as f64
         } else {
@@ -268,6 +295,7 @@ mod tests {
             cache_hit_bytes: hit,
             recomputed_tables: 0,
             evictions_triggered: 0,
+            quota_evictions: 0,
             failed,
         }
     }

@@ -21,7 +21,7 @@ use shark_sql::{
 };
 
 use crate::admission::{AdmissionController, AdmissionPermit};
-use crate::memstore::MemstoreManager;
+use crate::memstore::{EvictionEvent, MemstoreManager};
 use crate::metrics::{MetricsRegistry, QueryMetrics, ServerReport};
 
 /// Configuration of a [`SharkServer`].
@@ -33,6 +33,11 @@ pub struct ServerConfig {
     pub exec: ExecConfig,
     /// Memory budget for cached tables + cached RDDs, in (in-process) bytes.
     pub memory_budget_bytes: u64,
+    /// Per-session memory quota, layered under the global budget: each
+    /// session is charged for the tables it loaded or created (first loader
+    /// owns), and a session over its quota has *its own* least-recently-used
+    /// partitions evicted first. `u64::MAX` = unlimited.
+    pub session_mem_quota_bytes: u64,
     /// Maximum queries executing simultaneously.
     pub max_concurrent_queries: usize,
     /// Maximum queries waiting behind them before rejection.
@@ -51,6 +56,7 @@ impl Default for ServerConfig {
             rdd: RddConfig::default(),
             exec: ExecConfig::shark(),
             memory_budget_bytes: u64::MAX,
+            session_mem_quota_bytes: u64::MAX,
             max_concurrent_queries: 4,
             max_queued_queries: 64,
             max_total_prefetch: 8,
@@ -62,6 +68,12 @@ impl ServerConfig {
     /// Set the memory budget.
     pub fn with_memory_budget(mut self, bytes: u64) -> ServerConfig {
         self.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Set the per-session memory quota.
+    pub fn with_session_quota(mut self, bytes: u64) -> ServerConfig {
+        self.session_mem_quota_bytes = bytes;
         self
     }
 
@@ -142,7 +154,8 @@ impl SharkServer {
                     config.max_concurrent_queries,
                     config.max_queued_queries,
                 ),
-                memstore: MemstoreManager::new(config.memory_budget_bytes),
+                memstore: MemstoreManager::new(config.memory_budget_bytes)
+                    .with_session_quota(config.session_mem_quota_bytes),
                 metrics: MetricsRegistry::default(),
                 next_session_id: AtomicU64::new(1),
                 next_query_id: AtomicU64::new(1),
@@ -192,8 +205,9 @@ impl SharkServer {
     /// load itself may push residency over it).
     pub fn load_table(&self, name: &str) -> Result<LoadReport> {
         let table = self.shared.catalog.get(name)?;
-        // Pin (and touch) before loading so a concurrent enforcement cannot
-        // evict the table out from under the load.
+        // Pin before loading so a concurrent enforcement cannot evict the
+        // table out from under the load. (Recency is tracked by the
+        // memtable itself: the load's puts refresh each partition's tick.)
         self.shared.memstore.pin(std::slice::from_ref(&table.name));
         let report = shark_sql::exec::load_table(&self.shared.ctx, &table);
         self.shared
@@ -236,11 +250,25 @@ impl SharkServer {
         report.peak_concurrent_queries = shared.admission.peak_running();
         report.peak_queued_queries = shared.admission.peak_queued();
         report.evictions = shared.memstore.evictions();
+        report.evicted_partitions = shared.memstore.evicted_partitions();
+        report.partial_evictions = shared.memstore.partial_evictions();
         report.evicted_bytes = shared.memstore.evicted_bytes();
         report.lineage_recomputes = shared.memstore.lineage_recomputes();
+        report.quota_hits = shared.memstore.quota_hits();
+        report.quota_evicted_partitions = shared.memstore.quota_evicted_partitions();
+        // Live tables' rebuild counters plus the retired counts of dropped
+        // tables, so the cumulative metric never decreases.
+        report.partition_rebuilds = shared.memstore.retired_rebuilds()
+            + shared
+                .catalog
+                .cached_tables()
+                .iter()
+                .filter_map(|t| t.cached.as_ref().map(|m| m.rebuilds()))
+                .sum::<u64>();
         report.memstore_bytes = shared.catalog.memstore_bytes();
         report.rdd_cache_bytes = shared.ctx.cache().total_bytes();
         report.memory_budget_bytes = shared.memstore.budget_bytes();
+        report.session_quota_bytes = shared.memstore.session_quota_bytes();
         report
     }
 
@@ -320,21 +348,50 @@ impl SessionHandle {
         };
         let recomputed_tables = shared.memstore.pin(&tables);
         let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
+        let residency_before = table_residency(&shared.catalog, &tables);
+        // A successful DROP TABLE removes the table from the catalog, so
+        // its lineage-rebuild count must be captured before execution to
+        // keep the server-wide counter monotonic.
+        let dropped_rebuilds = match &statement {
+            shark_sql::ast::Statement::DropTable { name } => shared
+                .catalog
+                .get(name)
+                .ok()
+                .and_then(|t| t.cached.as_ref().map(|m| m.rebuilds()))
+                .unwrap_or(0),
+            _ => 0,
+        };
         let exec_started = Instant::now();
         let result = self.sql.execute_statement(&statement);
         let exec_time = exec_started.elapsed();
         shared.memstore.unpin(&tables);
         if result.is_ok() {
-            if let shark_sql::ast::Statement::DropTable { name } = &statement {
-                // The table is gone from the catalog; clear its LRU/pin/
-                // recompute bookkeeping so a future table reusing the name
-                // starts clean.
-                shared.memstore.forget(&name.to_lowercase());
+            match &statement {
+                shark_sql::ast::Statement::DropTable { name } => {
+                    // The table is gone from the catalog; clear its LRU/pin/
+                    // recompute/owner bookkeeping so a future table reusing
+                    // the name starts clean, but retire its rebuild count so
+                    // the server-wide metric never decreases.
+                    shared.memstore.forget(&name.to_lowercase());
+                    shared.memstore.retire_rebuilds(dropped_rebuilds);
+                }
+                shark_sql::ast::Statement::CreateTableAs { name, .. } => {
+                    // The new table's resident bytes are charged to the
+                    // session that created it.
+                    shared.memstore.record_owner(&name.to_lowercase(), self.id);
+                }
+                _ => {}
             }
         }
         // The query may have grown the memstore (lazy loads, lineage
-        // rebuilds, CREATE TABLE … cached): re-enforce the budget while we
-        // still hold the permit so concurrent enforcement stays bounded.
+        // rebuilds, CREATE TABLE … cached): charge any table it faulted in
+        // to this session, bring the session back under its own quota (its
+        // LRU partitions go first), then re-enforce the global budget while
+        // we still hold the permit so concurrent enforcement stays bounded.
+        charge_faulted_tables(shared, self.id, &residency_before);
+        let quota_events = shared
+            .memstore
+            .enforce_session_quota(self.id, &shared.catalog);
         let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
         drop(permit);
 
@@ -356,6 +413,7 @@ impl SessionHandle {
             cache_hit_bytes,
             recomputed_tables,
             evictions_triggered: evictions.len(),
+            quota_evictions: quota_events.iter().map(EvictionEvent::partitions).sum(),
             failed: result.is_err(),
         };
         shared.metrics.record(metrics.clone());
@@ -391,6 +449,7 @@ impl SessionHandle {
         };
         let recomputed_tables = shared.memstore.pin(&tables);
         let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
+        let residency_before = table_residency(&shared.catalog, &tables);
         // Clamp this cursor's prefetch under the server-wide budget while
         // the admission permit is already held, so total speculative work
         // stays bounded alongside total in-flight queries.
@@ -402,6 +461,7 @@ impl SessionHandle {
                 permit: Some(permit),
                 stream: stream.with_prefetch(prefetch),
                 tables,
+                residency_before,
                 statement: text.to_string(),
                 queue_wait,
                 admitted_at,
@@ -437,6 +497,7 @@ impl SessionHandle {
                     cache_hit_bytes,
                     recomputed_tables,
                     evictions_triggered: evictions.len(),
+                    quota_evictions: 0,
                     failed: true,
                 });
                 Err(err)
@@ -463,6 +524,7 @@ impl SessionHandle {
             cache_hit_bytes: 0,
             recomputed_tables: 0,
             evictions_triggered: 0,
+            quota_evictions: 0,
             failed: true,
         });
     }
@@ -475,15 +537,30 @@ impl SessionHandle {
             .admission
             .acquire()
             .map_err(|e| SharkError::Execution(e.to_string()))?;
-        // Pin (and touch) before loading so a concurrent enforcement cannot
-        // evict the table out from under the load.
+        // Pin before loading so a concurrent enforcement cannot evict the
+        // table out from under the load; charge the load to this session.
         let lowered = name.to_lowercase();
         shared.memstore.pin(std::slice::from_ref(&lowered));
         let report = self.sql.load_table(name);
+        if report.is_ok() {
+            shared.memstore.record_owner(&lowered, self.id);
+        }
         shared.memstore.unpin(std::slice::from_ref(&lowered));
+        shared
+            .memstore
+            .enforce_session_quota(self.id, &shared.catalog);
         shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
         drop(permit);
         report
+    }
+
+    /// Resident memstore bytes currently charged to this session (the
+    /// tables it loaded or created), out of
+    /// [`ServerConfig::session_mem_quota_bytes`].
+    pub fn resident_bytes(&self) -> u64 {
+        self.shared
+            .memstore
+            .session_bytes(self.id, &self.shared.catalog)
     }
 }
 
@@ -512,6 +589,38 @@ fn cache_hit_bytes(catalog: &Catalog, tables: &[String]) -> u64 {
         .sum()
 }
 
+/// Per-table resident bytes of the referenced cached tables, snapshotted
+/// before a query runs so [`charge_faulted_tables`] can attribute growth.
+fn table_residency(catalog: &Catalog, tables: &[String]) -> Vec<(String, u64)> {
+    tables
+        .iter()
+        .filter_map(|name| catalog.get(name).ok())
+        .filter_map(|t| {
+            t.cached
+                .as_ref()
+                .map(|m| (t.name.clone(), m.memory_bytes()))
+        })
+        .collect()
+}
+
+/// Charge every referenced table whose residency this query *grew* (lazy
+/// scan loads, lineage rebuilds) to the session, so query-only tenants
+/// cannot fault in an unbounded working set outside their quota. First
+/// owner wins, so already-charged tables are unaffected.
+fn charge_faulted_tables(shared: &ServerShared, session_id: u64, before: &[(String, u64)]) {
+    for (name, bytes_before) in before {
+        let grew = shared
+            .catalog
+            .get(name)
+            .ok()
+            .and_then(|t| t.cached.as_ref().map(|m| m.memory_bytes() > *bytes_before))
+            .unwrap_or(false);
+        if grew {
+            shared.memstore.record_owner(name, session_id);
+        }
+    }
+}
+
 /// A streaming result cursor handed out by [`SessionHandle::sql_stream`].
 ///
 /// The cursor owns the query's admission permit and the memstore pins on
@@ -523,6 +632,9 @@ pub struct QueryCursor<'s> {
     permit: Option<AdmissionPermit<'s>>,
     stream: QueryStream,
     tables: Vec<String>,
+    /// Referenced tables' resident bytes at admission, for fault-in
+    /// ownership attribution on finalize.
+    residency_before: Vec<(String, u64)>,
     statement: String,
     queue_wait: Duration,
     admitted_at: Instant,
@@ -596,8 +708,13 @@ impl QueryCursor<'_> {
         let sim_seconds = self.stream.sim_seconds();
         shared.release_prefetch(self.prefetch);
         shared.memstore.unpin(&self.tables);
-        // Re-enforce the budget while still holding the permit, exactly as
-        // the batch path does on completion.
+        // Charge faulted-in tables, then re-enforce quota + budget while
+        // still holding the permit, exactly as the batch path does on
+        // completion.
+        charge_faulted_tables(shared, self.session.id, &self.residency_before);
+        let quota_events = shared
+            .memstore
+            .enforce_session_quota(self.session.id, &shared.catalog);
         let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
         self.permit.take();
         shared.metrics.record(QueryMetrics {
@@ -617,6 +734,7 @@ impl QueryCursor<'_> {
             cache_hit_bytes: self.cache_hit_bytes,
             recomputed_tables: self.recomputed_tables,
             evictions_triggered: evictions.len(),
+            quota_evictions: quota_events.iter().map(EvictionEvent::partitions).sum(),
             failed: self.failed,
         });
     }

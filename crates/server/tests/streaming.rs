@@ -262,6 +262,7 @@ fn open_cursor_pins_its_table_against_budget_enforcement() {
             max_concurrent_queries: 4,
             max_queued_queries: 16,
             max_total_prefetch: 8,
+            ..ServerConfig::default()
         },
     );
     register_tables(&server, &["t1"]);

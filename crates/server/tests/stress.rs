@@ -53,6 +53,7 @@ fn eight_sessions_share_tables_under_eviction_pressure() {
         max_concurrent_queries: 3,
         max_queued_queries: 256,
         max_total_prefetch: 8,
+        ..ServerConfig::default()
     });
     register_tables(&server, &tables);
     // Load everything once to measure the full footprint, then rebuild the
@@ -70,6 +71,7 @@ fn eight_sessions_share_tables_under_eviction_pressure() {
         max_concurrent_queries: 3,
         max_queued_queries: 256,
         max_total_prefetch: 8,
+        ..ServerConfig::default()
     });
     register_tables(&server, &tables);
 

@@ -8,6 +8,7 @@
 //! so simulated node failures drop exactly the partitions that lived on the
 //! failed worker (recovered later through the base generator, i.e. lineage).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -17,10 +18,50 @@ use shark_common::{Result, Row, Schema, SharkError};
 /// Deterministic per-partition row generator (the "files" of a table).
 pub type RowGenerator = Arc<dyn Fn(usize) -> Vec<Row> + Send + Sync>;
 
+/// Process-wide last-access clock shared by every memstore partition. A
+/// single clock makes ticks comparable *across* tables, which is what lets a
+/// memory manager pick the globally least-recently-used partition instead of
+/// guessing at table granularity.
+static MEMSTORE_CLOCK: AtomicU64 = AtomicU64::new(0);
+
+fn next_memstore_tick() -> u64 {
+    MEMSTORE_CLOCK.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// One loaded (or evicted) partition eligible for eviction, as reported by
+/// [`MemTable::lru_candidates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionResidency {
+    /// Partition index within its table.
+    pub partition: usize,
+    /// Resident columnar bytes.
+    pub bytes: u64,
+    /// Last-access tick on the process-wide memstore clock (smaller =
+    /// colder).
+    pub last_tick: u64,
+}
+
 /// The cached, columnar representation of a table (the memstore, §3.2).
+///
+/// The partition — not the table — is the unit of storage, recency tracking
+/// and eviction (§3.1–3.2): each partition carries its own last-access tick
+/// on a process-wide clock, can be evicted individually under memory
+/// pressure, and is transparently rebuilt from the table's base generator
+/// (its lineage) by the next scan that needs it. Partition *statistics* are
+/// retained across policy evictions — they are tiny and stay valid because
+/// the base generator is deterministic — so map pruning and top-k partition
+/// ordering keep working over a partially evicted table.
 pub struct MemTable {
     partitions: Vec<RwLock<Option<Arc<ColumnarPartition>>>>,
+    /// Per-partition statistics, retained across policy evictions (but not
+    /// across node failures, which are treated as data loss).
+    stats: Vec<RwLock<Option<PartitionStats>>>,
+    /// Per-partition last-access tick on [`MEMSTORE_CLOCK`].
+    ticks: Vec<AtomicU64>,
     placements: Vec<usize>,
+    /// Partitions rebuilt from the base generator by scans after an eviction
+    /// or node failure (the lineage-recovery path).
+    rebuilds: AtomicU64,
 }
 
 impl MemTable {
@@ -29,7 +70,10 @@ impl MemTable {
     pub fn new(num_partitions: usize, num_nodes: usize) -> MemTable {
         MemTable {
             partitions: (0..num_partitions).map(|_| RwLock::new(None)).collect(),
+            stats: (0..num_partitions).map(|_| RwLock::new(None)).collect(),
+            ticks: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
             placements: (0..num_partitions).map(|p| p % num_nodes.max(1)).collect(),
+            rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -38,14 +82,37 @@ impl MemTable {
         self.partitions.len()
     }
 
-    /// Fetch a cached partition if it is loaded.
+    /// Fetch a cached partition if it is loaded, refreshing its LRU tick.
     pub fn get(&self, partition: usize) -> Option<Arc<ColumnarPartition>> {
-        self.partitions[partition].read().clone()
+        let data = self.partitions[partition].read().clone();
+        if data.is_some() {
+            self.touch(partition);
+        }
+        data
     }
 
-    /// Store a loaded partition.
+    /// Whether a partition is resident (without refreshing its LRU tick —
+    /// use for accounting, not for access).
+    pub fn is_loaded(&self, partition: usize) -> bool {
+        self.partitions[partition].read().is_some()
+    }
+
+    /// Store a loaded partition, recording its statistics and refreshing
+    /// its LRU tick.
     pub fn put(&self, partition: usize, data: Arc<ColumnarPartition>) {
+        *self.stats[partition].write() = Some(data.stats().clone());
         *self.partitions[partition].write() = Some(data);
+        self.touch(partition);
+    }
+
+    /// Refresh a partition's last-access tick.
+    pub fn touch(&self, partition: usize) {
+        self.ticks[partition].store(next_memstore_tick(), Ordering::Relaxed);
+    }
+
+    /// A partition's last-access tick on the process-wide memstore clock.
+    pub fn last_tick(&self, partition: usize) -> u64 {
+        self.ticks[partition].load(Ordering::Relaxed)
     }
 
     /// The node holding a partition.
@@ -54,6 +121,8 @@ impl MemTable {
     }
 
     /// Drop every partition stored on `node`, returning how many were lost.
+    /// A node failure loses the data *and* the statistics derived from it
+    /// (unlike a policy eviction, which keeps the statistics).
     pub fn drop_node(&self, node: usize) -> usize {
         let mut lost = 0;
         for (p, slot) in self.partitions.iter().enumerate() {
@@ -61,6 +130,7 @@ impl MemTable {
                 let mut guard = slot.write();
                 if guard.is_some() {
                     *guard = None;
+                    *self.stats[p].write() = None;
                     lost += 1;
                 }
             }
@@ -84,6 +154,15 @@ impl MemTable {
             .sum()
     }
 
+    /// Resident bytes of one partition (0 when evicted or never loaded).
+    pub fn partition_bytes(&self, partition: usize) -> u64 {
+        self.partitions[partition]
+            .read()
+            .as_ref()
+            .map(|c| c.memory_bytes() as u64)
+            .unwrap_or(0)
+    }
+
     /// Total rows across loaded partitions.
     pub fn total_rows(&self) -> u64 {
         self.partitions
@@ -92,29 +171,65 @@ impl MemTable {
             .sum()
     }
 
-    /// Evict every loaded partition (a *policy* eviction under memory
-    /// pressure, not a failure): returns `(partitions, bytes)` freed. The
-    /// table stays registered and is transparently reloaded from its base
-    /// generator — its lineage — on the next scan.
+    /// Evict one partition (a *policy* eviction under memory pressure, not a
+    /// failure): returns the bytes freed, 0 when the partition was not
+    /// resident. The partition's statistics are retained — they stay valid
+    /// because the base generator is deterministic — and the data is
+    /// transparently rebuilt from lineage by the next scan that needs it.
+    pub fn evict_partition(&self, partition: usize) -> u64 {
+        let mut guard = self.partitions[partition].write();
+        match guard.take() {
+            Some(columnar) => columnar.memory_bytes() as u64,
+            None => 0,
+        }
+    }
+
+    /// Evict every loaded partition, returning `(partitions, bytes)` freed.
+    /// The table stays registered (statistics included) and is transparently
+    /// reloaded from its base generator — its lineage — on the next scan.
     pub fn evict_all(&self) -> (usize, u64) {
         let mut partitions = 0usize;
         let mut bytes = 0u64;
-        for slot in &self.partitions {
-            let mut guard = slot.write();
-            if let Some(columnar) = guard.take() {
+        for p in 0..self.partitions.len() {
+            let freed = self.evict_partition(p);
+            if freed > 0 {
                 partitions += 1;
-                bytes += columnar.memory_bytes() as u64;
+                bytes += freed;
             }
         }
         (partitions, bytes)
     }
 
-    /// Statistics of one loaded partition (for map pruning).
+    /// Every *resident* partition with its bytes and last-access tick — the
+    /// candidate list a partition-granular LRU eviction policy works from.
+    pub fn lru_candidates(&self) -> Vec<PartitionResidency> {
+        (0..self.partitions.len())
+            .filter_map(|p| {
+                let bytes = self.partition_bytes(p);
+                (bytes > 0).then(|| PartitionResidency {
+                    partition: p,
+                    bytes,
+                    last_tick: self.last_tick(p),
+                })
+            })
+            .collect()
+    }
+
+    /// Statistics of a partition. Retained across policy evictions, so this
+    /// answers for evicted partitions too; `None` only for partitions never
+    /// loaded (or lost to a node failure).
     pub fn stats(&self, partition: usize) -> Option<PartitionStats> {
-        self.partitions[partition]
-            .read()
-            .as_ref()
-            .map(|c| c.stats().clone())
+        self.stats[partition].read().clone()
+    }
+
+    /// Record that a scan rebuilt a partition from the base generator.
+    pub fn record_rebuild(&self) {
+        self.rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Partitions rebuilt from lineage by scans (after eviction or failure).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
     }
 }
 
@@ -368,6 +483,7 @@ mod tests {
         assert!(mem.get(0).is_none());
         assert!(mem.get(1).is_some());
         assert!(mem.stats(1).is_some());
+        // A node failure is data loss: the statistics go with the data.
         assert!(mem.stats(0).is_none());
     }
 
@@ -387,8 +503,63 @@ mod tests {
         assert_eq!(bytes, resident);
         assert_eq!(mem.loaded_partitions(), 0);
         assert_eq!(mem.memory_bytes(), 0);
+        // A policy eviction keeps the statistics: pruning and top-k
+        // ordering still work over the evicted partitions.
+        assert!(mem.stats(0).is_some());
         // Idempotent.
         assert_eq!(mem.evict_all(), (0, 0));
+    }
+
+    #[test]
+    fn evict_partition_frees_one_partition_and_keeps_stats() {
+        let catalog = Catalog::new();
+        let t = catalog.register(demo_table(true));
+        let mem = t.cached.as_ref().unwrap();
+        for p in 0..4 {
+            let rows = (t.base)(p);
+            mem.put(p, Arc::new(ColumnarPartition::from_rows(&t.schema, &rows)));
+        }
+        let before = mem.memory_bytes();
+        let freed = mem.evict_partition(1);
+        assert!(freed > 0);
+        assert_eq!(mem.memory_bytes(), before - freed);
+        assert_eq!(mem.loaded_partitions(), 3);
+        assert!(!mem.is_loaded(1));
+        assert_eq!(mem.partition_bytes(1), 0);
+        assert!(mem.stats(1).is_some(), "stats survive a policy eviction");
+        // Evicting again frees nothing.
+        assert_eq!(mem.evict_partition(1), 0);
+    }
+
+    #[test]
+    fn lru_candidates_order_follows_accesses() {
+        let catalog = Catalog::new();
+        let t = catalog.register(demo_table(true));
+        let mem = t.cached.as_ref().unwrap();
+        for p in 0..4 {
+            let rows = (t.base)(p);
+            mem.put(p, Arc::new(ColumnarPartition::from_rows(&t.schema, &rows)));
+        }
+        // Touch 0 and 2 (via get); 1 and 3 keep their load-time ticks.
+        assert!(mem.get(0).is_some());
+        assert!(mem.get(2).is_some());
+        let mut candidates = mem.lru_candidates();
+        assert_eq!(candidates.len(), 4);
+        candidates.sort_by_key(|c| c.last_tick);
+        let order: Vec<usize> = candidates.iter().map(|c| c.partition).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+        // is_loaded does not refresh the tick.
+        assert!(mem.is_loaded(1));
+        let again = mem.lru_candidates();
+        let tick1 = again.iter().find(|c| c.partition == 1).unwrap().last_tick;
+        assert_eq!(
+            tick1,
+            candidates
+                .iter()
+                .find(|c| c.partition == 1)
+                .unwrap()
+                .last_tick
+        );
     }
 
     #[test]

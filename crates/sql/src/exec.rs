@@ -217,7 +217,7 @@ pub fn load_table(ctx: &RddContext, table: &Arc<TableMeta>) -> Result<LoadReport
     let mut rows_total = 0u64;
     let mut newly_loaded = 0usize;
     for p in 0..table.num_partitions {
-        if mem.get(p).is_some() {
+        if mem.is_loaded(p) {
             continue;
         }
         let rows = (table.base)(p);
@@ -674,9 +674,11 @@ fn topk_rows(rows: Vec<Row>, k: usize, keys: &[(usize, bool)], m: &mut TaskMetri
 /// (stat min for ASC, max for DESC), each paired with that bound so the
 /// driver can stop launching partitions once `k` delivered rows strictly
 /// beat the next bound. Returns `None` — disabling skipping, not
-/// correctness — whenever the statistics cannot bound the key: unloaded
-/// partitions, NULLs in the key column (NULL sorts outside the min/max
-/// range), or a computed sort key.
+/// correctness — whenever the statistics cannot bound the key:
+/// never-loaded partitions (statistics survive policy evictions, so a
+/// partially evicted table still gets the ordered launch), NULLs in the
+/// key column (NULL sorts outside the min/max range), or a computed sort
+/// key.
 fn topk_partition_order(
     plan: &QueryPlan,
     info: &SingleScanInfo,

@@ -96,14 +96,18 @@ impl RddImpl<Row> for MemTableScanRdd {
                 c
             }
             None => {
-                // The partition was lost (node failure): recompute it from
-                // the base data — the lineage-recovery path of Figure 9.
+                // The partition is missing — evicted under memory pressure
+                // or lost to a node failure. Either way, recompute exactly
+                // this partition from the base data: the lineage-recovery
+                // path of Figure 9, now also the partial-eviction reload
+                // path. Resident partitions are never touched.
                 let rows = (self.table.base)(original);
                 let bytes = estimate_slice(&rows) as u64;
                 metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
                 metrics.add_ops(rows.len() as f64 * 4.0); // rebuild columnar form
                 let rebuilt = Arc::new(ColumnarPartition::from_rows(&self.table.schema, &rows));
                 self.mem.put(original, rebuilt.clone());
+                self.mem.record_rebuild();
                 rebuilt
             }
         };
@@ -204,8 +208,11 @@ pub fn prune_partitions(
     let mut selected = Vec::new();
     let mut pruned = 0usize;
     for p in 0..table.num_partitions {
+        // Statistics survive policy evictions, so an evicted-but-once-loaded
+        // partition can still be pruned — saving its lineage recompute
+        // entirely when the predicate rules it out.
         let keep = match mem.stats(p) {
-            None => true, // not loaded: cannot prune, the scan will rebuild it
+            None => true, // never loaded: cannot prune, the scan will rebuild it
             Some(stats) => filters.iter().all(|f| {
                 match f.as_column_range() {
                     None => true,

@@ -1,8 +1,12 @@
 //! The warehouse-server workflow: N concurrent analyst sessions firing SQL
 //! at one `SharkServer` that shares a single cached TPC-H-style memstore,
 //! under a memory budget deliberately too small for the full working set —
-//! so the server's LRU policy keeps evicting whole tables and lineage keeps
-//! recomputing them, while admission control bounds the in-flight queries.
+//! so the server's partition-granular LRU policy keeps evicting the coldest
+//! cached partitions and lineage keeps recomputing exactly the missing
+//! ones, while admission control bounds the in-flight queries. A
+//! per-session memory quota sits under the global budget: a session that
+//! loads more than its share has its *own* least-recently-used partitions
+//! evicted first.
 //! LIMIT queries go through the streaming cursor (`sql_stream`), which
 //! stops launching partitions once enough rows were delivered and records
 //! per-query time-to-first-row. Streaming cursors prefetch: a bounded
@@ -67,6 +71,13 @@ fn main() -> shark_common::Result<()> {
         sizing.load_table(table)?;
     }
     let full_bytes = sizing.catalog().memstore_bytes();
+    let orders_bytes = sizing
+        .catalog()
+        .get("orders")?
+        .cached
+        .as_ref()
+        .map(|m| m.memory_bytes())
+        .unwrap_or(0);
 
     // Pass 2: the real server, with room for roughly 85% of that working
     // set — lineitem alone fits, but not together with either of the other
@@ -77,11 +88,32 @@ fn main() -> shark_common::Result<()> {
         rdd: RddConfig::default(),
         exec: ExecConfig::shark(),
         memory_budget_bytes: budget,
+        // Each session may own at most an orders-table's worth of loaded
+        // data; going over evicts that session's own LRU partitions first.
+        session_mem_quota_bytes: orders_bytes.max(1),
         max_concurrent_queries: 4,
         max_queued_queries: 128,
         max_total_prefetch: 8,
     });
     register_tpch(&server, &tpch_cfg, partitions);
+
+    // Quota close-up (before the workload claims table ownership): one
+    // greedy session loads orders — filling its quota exactly — then
+    // supplier on top, pushing it over, so the quota layer evicts that
+    // session's own LRU partitions while the rest of the store stays put.
+    {
+        let greedy = server.session();
+        greedy.load_table("orders")?;
+        let before = greedy.resident_bytes();
+        greedy.load_table("supplier")?;
+        println!(
+            "quota: session {} owned {before} bytes after loading orders, \
+             {} after supplier (quota {}; own LRU partitions evicted to fit)",
+            greedy.id(),
+            greedy.resident_bytes(),
+            orders_bytes,
+        );
+    }
 
     let queries = [
         "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode",

@@ -2,10 +2,20 @@
 //!
 //! Implements the API subset the Shark benches use — `Criterion`,
 //! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter`,
-//! `criterion_group!`/`criterion_main!` — with a simple mean-over-samples
-//! timer instead of criterion's statistical machinery. Good enough to keep
-//! `cargo bench` runnable (and benches compiling) without a registry.
+//! `criterion_group!`/`criterion_main!` — with a simple mean/median-over-
+//! samples timer instead of criterion's statistical machinery. Good enough
+//! to keep `cargo bench` runnable (and benches compiling) without a
+//! registry.
+//!
+//! Two environment hooks support CI smoke runs:
+//!
+//! * `SHARK_BENCH_SAMPLES=<n>` overrides every benchmark's sample count.
+//! * `SHARK_BENCH_JSON=<path>` appends one JSON line per benchmark —
+//!   `{"group","bench","median_ns","mean_ns","min_ns","samples"}` — which
+//!   a CI job can collect (e.g. `jq -s`) into a criterion-style medians
+//!   artifact.
 
+use std::io::Write as _;
 use std::time::Instant;
 
 /// Prevent the optimizer from deleting a computed value.
@@ -25,6 +35,7 @@ impl Criterion {
         println!("group {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size: 10,
         }
     }
@@ -34,7 +45,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, 10, f);
+        run_bench("", name, 10, f);
         self
     }
 }
@@ -42,6 +53,7 @@ impl Criterion {
 /// A named group of benchmarks sharing settings.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
 }
 
@@ -57,7 +69,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, f);
+        run_bench(&self.name, name, self.sample_size, f);
         self
     }
 
@@ -65,7 +77,57 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+/// The sample count to use: the `SHARK_BENCH_SAMPLES` override, or the
+/// benchmark's own setting.
+fn effective_samples(configured: usize) -> usize {
+    std::env::var("SHARK_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(configured)
+}
+
+/// Minimal JSON string escaping (bench names are plain identifiers, but a
+/// stray quote must not corrupt the artifact).
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Append this benchmark's summary as one JSON line to `SHARK_BENCH_JSON`,
+/// when set. Failures to write are reported but never fail the bench.
+fn emit_json(group: &str, name: &str, nanos: &[u128]) {
+    let Ok(path) = std::env::var("SHARK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() || nanos.is_empty() {
+        return;
+    }
+    let mut sorted = nanos.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<u128>() / sorted.len() as u128;
+    let min = sorted[0];
+    let line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}\n",
+        escape_json(group),
+        escape_json(name),
+        median,
+        mean,
+        min,
+        sorted.len(),
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(err) = written {
+        eprintln!("criterion stand-in: cannot append to {path}: {err}");
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, mut f: F) {
+    let samples = effective_samples(samples);
     let mut bencher = Bencher { nanos: Vec::new() };
     for _ in 0..samples {
         f(&mut bencher);
@@ -78,6 +140,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
         mean as f64 / 1e6,
         min as f64 / 1e6,
     );
+    emit_json(group, name, &bencher.nanos);
 }
 
 /// Times closures; one `iter` call contributes one sample.
@@ -131,6 +194,14 @@ mod tests {
             })
         });
         g.finish();
-        assert_eq!(runs, 3);
+        // SHARK_BENCH_SAMPLES may override the sample count in a smoke run;
+        // by default the configured 3 samples execute.
+        assert_eq!(runs as usize, effective_samples(3));
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(escape_json("plain_name"), "plain_name");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
     }
 }
