@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff this run's fast-mode medians against the
+latest successful `main` baseline.
+
+Usage: bench_gate.py <baseline-dir> <current-dir>
+
+Each directory is expected to hold one `BENCH_*.json` produced by the
+bench-smoke job: `{"schema": "shark-bench-smoke-v1", "commit": "...",
+"benches": [{"group", "bench", "median_ns", ...}, ...]}`.
+
+Behaviour:
+  * writes a per-bench median-delta table to $GITHUB_STEP_SUMMARY
+    (stdout when unset);
+  * exits non-zero when any bench's `current/baseline` median ratio
+    exceeds BENCH_GATE_MAX_RATIO (default 2.0) — fast-mode runs on shared
+    CI runners are noisy, so the default only catches step-function
+    regressions;
+  * a missing baseline (first run, expired artifact) is non-blocking:
+    the gate passes vacuously and says so in the summary.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def load_medians(dirpath):
+    """Return ({'group/bench': median_ns}, commit) or (None, None)."""
+    files = sorted(glob.glob(os.path.join(dirpath, "**", "BENCH_*.json"), recursive=True))
+    if not files:
+        return None, None
+    with open(files[0]) as f:
+        doc = json.load(f)
+    medians = {}
+    for b in doc.get("benches", []):
+        medians["{}/{}".format(b["group"], b["bench"])] = float(b["median_ns"])
+    return medians, doc.get("commit", "unknown")
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "{:.2f} s".format(ns / 1e9)
+    if ns >= 1e6:
+        return "{:.2f} ms".format(ns / 1e6)
+    if ns >= 1e3:
+        return "{:.2f} µs".format(ns / 1e3)
+    return "{:.0f} ns".format(ns)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_dir, current_dir = sys.argv[1], sys.argv[2]
+    max_ratio = float(os.environ.get("BENCH_GATE_MAX_RATIO", "2.0"))
+
+    current, current_commit = load_medians(current_dir)
+    if current is None:
+        print("bench-gate: no current bench medians in {}".format(current_dir), file=sys.stderr)
+        return 2
+    baseline, baseline_commit = load_medians(baseline_dir)
+
+    lines = ["## Bench regression gate", ""]
+    regressions = []
+    if baseline is None:
+        lines.append(
+            "No baseline medians available (first run on main, or the "
+            "artifact expired) — gate passes vacuously. Current run "
+            "`{}` has {} benches.".format(current_commit, len(current))
+        )
+    else:
+        lines.append(
+            "Baseline `{}` (latest successful main) vs current `{}`. "
+            "Fail threshold: median ratio > {:.2f}× "
+            "(env `BENCH_GATE_MAX_RATIO`).".format(baseline_commit, current_commit, max_ratio)
+        )
+        lines.append("")
+        lines.append("| bench | baseline median | current median | ratio | |")
+        lines.append("|---|---:|---:|---:|---|")
+        for name in sorted(set(current) | set(baseline)):
+            cur, base = current.get(name), baseline.get(name)
+            if base is None:
+                lines.append("| {} | — | {} | new | 🆕 |".format(name, fmt_ns(cur)))
+                continue
+            if cur is None:
+                lines.append("| {} | {} | — | removed | ⚪ |".format(name, fmt_ns(base)))
+                continue
+            ratio = cur / base if base > 0 else float("inf")
+            if ratio > max_ratio:
+                flag = "🔴 regression"
+                regressions.append((name, ratio))
+            elif ratio > 1.25:
+                flag = "🟡"
+            elif ratio < 0.8:
+                flag = "🟢"
+            else:
+                flag = ""
+            lines.append(
+                "| {} | {} | {} | {:.2f}× | {} |".format(
+                    name, fmt_ns(base), fmt_ns(cur), ratio, flag
+                )
+            )
+        lines.append("")
+        if regressions:
+            lines.append(
+                "**{} bench(es) regressed beyond {:.2f}×:** ".format(len(regressions), max_ratio)
+                + ", ".join("{} ({:.2f}×)".format(n, r) for n, r in regressions)
+            )
+        else:
+            lines.append("No median regression beyond {:.2f}×.".format(max_ratio))
+
+    summary = "\n".join(lines) + "\n"
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(summary)
+    print(summary)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,20 @@ impl SharkContext {
         self.session.catalog()
     }
 
+    /// Pin an immutable, epoch-versioned snapshot of the catalog. Everything
+    /// resolved against it sees one consistent set of table versions, and a
+    /// table dropped by a concurrent session keeps its memstore resident
+    /// until this (and every other) pin referencing it is released — the
+    /// lineage of a long analytics pipeline can never dangle mid-run.
+    pub fn catalog_snapshot(&self) -> Arc<shark_sql::CatalogSnapshot> {
+        self.session.catalog().snapshot()
+    }
+
+    /// The catalog's current epoch (bumped by every DDL).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.session.catalog().epoch()
+    }
+
     /// The configuration this context was built with.
     pub fn config(&self) -> &SharkConfig {
         &self.config
@@ -288,6 +302,34 @@ mod tests {
         b.sql("CREATE TABLE adults AS SELECT name FROM people WHERE age >= 30")
             .unwrap();
         assert!(a.catalog().contains("adults"));
+    }
+
+    #[test]
+    fn pinned_snapshot_keeps_sql_to_rdd_lineage_stable_across_drop() {
+        let a = SharkContext::local();
+        people(&a);
+        a.load_table("people").unwrap();
+        // Build (but do not run) a pipeline, then drop the table from a
+        // second context sharing the catalog.
+        let table = a.sql_to_rdd("SELECT age FROM people").unwrap();
+        let epoch_at_plan = a.catalog_epoch();
+        let b = SharkContext::with_shared(
+            SharkConfig::default(),
+            a.rdd_context().clone(),
+            a.catalog().clone(),
+        );
+        b.sql("DROP TABLE people").unwrap();
+        assert!(a.catalog_epoch() > epoch_at_plan);
+        assert!(!a.catalog().contains("people"));
+        // The pipeline still runs: its plan pinned the snapshot it was
+        // resolved against, so the dropped version stays resident.
+        assert!(a.catalog().deferred_drop_bytes() > 0);
+        let count = table.rdd.collect().unwrap().len();
+        assert_eq!(count, 30);
+        drop(table);
+        // The pin is gone with the pipeline: the version is reclaimable.
+        assert_eq!(a.catalog().reclaim_unreferenced(), 1);
+        assert_eq!(a.catalog().deferred_drop_bytes(), 0);
     }
 
     #[test]

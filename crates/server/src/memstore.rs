@@ -59,22 +59,35 @@ pub enum EvictionEvent {
         /// Bytes freed.
         bytes: u64,
     },
+    /// A `DROP TABLE`d (or replaced) table version reclaimed after the last
+    /// catalog snapshot referencing it was released — deferred DDL
+    /// reclamation, not memory pressure.
+    Dropped {
+        /// Table name (a recreated table of the same name is unaffected).
+        name: String,
+        /// Partition indices that were still resident, in index order.
+        partitions: Vec<usize>,
+        /// Bytes reclaimed.
+        bytes: u64,
+    },
 }
 
 impl EvictionEvent {
     /// Bytes this eviction freed.
     pub fn bytes(&self) -> u64 {
         match self {
-            EvictionEvent::Table { bytes, .. } | EvictionEvent::Rdd { bytes, .. } => *bytes,
+            EvictionEvent::Table { bytes, .. }
+            | EvictionEvent::Rdd { bytes, .. }
+            | EvictionEvent::Dropped { bytes, .. } => *bytes,
         }
     }
 
     /// Partitions this eviction dropped.
     pub fn partitions(&self) -> usize {
         match self {
-            EvictionEvent::Table { partitions, .. } | EvictionEvent::Rdd { partitions, .. } => {
-                partitions.len()
-            }
+            EvictionEvent::Table { partitions, .. }
+            | EvictionEvent::Rdd { partitions, .. }
+            | EvictionEvent::Dropped { partitions, .. } => partitions.len(),
         }
     }
 }
@@ -102,6 +115,11 @@ struct MemstoreState {
     /// Rebuild counts of tables since dropped from the catalog, folded in
     /// so the server-wide rebuild metric stays monotonic.
     retired_rebuilds: u64,
+    /// Dropped table versions whose storage was reclaimed after their last
+    /// referencing snapshot was released.
+    deferred_drops_reclaimed: u64,
+    /// Bytes those reclamations freed.
+    deferred_reclaimed_bytes: u64,
 }
 
 /// Tracks table usage recency and enforces the server memory budget plus
@@ -432,6 +450,49 @@ impl MemstoreManager {
         events
     }
 
+    /// Reclaim every dropped table version whose last referencing catalog
+    /// snapshot has been released, then fold the catalog's reclamation log
+    /// into this manager's accounting, emitting one
+    /// [`EvictionEvent::Dropped`] per reclaimed version. The catalog also
+    /// reclaims opportunistically at DDL/snapshot points, so this may drain
+    /// records reclaimed earlier — accounting is log-based and therefore
+    /// independent of *where* the reclamation happened. Versions still
+    /// referenced by a pinned snapshot (an open cursor, an in-flight query)
+    /// are left alone — their bytes show up in `Catalog::deferred_drop_bytes`
+    /// until the pins close. Name-keyed bookkeeping is *not* touched here:
+    /// it was cleared by [`MemstoreManager::forget`] at drop time and may
+    /// since belong to a recreated table of the same name.
+    pub fn reclaim_dropped(&self, catalog: &Catalog) -> Vec<EvictionEvent> {
+        catalog.reclaim_unreferenced();
+        let mut events = Vec::new();
+        for record in catalog.drain_reclaimed() {
+            let mut state = self.state.lock();
+            state.deferred_drops_reclaimed += 1;
+            state.deferred_reclaimed_bytes += record.bytes;
+            // The version's lineage rebuilds move from the catalog's
+            // deferred share into the retired total, keeping the
+            // server-wide rebuild counter monotonic across drop → reclaim.
+            state.retired_rebuilds += record.rebuilds;
+            drop(state);
+            events.push(EvictionEvent::Dropped {
+                name: record.name,
+                partitions: record.partitions,
+                bytes: record.bytes,
+            });
+        }
+        events
+    }
+
+    /// Dropped table versions reclaimed so far (deferred DDL reclamation).
+    pub fn deferred_drops_reclaimed(&self) -> u64 {
+        self.state.lock().deferred_drops_reclaimed
+    }
+
+    /// Bytes freed by deferred-drop reclamations.
+    pub fn deferred_reclaimed_bytes(&self) -> u64 {
+        self.state.lock().deferred_reclaimed_bytes
+    }
+
     /// Forget all bookkeeping for a table (call when it is dropped from the
     /// catalog, so a future table of the same name starts clean).
     pub fn forget(&self, table: &str) {
@@ -484,13 +545,9 @@ impl MemstoreManager {
         self.state.lock().lineage_recomputes
     }
 
-    /// Fold a dropped table's lineage-rebuild count into the retired total
-    /// (call alongside [`MemstoreManager::forget`] when dropping a table).
-    pub fn retire_rebuilds(&self, rebuilds: u64) {
-        self.state.lock().retired_rebuilds += rebuilds;
-    }
-
-    /// Rebuild counts of tables since dropped from the catalog.
+    /// Rebuild counts of dropped table versions already reclaimed (folded
+    /// in by [`MemstoreManager::reclaim_dropped`]; versions still awaiting
+    /// reclamation are counted by `Catalog::deferred_drop_rebuilds`).
     pub fn retired_rebuilds(&self) -> u64 {
         self.state.lock().retired_rebuilds
     }
@@ -737,6 +794,43 @@ mod tests {
         manager.record_owner("a", 1);
         assert!(manager.enforce_session_quota(1, &catalog).is_empty());
         assert_eq!(manager.quota_hits(), 0);
+    }
+
+    #[test]
+    fn reclaim_dropped_waits_for_snapshot_release_and_accounts_bytes() {
+        let catalog = catalog_with_tables(&["gone"]);
+        load_all(&catalog);
+        let manager = MemstoreManager::new(u64::MAX);
+        let bytes = catalog.memstore_bytes();
+        assert!(bytes > 0);
+        let pin = catalog.snapshot();
+        catalog.drop_table("gone").unwrap();
+        // Still referenced by the pinned snapshot: nothing reclaimable, the
+        // bytes show up as deferred instead, and budget enforcement does
+        // not see (or evict) the dropped version.
+        assert!(manager.reclaim_dropped(&catalog).is_empty());
+        assert_eq!(catalog.deferred_drop_bytes(), bytes);
+        assert_eq!(catalog.memstore_bytes(), 0);
+        drop(pin);
+        let events = manager.reclaim_dropped(&catalog);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            EvictionEvent::Dropped {
+                name,
+                partitions,
+                bytes: freed,
+            } => {
+                assert_eq!(name, "gone");
+                assert_eq!(partitions, &vec![0, 1]);
+                assert_eq!(*freed, bytes);
+            }
+            other => panic!("expected a dropped-table reclamation, got {other:?}"),
+        }
+        assert_eq!(manager.deferred_drops_reclaimed(), 1);
+        assert_eq!(manager.deferred_reclaimed_bytes(), bytes);
+        assert_eq!(catalog.deferred_drop_bytes(), 0);
+        // Idempotent.
+        assert!(manager.reclaim_dropped(&catalog).is_empty());
     }
 
     #[test]

@@ -127,6 +127,19 @@ pub struct ServerReport {
     /// Partitions rebuilt from the base generator by scans (lineage
     /// recovery after eviction or node failure), summed over cached tables.
     pub partition_rebuilds: u64,
+    /// The catalog's current epoch (bumped by every DDL).
+    pub catalog_epoch: u64,
+    /// Catalog snapshots pinned at report time (in-flight queries, open
+    /// streaming cursors).
+    pub live_snapshots: usize,
+    /// Resident bytes of `DROP TABLE`d versions still pinned by open
+    /// snapshots, awaiting deferred reclamation.
+    pub deferred_drop_bytes: u64,
+    /// Dropped table versions reclaimed after their last pinning snapshot
+    /// was released.
+    pub deferred_drops_reclaimed: u64,
+    /// Bytes those deferred reclamations freed.
+    pub deferred_reclaimed_bytes: u64,
     /// Resident table-memstore bytes at report time.
     pub memstore_bytes: u64,
     /// Resident RDD-cache bytes at report time.
@@ -168,6 +181,14 @@ impl ServerReport {
             self.evicted_bytes,
             self.lineage_recomputes,
             self.partition_rebuilds,
+        ));
+        out.push_str(&format!(
+            "catalog: epoch {}, {} live snapshots; deferred drops: {} bytes awaiting release, {} versions reclaimed ({} bytes)\n",
+            self.catalog_epoch,
+            self.live_snapshots,
+            self.deferred_drop_bytes,
+            self.deferred_drops_reclaimed,
+            self.deferred_reclaimed_bytes,
         ));
         if self.session_quota_bytes != u64::MAX {
             out.push_str(&format!(

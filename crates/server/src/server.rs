@@ -196,9 +196,19 @@ impl SharkServer {
     }
 
     /// Register a base table in the shared catalog (admin path — not gated
-    /// by admission control).
+    /// by admission control). Replacing an existing cached table displaces
+    /// the old version: its name-keyed bookkeeping (owner, pins, recompute
+    /// tracking) is cleared — like a DROP TABLE — and it is reclaimed
+    /// immediately unless a pinned snapshot (an in-flight query or open
+    /// cursor) still references it.
     pub fn register_table(&self, table: TableMeta) -> Arc<TableMeta> {
-        self.shared.catalog.register(table)
+        let replacing = self.shared.catalog.contains(&table.name);
+        let registered = self.shared.catalog.register(table);
+        if replacing {
+            self.shared.memstore.forget(&registered.name);
+        }
+        self.shared.memstore.reclaim_dropped(&self.shared.catalog);
+        registered
     }
 
     /// Eagerly load a cached table, then enforce the memory budget (the
@@ -243,9 +253,27 @@ impl SharkServer {
             .resident_bytes(&self.shared.catalog, self.shared.ctx.cache())
     }
 
-    /// Aggregate a server-level report over everything run so far.
+    /// Resident bytes of `DROP TABLE`d versions still pinned by open
+    /// catalog snapshots (in-flight queries, open cursors); reclaimed when
+    /// the last pin closes.
+    pub fn deferred_drop_bytes(&self) -> u64 {
+        self.shared.catalog.deferred_drop_bytes()
+    }
+
+    /// Reclaim dropped table versions whose last pinning snapshot has been
+    /// released (also runs after every query and cursor close). Returns
+    /// the reclamations performed.
+    pub fn reclaim_dropped(&self) -> Vec<EvictionEvent> {
+        self.shared.memstore.reclaim_dropped(&self.shared.catalog)
+    }
+
+    /// Aggregate a server-level report over everything run so far. Also
+    /// performs any reclamation that is already due (a report is an
+    /// observation point like a query boundary), so the deferred-drop
+    /// numbers it returns are current.
     pub fn report(&self) -> ServerReport {
         let shared = &self.shared;
+        shared.memstore.reclaim_dropped(&shared.catalog);
         let mut report = shared.metrics.aggregate();
         report.peak_concurrent_queries = shared.admission.peak_running();
         report.peak_queued_queries = shared.admission.peak_queued();
@@ -256,9 +284,13 @@ impl SharkServer {
         report.lineage_recomputes = shared.memstore.lineage_recomputes();
         report.quota_hits = shared.memstore.quota_hits();
         report.quota_evicted_partitions = shared.memstore.quota_evicted_partitions();
-        // Live tables' rebuild counters plus the retired counts of dropped
-        // tables, so the cumulative metric never decreases.
+        // Live tables' rebuild counters, plus the frozen counts of versions
+        // awaiting deferred reclamation, plus the retired counts of
+        // versions already reclaimed — a rebuild moves between the three
+        // shares as its table is dropped and reclaimed, so the cumulative
+        // metric never decreases.
         report.partition_rebuilds = shared.memstore.retired_rebuilds()
+            + shared.catalog.deferred_drop_rebuilds()
             + shared
                 .catalog
                 .cached_tables()
@@ -269,6 +301,11 @@ impl SharkServer {
         report.rdd_cache_bytes = shared.ctx.cache().total_bytes();
         report.memory_budget_bytes = shared.memstore.budget_bytes();
         report.session_quota_bytes = shared.memstore.session_quota_bytes();
+        report.catalog_epoch = shared.catalog.epoch();
+        report.live_snapshots = shared.catalog.live_snapshots();
+        report.deferred_drop_bytes = shared.catalog.deferred_drop_bytes();
+        report.deferred_drops_reclaimed = shared.memstore.deferred_drops_reclaimed();
+        report.deferred_reclaimed_bytes = shared.memstore.deferred_reclaimed_bytes();
         report
     }
 
@@ -349,18 +386,6 @@ impl SessionHandle {
         let recomputed_tables = shared.memstore.pin(&tables);
         let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
         let residency_before = table_residency(&shared.catalog, &tables);
-        // A successful DROP TABLE removes the table from the catalog, so
-        // its lineage-rebuild count must be captured before execution to
-        // keep the server-wide counter monotonic.
-        let dropped_rebuilds = match &statement {
-            shark_sql::ast::Statement::DropTable { name } => shared
-                .catalog
-                .get(name)
-                .ok()
-                .and_then(|t| t.cached.as_ref().map(|m| m.rebuilds()))
-                .unwrap_or(0),
-            _ => 0,
-        };
         let exec_started = Instant::now();
         let result = self.sql.execute_statement(&statement);
         let exec_time = exec_started.elapsed();
@@ -370,10 +395,11 @@ impl SessionHandle {
                 shark_sql::ast::Statement::DropTable { name } => {
                     // The table is gone from the catalog; clear its LRU/pin/
                     // recompute/owner bookkeeping so a future table reusing
-                    // the name starts clean, but retire its rebuild count so
-                    // the server-wide metric never decreases.
+                    // the name starts clean. Its lineage-rebuild count stays
+                    // visible through the catalog's deferred share until the
+                    // version is reclaimed, then moves into the retired
+                    // total — the server-wide metric never decreases.
                     shared.memstore.forget(&name.to_lowercase());
-                    shared.memstore.retire_rebuilds(dropped_rebuilds);
                 }
                 shark_sql::ast::Statement::CreateTableAs { name, .. } => {
                     // The new table's resident bytes are charged to the
@@ -393,6 +419,11 @@ impl SessionHandle {
             .memstore
             .enforce_session_quota(self.id, &shared.catalog);
         let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
+        // The statement's own snapshot pin is released by now (the engine
+        // holds it only for the statement's lifetime), so a DROP TABLE this
+        // query performed — or one whose last pinning cursor has since
+        // closed — can be reclaimed here.
+        shared.memstore.reclaim_dropped(&shared.catalog);
         drop(permit);
 
         let metrics = QueryMetrics {
@@ -477,6 +508,7 @@ impl SessionHandle {
                 shared.release_prefetch(prefetch);
                 shared.memstore.unpin(&tables);
                 let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
+                shared.memstore.reclaim_dropped(&shared.catalog);
                 drop(permit);
                 shared.metrics.record(QueryMetrics {
                     session_id: self.id,
@@ -716,6 +748,10 @@ impl QueryCursor<'_> {
             .memstore
             .enforce_session_quota(self.session.id, &shared.catalog);
         let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
+        // Cancelling the stream released its catalog-snapshot pin: if this
+        // cursor was the last reference to a dropped table version, its
+        // memstore is reclaimed now.
+        shared.memstore.reclaim_dropped(&shared.catalog);
         self.permit.take();
         shared.metrics.record(QueryMetrics {
             session_id: self.session.id,

@@ -8,10 +8,11 @@
 //! so simulated node failures drop exactly the partitions that lived on the
 //! failed worker (recovered later through the base generator, i.e. lineage).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use shark_columnar::{ColumnarPartition, PartitionStats};
 use shark_common::{Result, Row, Schema, SharkError};
 
@@ -62,6 +63,12 @@ pub struct MemTable {
     /// Partitions rebuilt from the base generator by scans after an eviction
     /// or node failure (the lineage-recovery path).
     rebuilds: AtomicU64,
+    /// Set when the owning table version is dropped from (or replaced in)
+    /// the catalog. Pinned snapshots may still scan the resident partitions,
+    /// but rebuilding *missing* partitions into a retired memtable is
+    /// forbidden: the storage is awaiting deferred reclamation, and growing
+    /// it would leak bytes past the `deferred_drop_bytes` accounting.
+    retired: AtomicBool,
 }
 
 impl MemTable {
@@ -74,6 +81,7 @@ impl MemTable {
             ticks: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
             placements: (0..num_partitions).map(|p| p % num_nodes.max(1)).collect(),
             rebuilds: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
         }
     }
 
@@ -231,6 +239,19 @@ impl MemTable {
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds.load(Ordering::Relaxed)
     }
+
+    /// Mark this table version as dropped from the catalog. Scans running
+    /// over snapshots that still reference it read the resident partitions
+    /// as usual but never rebuild missing ones back into it (they read
+    /// through from the base generator instead).
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+
+    /// Whether this table version has been dropped and awaits reclamation.
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
 }
 
 /// Metadata for one registered table.
@@ -303,91 +324,58 @@ impl TableMeta {
     }
 }
 
-/// The metastore: a registry of tables by name.
-#[derive(Default)]
-pub struct Catalog {
-    tables: RwLock<std::collections::HashMap<String, Arc<TableMeta>>>,
+/// An immutable view of the catalog at one epoch.
+///
+/// Every DDL installs a new snapshot (copy-on-write table map, epoch + 1);
+/// every query pins one snapshot via [`Catalog::snapshot`] and resolves all
+/// of its tables against it, so a concurrent `DROP TABLE` or table
+/// replacement can never change what a running plan sees. A pinned snapshot
+/// also *defers* reclamation: a dropped table's memstore stays resident
+/// until the last snapshot referencing that table version is released.
+#[derive(Clone)]
+pub struct CatalogSnapshot {
+    epoch: u64,
+    tables: Arc<HashMap<String, Arc<TableMeta>>>,
 }
 
-impl Catalog {
-    /// Create an empty catalog.
-    pub fn new() -> Catalog {
-        Catalog::default()
-    }
-
-    /// Register a table, replacing any table of the same name.
-    pub fn register(&self, table: TableMeta) -> Arc<TableMeta> {
-        let arc = Arc::new(table);
-        self.tables.write().insert(arc.name.clone(), arc.clone());
-        arc
-    }
-
-    /// Register a table only if no table of that name exists yet, checking
-    /// and inserting under one write lock. This is the atomic path CTAS
-    /// needs on a shared catalog: with a separate `contains` + `register`,
-    /// two concurrent `CREATE TABLE t AS …` both pass the check and the
-    /// loser silently clobbers the winner's table.
-    pub fn register_if_absent(&self, table: TableMeta) -> Result<Arc<TableMeta>> {
-        let mut tables = self.tables.write();
-        match tables.entry(table.name.clone()) {
-            std::collections::hash_map::Entry::Occupied(_) => Err(SharkError::Catalog(format!(
-                "table '{}' already exists",
-                table.name
-            ))),
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                let arc = Arc::new(table);
-                slot.insert(arc.clone());
-                Ok(arc)
-            }
+impl CatalogSnapshot {
+    fn empty() -> CatalogSnapshot {
+        CatalogSnapshot {
+            epoch: 0,
+            tables: Arc::new(HashMap::new()),
         }
     }
 
-    /// Look up a table by name.
+    /// The epoch this snapshot was taken at (bumped by every DDL).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Look up a table by name in this snapshot.
     pub fn get(&self, name: &str) -> Result<Arc<TableMeta>> {
         self.tables
-            .read()
             .get(&name.to_lowercase())
             .cloned()
             .ok_or_else(|| SharkError::Catalog(format!("table '{name}' not found")))
     }
 
-    /// Whether a table exists.
+    /// Whether a table exists in this snapshot.
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.read().contains_key(&name.to_lowercase())
+        self.tables.contains_key(&name.to_lowercase())
     }
 
-    /// Drop a table.
-    pub fn drop_table(&self, name: &str) -> Result<()> {
-        self.tables
-            .write()
-            .remove(&name.to_lowercase())
-            .map(|_| ())
-            .ok_or_else(|| SharkError::Catalog(format!("table '{name}' not found")))
-    }
-
-    /// Names of all registered tables, sorted.
+    /// Names of all tables in this snapshot, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
         names.sort();
         names
     }
 
-    /// Drop the cached partitions of every table that lived on `node`
-    /// (called when a simulated worker dies). Returns partitions lost.
-    pub fn drop_node(&self, node: usize) -> usize {
-        self.tables
-            .read()
-            .values()
-            .filter_map(|t| t.cached.as_ref().map(|m| m.drop_node(node)))
-            .sum()
-    }
-
-    /// Every registered table that has a memstore attached, sorted by name
-    /// (the tables a memory manager can account for and evict).
+    /// Every table in this snapshot that has a memstore attached, sorted by
+    /// name.
     pub fn cached_tables(&self) -> Vec<Arc<TableMeta>> {
         let mut tables: Vec<Arc<TableMeta>> = self
             .tables
-            .read()
             .values()
             .filter(|t| t.is_cached())
             .cloned()
@@ -396,13 +384,365 @@ impl Catalog {
         tables
     }
 
-    /// Total memstore footprint across all cached tables.
+    /// Total memstore footprint across this snapshot's cached tables.
     pub fn memstore_bytes(&self) -> u64 {
         self.tables
-            .read()
             .values()
             .filter_map(|t| t.cached.as_ref().map(|m| m.memory_bytes()))
             .sum()
+    }
+
+    /// Whether this snapshot references exactly this *version* of a table
+    /// (same `Arc`, not merely the same name — a drop-then-recreate under
+    /// the same name is a different version).
+    fn references(&self, table: &Arc<TableMeta>) -> bool {
+        self.tables
+            .get(&table.name)
+            .map(|t| Arc::ptr_eq(t, table))
+            .unwrap_or(false)
+    }
+}
+
+/// A dropped (or replaced) cached table version kept alive until the last
+/// snapshot referencing it is released.
+struct DeferredDrop {
+    table: Arc<TableMeta>,
+}
+
+/// Record of one dropped table version whose storage has been reclaimed
+/// (the last snapshot referencing it was released). Drained by the serving
+/// layer's accounting via [`Catalog::drain_reclaimed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReclaimedDrop {
+    /// Table name (a recreated table of the same name is a different
+    /// version and unaffected).
+    pub name: String,
+    /// Partition indices that were still resident when reclaimed.
+    pub partitions: Vec<usize>,
+    /// Bytes reclaimed.
+    pub bytes: u64,
+    /// Lineage rebuilds the version performed while it was live (folded
+    /// into the server-wide counter so it stays monotonic across drops).
+    pub rebuilds: u64,
+}
+
+/// Upper bound on undrained [`ReclaimedDrop`] records: standalone users
+/// never drain the log, and the serving layer drains it at every query
+/// boundary, so anything beyond this is a leak, not accounting.
+const RECLAIMED_LOG_CAP: usize = 4096;
+
+/// The metastore: a registry of tables by name, rebuilt around immutable,
+/// epoch-versioned snapshots.
+///
+/// Reads (`get`, `contains`, `cached_tables`, `drop_node`, …) load the
+/// current snapshot and iterate it without holding any lock, so a DDL burst
+/// can never stall them; DDL (`register`, `register_if_absent`,
+/// `drop_table`) installs a new snapshot under a short write lock. Queries
+/// that need a *stable* view across their whole lifetime pin one with
+/// [`Catalog::snapshot`]. Dropping a cached table is deferred reclamation:
+/// the version leaves the current snapshot immediately (new queries cannot
+/// see it) but its memstore stays resident — and its memtable is retired,
+/// forbidding partition rebuilds into it — until every pinned snapshot
+/// referencing it is released. Reclamation happens opportunistically at
+/// every DDL and snapshot take (so standalone sessions free dropped
+/// storage without any serving layer), is appended to a log of
+/// [`ReclaimedDrop`] records, and can be forced with
+/// [`Catalog::reclaim_unreferenced`]; shark-server's `MemstoreManager`
+/// drains the log for its byte/eviction accounting.
+pub struct Catalog {
+    current: RwLock<Arc<CatalogSnapshot>>,
+    /// Weak handles to every snapshot pinned via [`Catalog::snapshot`].
+    live: Mutex<Vec<Weak<CatalogSnapshot>>>,
+    /// Dropped cached table versions awaiting their last snapshot release.
+    deferred: Mutex<Vec<DeferredDrop>>,
+    /// Reclamations performed but not yet drained by the serving layer.
+    reclaimed: Mutex<Vec<ReclaimedDrop>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Catalog {
+        Catalog {
+            current: RwLock::new(Arc::new(CatalogSnapshot::empty())),
+            live: Mutex::new(Vec::new()),
+            deferred: Mutex::new(Vec::new()),
+            reclaimed: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// The current snapshot, *unpinned*: cheap to take, does not defer
+    /// reclamation. Used by the point-read delegates below.
+    fn read(&self) -> Arc<CatalogSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Pin the current snapshot. As long as the returned `Arc` is alive, a
+    /// dropped table it references keeps its memstore resident (deferred
+    /// reclamation) — this is what gives blocking queries, streaming
+    /// cursors and CTAS sources a transactionally stable view of the
+    /// catalog for their whole lifetime.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        // Opportunistic reclamation: the previous pin of a now-finished
+        // query may have been the last reference to a dropped version.
+        self.reclaim_unreferenced();
+        // Hold the live-list lock *across* reading `current`: a concurrent
+        // drop + reclaim between reading the map and registering the pin
+        // could otherwise reclaim a version this snapshot references.
+        let mut live = self.live.lock();
+        let pin = Arc::new((**self.current.read()).clone());
+        live.retain(|w| w.strong_count() > 0);
+        live.push(Arc::downgrade(&pin));
+        pin
+    }
+
+    /// The current catalog epoch (bumped by every DDL).
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Snapshots currently pinned by queries, cursors or explicit
+    /// [`Catalog::snapshot`] callers.
+    pub fn live_snapshots(&self) -> usize {
+        let mut live = self.live.lock();
+        live.retain(|w| w.strong_count() > 0);
+        live.len()
+    }
+
+    /// Install a new snapshot produced by applying `mutate` to the current
+    /// table map, returning whatever the mutation yields. An `Err` from the
+    /// mutation leaves the current snapshot (and epoch) untouched.
+    fn install<R>(
+        &self,
+        mutate: impl FnOnce(&mut HashMap<String, Arc<TableMeta>>) -> Result<R>,
+    ) -> Result<R> {
+        let mut current = self.current.write();
+        let mut tables = (*current.tables).clone();
+        let displaced = mutate(&mut tables)?;
+        *current = Arc::new(CatalogSnapshot {
+            epoch: current.epoch + 1,
+            tables: Arc::new(tables),
+        });
+        Ok(displaced)
+    }
+
+    /// Queue a table version removed from the current snapshot for deferred
+    /// reclamation, then reclaim whatever is already unreferenced (a drop
+    /// with no pinned snapshot frees its storage immediately). Only cached
+    /// tables carry reclaimable storage; either way, pinned snapshots keep
+    /// the `Arc<TableMeta>` itself alive.
+    fn defer_drop(&self, table: Arc<TableMeta>) {
+        if let Some(mem) = table.cached.as_ref() {
+            mem.retire();
+            self.deferred.lock().push(DeferredDrop { table });
+        }
+        self.reclaim_unreferenced();
+    }
+
+    /// Register a table, replacing any table of the same name (the old
+    /// version, if cached, becomes a deferred drop).
+    pub fn register(&self, table: TableMeta) -> Arc<TableMeta> {
+        let arc = Arc::new(table);
+        let registered = arc.clone();
+        let replaced = self
+            .install(|tables| Ok(tables.insert(arc.name.clone(), arc)))
+            .expect("plain registration is infallible");
+        if let Some(old) = replaced {
+            self.defer_drop(old);
+        }
+        registered
+    }
+
+    /// Register a table only if no table of that name exists yet, checking
+    /// and installing under one write lock. This is the atomic path CTAS
+    /// needs on a shared catalog: with a separate `contains` + `register`,
+    /// two concurrent `CREATE TABLE t AS …` both pass the check and the
+    /// loser silently clobbers the winner's table.
+    pub fn register_if_absent(&self, table: TableMeta) -> Result<Arc<TableMeta>> {
+        self.register_arc_if_absent(Arc::new(table))
+    }
+
+    /// [`Catalog::register_if_absent`] for a pre-built `Arc<TableMeta>` —
+    /// this is what lets CTAS load a cached table's memstore *before*
+    /// publishing it, so no concurrent query can ever observe a
+    /// registered-but-still-empty cached table (and fault its partitions
+    /// in from lineage mid-registration).
+    pub fn register_arc_if_absent(&self, arc: Arc<TableMeta>) -> Result<Arc<TableMeta>> {
+        let registered = arc.clone();
+        self.install(|tables| {
+            if tables.contains_key(&arc.name) {
+                return Err(SharkError::Catalog(format!(
+                    "table '{}' already exists",
+                    arc.name
+                )));
+            }
+            tables.insert(arc.name.clone(), arc);
+            Ok(())
+        })?;
+        Ok(registered)
+    }
+
+    /// Look up a table by name (in the current snapshot).
+    pub fn get(&self, name: &str) -> Result<Arc<TableMeta>> {
+        self.read().get(name)
+    }
+
+    /// Whether a table exists (in the current snapshot).
+    pub fn contains(&self, name: &str) -> bool {
+        self.read().contains(name)
+    }
+
+    /// Drop a table. New snapshots no longer contain it; if it is cached,
+    /// its memstore stays resident until the last already-pinned snapshot
+    /// referencing it is released (a drop with no pinned snapshots frees
+    /// it immediately — see [`Catalog::reclaim_unreferenced`]).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let lowered = name.to_lowercase();
+        let removed = self.install(|tables| {
+            tables
+                .remove(&lowered)
+                .ok_or_else(|| SharkError::Catalog(format!("table '{name}' not found")))
+        })?;
+        self.defer_drop(removed);
+        Ok(())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.read().table_names()
+    }
+
+    /// Drop the cached partitions of every current table that lived on
+    /// `node` (called when a simulated worker dies). Returns partitions
+    /// lost. Iterates a snapshot, not the live map: a long DDL burst can
+    /// neither stall nor deadlock failure simulation.
+    pub fn drop_node(&self, node: usize) -> usize {
+        self.read()
+            .cached_tables()
+            .iter()
+            .filter_map(|t| t.cached.as_ref().map(|m| m.drop_node(node)))
+            .sum()
+    }
+
+    /// Every registered table that has a memstore attached, sorted by name
+    /// (the tables a memory manager can account for and evict). Deferred
+    /// drops are excluded: their storage is pinned by old snapshots and
+    /// must not confuse eviction accounting.
+    pub fn cached_tables(&self) -> Vec<Arc<TableMeta>> {
+        self.read().cached_tables()
+    }
+
+    /// Total memstore footprint across all current cached tables (deferred
+    /// drops excluded — see [`Catalog::deferred_drop_bytes`]).
+    pub fn memstore_bytes(&self) -> u64 {
+        self.read().memstore_bytes()
+    }
+
+    /// Reclaim every dropped cached table version whose last referencing
+    /// snapshot has been released: evict its resident partitions and append
+    /// a [`ReclaimedDrop`] record to the log for the serving layer's
+    /// accounting ([`Catalog::drain_reclaimed`]). Runs opportunistically at
+    /// every DDL and [`Catalog::snapshot`], so standalone sessions free
+    /// dropped storage without ever calling this. Returns how many versions
+    /// were reclaimed by this call.
+    pub fn reclaim_unreferenced(&self) -> usize {
+        if self.deferred.lock().is_empty() {
+            return 0;
+        }
+        let live: Vec<Arc<CatalogSnapshot>> = {
+            let mut live = self.live.lock();
+            live.retain(|w| w.strong_count() > 0);
+            live.iter().filter_map(Weak::upgrade).collect()
+        };
+        let mut freed = Vec::new();
+        self.deferred.lock().retain(|d| {
+            // New snapshots are copies of the current map, which no longer
+            // contains this version — so once unreferenced, always
+            // unreferenced.
+            if live.iter().any(|s| s.references(&d.table)) {
+                true
+            } else {
+                freed.push(d.table.clone());
+                false
+            }
+        });
+        if freed.is_empty() {
+            return 0;
+        }
+        let mut records = Vec::with_capacity(freed.len());
+        for table in &freed {
+            let Some(mem) = table.cached.as_ref() else {
+                continue;
+            };
+            let partitions: Vec<usize> = (0..mem.num_partitions())
+                .filter(|&p| mem.is_loaded(p))
+                .collect();
+            let rebuilds = mem.rebuilds();
+            let (_count, bytes) = mem.evict_all();
+            records.push(ReclaimedDrop {
+                name: table.name.clone(),
+                partitions,
+                bytes,
+                rebuilds,
+            });
+        }
+        let reclaimed = records.len();
+        let mut log = self.reclaimed.lock();
+        log.extend(records);
+        // Standalone sessions never drain the log; keep it bounded.
+        if log.len() > RECLAIMED_LOG_CAP {
+            let excess = log.len() - RECLAIMED_LOG_CAP;
+            log.drain(..excess);
+        }
+        reclaimed
+    }
+
+    /// Drain the log of reclaimed drops (the serving layer turns these into
+    /// eviction events and byte/rebuild accounting).
+    pub fn drain_reclaimed(&self) -> Vec<ReclaimedDrop> {
+        std::mem::take(&mut *self.reclaimed.lock())
+    }
+
+    /// Resident columnar bytes of dropped-but-still-referenced table
+    /// versions — memory that cannot be reclaimed until the pinned
+    /// snapshots referencing them are released.
+    pub fn deferred_drop_bytes(&self) -> u64 {
+        self.deferred
+            .lock()
+            .iter()
+            .filter_map(|d| d.table.cached.as_ref().map(|m| m.memory_bytes()))
+            .sum()
+    }
+
+    /// Lineage rebuilds performed by versions currently awaiting deferred
+    /// reclamation. Retired memtables never record new rebuilds, so this is
+    /// the frozen in-flight share of the server-wide rebuild counter
+    /// (deferred here → folded into the retired total at reclaim).
+    pub fn deferred_drop_rebuilds(&self) -> u64 {
+        self.deferred
+            .lock()
+            .iter()
+            .filter_map(|d| d.table.cached.as_ref().map(|m| m.rebuilds()))
+            .sum()
+    }
+
+    /// Names of table versions awaiting deferred reclamation, sorted
+    /// (duplicates possible when the same name was dropped and recreated
+    /// repeatedly).
+    pub fn deferred_dropped(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .deferred
+            .lock()
+            .iter()
+            .map(|d| d.table.name.clone())
+            .collect();
+        names.sort();
+        names
     }
 }
 
@@ -571,6 +911,140 @@ mod tests {
         let cached = catalog.cached_tables();
         assert_eq!(cached.len(), 1);
         assert_eq!(cached[0].name, "users");
+    }
+
+    fn load_table(t: &TableMeta) {
+        let mem = t.cached.as_ref().unwrap();
+        for p in 0..t.num_partitions {
+            let rows = (t.base)(p);
+            mem.put(p, Arc::new(ColumnarPartition::from_rows(&t.schema, &rows)));
+        }
+    }
+
+    #[test]
+    fn snapshot_pins_a_stable_view_across_ddl() {
+        let catalog = Catalog::new();
+        catalog.register(demo_table(false));
+        assert_eq!(catalog.epoch(), 1);
+        let snap = catalog.snapshot();
+        assert_eq!(catalog.live_snapshots(), 1);
+        assert!(snap.contains("users"));
+        let pinned_version = snap.get("users").unwrap();
+
+        // Drop, then recreate under the same name: the snapshot still sees
+        // the old version, the catalog serves the new one.
+        catalog.drop_table("users").unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]);
+        let new_version = catalog.register(TableMeta::new("users", schema, 1, |_| vec![]));
+        assert_eq!(catalog.epoch(), 3);
+        assert!(snap.contains("users"));
+        assert!(Arc::ptr_eq(&snap.get("users").unwrap(), &pinned_version));
+        assert!(!Arc::ptr_eq(
+            &catalog.get("users").unwrap(),
+            &pinned_version
+        ));
+        assert!(Arc::ptr_eq(&catalog.get("users").unwrap(), &new_version));
+
+        drop(snap);
+        assert_eq!(catalog.live_snapshots(), 0);
+    }
+
+    #[test]
+    fn dropped_cached_table_is_reclaimed_after_last_snapshot_release() {
+        let catalog = Catalog::new();
+        let t = catalog.register(demo_table(true));
+        load_table(&t);
+        let mem = t.cached.clone().unwrap();
+        let resident = mem.memory_bytes();
+        assert!(resident > 0);
+        drop(t);
+
+        let pin_a = catalog.snapshot();
+        let pin_b = catalog.snapshot();
+        catalog.drop_table("users").unwrap();
+        // The drop is deferred: bytes stay resident, the memtable is
+        // retired, nothing is reclaimable while either snapshot lives.
+        assert_eq!(catalog.deferred_drop_bytes(), resident);
+        assert_eq!(catalog.deferred_dropped(), vec!["users".to_string()]);
+        assert!(mem.is_retired());
+        assert_eq!(catalog.reclaim_unreferenced(), 0);
+        assert_eq!(catalog.deferred_drop_bytes(), resident);
+
+        drop(pin_a);
+        assert_eq!(catalog.reclaim_unreferenced(), 0, "pin_b still holds it");
+        drop(pin_b);
+        assert_eq!(catalog.reclaim_unreferenced(), 1);
+        assert_eq!(mem.memory_bytes(), 0, "partitions evicted at reclaim");
+        let records = catalog.drain_reclaimed();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "users");
+        assert_eq!(records[0].bytes, resident);
+        assert_eq!(records[0].partitions, vec![0, 1, 2, 3]);
+        assert_eq!(records[0].rebuilds, 0);
+        assert_eq!(catalog.deferred_drop_bytes(), 0);
+        assert!(catalog.deferred_dropped().is_empty());
+        assert!(catalog.drain_reclaimed().is_empty());
+    }
+
+    #[test]
+    fn drop_with_no_pinned_snapshot_is_reclaimed_immediately() {
+        let catalog = Catalog::new();
+        let t = catalog.register(demo_table(true));
+        load_table(&t);
+        let mem = t.cached.clone().unwrap();
+        drop(t);
+        // Unpinned point reads (get/contains) must not defer reclamation.
+        assert!(catalog.contains("users"));
+        catalog.drop_table("users").unwrap();
+        // drop_table itself reclaimed the version: standalone sessions
+        // (no serving layer draining the log) free storage on the spot.
+        assert_eq!(mem.memory_bytes(), 0);
+        assert_eq!(catalog.deferred_drop_bytes(), 0);
+        assert_eq!(catalog.drain_reclaimed().len(), 1);
+        assert_eq!(catalog.reclaim_unreferenced(), 0);
+    }
+
+    #[test]
+    fn replacement_defers_the_old_cached_version() {
+        let catalog = Catalog::new();
+        let old = catalog.register(demo_table(true));
+        load_table(&old);
+        let old_bytes = old.cached.as_ref().unwrap().memory_bytes();
+        let snap = catalog.snapshot();
+        // Re-register under the same name: the old version is displaced
+        // but `snap` still references it.
+        catalog.register(demo_table(true));
+        assert!(old.cached.as_ref().unwrap().is_retired());
+        assert_eq!(catalog.deferred_drop_bytes(), old_bytes);
+        // The new version is live and not retired.
+        assert!(!catalog
+            .get("users")
+            .unwrap()
+            .cached
+            .as_ref()
+            .unwrap()
+            .is_retired());
+        // A plain strong Arc is not a snapshot pin: only `snap` defers.
+        drop(snap);
+        assert_eq!(catalog.reclaim_unreferenced(), 1);
+        assert_eq!(old.cached.as_ref().unwrap().memory_bytes(), 0);
+    }
+
+    #[test]
+    fn new_snapshots_never_revive_a_deferred_version() {
+        let catalog = Catalog::new();
+        let t = catalog.register(demo_table(true));
+        load_table(&t);
+        drop(t);
+        let pin = catalog.snapshot();
+        catalog.drop_table("users").unwrap();
+        // A snapshot taken *after* the drop does not reference the dropped
+        // version, so it cannot keep blocking reclamation once `pin` goes.
+        let late = catalog.snapshot();
+        assert!(!late.contains("users"));
+        drop(pin);
+        assert_eq!(catalog.reclaim_unreferenced(), 1);
+        drop(late);
     }
 
     #[test]

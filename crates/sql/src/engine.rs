@@ -118,7 +118,13 @@ impl SqlSession {
     pub fn execute_statement(&self, statement: &Statement) -> Result<QueryResult> {
         match statement {
             Statement::Select(stmt) => {
-                let plan = plan_select(stmt, &self.catalog, &self.udfs)?;
+                // Pin one snapshot for the query's whole lifetime: every
+                // table resolves once against it, and a concurrent DROP
+                // TABLE can neither change what the running plan sees nor
+                // reclaim the dropped version's memstore before the query
+                // finishes (the pin is released when `snapshot` drops).
+                let snapshot = self.catalog.snapshot();
+                let plan = plan_select(stmt, &snapshot, &self.udfs)?;
                 exec::execute(&self.ctx, &plan, &self.exec)
             }
             Statement::DropTable { name } => {
@@ -149,18 +155,26 @@ impl SqlSession {
 
     /// Stream an already-parsed SELECT (the statement-level counterpart of
     /// [`SqlSession::sql_stream`], used by serving layers that parse once
-    /// for admission/pinning bookkeeping).
+    /// for admission/pinning bookkeeping). The returned cursor pins the
+    /// catalog snapshot its plan resolved against until it closes, so a
+    /// concurrent `DROP TABLE` + recreate can never change what it drains.
     pub fn sql_to_stream(&self, stmt: &crate::ast::SelectStmt) -> Result<QueryStream> {
-        let plan = plan_select(stmt, &self.catalog, &self.udfs)?;
-        exec::execute_stream(&self.ctx, &plan, &self.exec)
+        let snapshot = self.catalog.snapshot();
+        let plan = plan_select(stmt, &snapshot, &self.udfs)?;
+        Ok(exec::execute_stream(&self.ctx, &plan, &self.exec)?.with_snapshot(snapshot))
     }
 
     /// Execute a query and return its result as an RDD plus schema — the
-    /// `sql2rdd` API used to feed ML algorithms (§4.1, Listing 1).
+    /// `sql2rdd` API used to feed ML algorithms (§4.1, Listing 1). The
+    /// returned [`TableRdd`] pins the catalog snapshot it was planned
+    /// against, since ML pipelines may run it long after planning.
     pub fn sql_to_rdd(&self, text: &str) -> Result<TableRdd> {
         let stmt = parser::parse_select(text)?;
-        let plan = plan_select(&stmt, &self.catalog, &self.udfs)?;
-        exec::build_pipeline(&self.ctx, &plan, &self.exec)
+        let snapshot = self.catalog.snapshot();
+        let plan = plan_select(&stmt, &snapshot, &self.udfs)?;
+        let mut table = exec::build_pipeline(&self.ctx, &plan, &self.exec)?;
+        table.snapshot = Some(snapshot);
+        Ok(table)
     }
 
     /// Kill a simulated worker node: drops its RDD-cache and memstore
@@ -179,6 +193,10 @@ impl SqlSession {
         properties: &[(String, String)],
         query: &crate::ast::SelectStmt,
     ) -> Result<QueryResult> {
+        // Pin one snapshot for the whole CTAS: the source query resolves
+        // every table against it once, so a concurrent drop/replace of a
+        // source mid-CTAS cannot tear the new table's contents.
+        let snapshot = self.catalog.snapshot();
         // Fail fast before doing any work; the authoritative (atomic) check
         // is the `register_if_absent` below, which closes the window where
         // two concurrent CTAS statements both pass this one.
@@ -188,7 +206,7 @@ impl SqlSession {
             )));
         }
         let wall = std::time::Instant::now();
-        let plan = plan_select(query, &self.catalog, &self.udfs)?;
+        let plan = plan_select(query, &snapshot, &self.udfs)?;
         let schema = plan.output_schema.clone();
 
         // Stream the query and build the new table's partitions
@@ -234,17 +252,26 @@ impl SqlSession {
         {
             table = table.with_copartition(other);
         }
-        let registered = self.catalog.register_if_absent(table)?;
+        let built = Arc::new(table);
         let mut notes = stream_notes;
         let mut sim_seconds = sim_seconds_exec;
         if cache_requested {
-            let load = exec::load_table(&self.ctx, &registered)?;
+            // Load the memstore *before* publishing the table: once it is
+            // visible in a snapshot, no query may ever find a cached
+            // partition missing and fault it in from lineage — a freshly
+            // created table starts fully resident or not at all. The load
+            // is invisible to budget enforcement until registration, which
+            // matches the old behavior of pinning the registered-but-
+            // loading target: either way the bytes become evictable only
+            // once the CTAS completes.
+            let load = exec::load_table(&self.ctx, &built)?;
             sim_seconds += load.sim_seconds;
             notes.push(format!(
                 "loaded {} rows ({} columnar bytes) into the memstore",
                 load.rows, load.stored_bytes
             ));
         }
+        self.catalog.register_arc_if_absent(built)?;
         Ok(QueryResult {
             schema,
             rows: vec![],
@@ -683,6 +710,57 @@ mod tests {
         });
         assert!(s3.sql("SELECT twice(amount) FROM sales LIMIT 1").is_ok());
         assert!(s1.sql("SELECT twice(amount) FROM sales LIMIT 1").is_err());
+    }
+
+    #[test]
+    fn streaming_cursor_is_isolated_from_concurrent_ddl() {
+        let s1 = session();
+        s1.load_table("sales").unwrap();
+        let query = "SELECT day, store, amount FROM sales";
+        let expected = s1.sql(query).unwrap();
+        let mut stream = s1.sql_stream(query).unwrap();
+        let first = stream.next_batch().unwrap().unwrap();
+
+        // Another session over the same catalog drops and recreates the
+        // table mid-stream.
+        let s2 = SqlSession::with_catalog(
+            s1.context().clone(),
+            ExecConfig::shark(),
+            s1.catalog().clone(),
+        );
+        let old_version = s1.catalog().get("sales").unwrap();
+        s2.sql("DROP TABLE sales").unwrap();
+        let schema = Schema::from_pairs(&[("day", DataType::Int)]);
+        s2.register_table(TableMeta::new("sales", schema, 1, |_| vec![row![7i64]]));
+
+        // The dropped version stays resident (deferred) while the cursor
+        // pins its snapshot, and nothing rebuilds into it.
+        assert!(s1.catalog().deferred_drop_bytes() > 0);
+        assert_eq!(s1.catalog().reclaim_unreferenced(), 0);
+
+        // New queries see the one-row replacement; the cursor drains the
+        // pinned version byte-identically to the pre-DDL blocking result.
+        let replaced = s2.sql("SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(replaced.rows[0].get_int(0).unwrap(), 1);
+        let mut rows = first;
+        while let Some(batch) = stream.next_batch().unwrap() {
+            rows.extend(batch);
+        }
+        assert_eq!(rows, expected.rows);
+        assert_eq!(
+            old_version.cached.as_ref().unwrap().rebuilds(),
+            0,
+            "no partition of a dropped table may be rebuilt"
+        );
+
+        // Exhausting the cursor released its snapshot: the old version is
+        // now reclaimable, and reclamation evicts its partitions.
+        assert_eq!(s1.catalog().reclaim_unreferenced(), 1);
+        let records = s1.catalog().drain_reclaimed();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "sales");
+        assert_eq!(old_version.cached.as_ref().unwrap().memory_bytes(), 0);
+        assert_eq!(s1.catalog().deferred_drop_bytes(), 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use shark_common::{Result, Row, Schema, SharkError, Value};
 use shark_rdd::{Aggregator, PipelinedJob, Rdd, RddContext, StreamingJob, TaskMetrics};
 
 use crate::aggregate::{AggExpr, AggStates};
-use crate::catalog::TableMeta;
+use crate::catalog::{CatalogSnapshot, TableMeta};
 use crate::expr::BoundExpr;
 use crate::pde::{choose_join_strategy, coalesce_buckets, JoinStrategy};
 use crate::plan::{AggregateNode, OutputRef, QueryPlan, ScanNode};
@@ -165,6 +165,10 @@ pub struct TableRdd {
     /// scan's identity — what top-k pushdown needs to consult partition
     /// statistics.
     pub(crate) single_scan: Option<SingleScanInfo>,
+    /// The catalog snapshot the plan was resolved against, pinned so that
+    /// deferred reclamation of dropped tables waits for this pipeline
+    /// (`sql2rdd` results may be consumed long after planning).
+    pub(crate) snapshot: Option<Arc<CatalogSnapshot>>,
 }
 
 /// Identity of the lone memstore scan feeding a narrow result pipeline.
@@ -352,6 +356,11 @@ pub struct QueryStream {
     /// first batch because a serving layer may clamp the depth after
     /// construction).
     prefetch_noted: bool,
+    /// The catalog snapshot this cursor's plan was resolved against. Held
+    /// until the stream closes, so a table dropped mid-stream keeps its
+    /// memstore resident (deferred reclamation) and the cursor drains
+    /// byte-identical to a snapshot-time blocking query.
+    snapshot: Option<Arc<CatalogSnapshot>>,
     done: bool,
 }
 
@@ -418,6 +427,13 @@ impl QueryStream {
     /// The effective prefetch depth.
     pub fn prefetch(&self) -> usize {
         self.job.prefetch()
+    }
+
+    /// Attach the pinned catalog snapshot this stream's plan was resolved
+    /// against (set by `SqlSession`; released when the stream closes).
+    pub(crate) fn with_snapshot(mut self, snapshot: Arc<CatalogSnapshot>) -> QueryStream {
+        self.snapshot = Some(snapshot);
+        self
     }
 
     /// Produce the next batch of rows, or `None` when the stream is
@@ -642,6 +658,10 @@ impl QueryStream {
             ));
         }
         self.job.finish();
+        // Release the catalog snapshot pin: a table version dropped while
+        // this cursor was open becomes reclaimable once no other snapshot
+        // references it.
+        self.snapshot = None;
     }
 }
 
@@ -791,6 +811,7 @@ pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
             ..StreamProgress::default()
         },
         prefetch_noted: false,
+        snapshot: None,
         done: false,
     })
 }
@@ -876,6 +897,7 @@ pub fn build_pipeline(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
         schema: plan.output_schema.clone(),
         notes,
         single_scan,
+        snapshot: None,
     })
 }
 

@@ -25,7 +25,9 @@ pub mod plan;
 pub mod scan;
 
 pub use aggregate::{AggExpr, AggFunc, AggState, AggStates};
-pub use catalog::{Catalog, MemTable, PartitionResidency, TableMeta};
+pub use catalog::{
+    Catalog, CatalogSnapshot, MemTable, PartitionResidency, ReclaimedDrop, TableMeta,
+};
 pub use engine::SqlSession;
 pub use exec::{
     ExecConfig, ExecutionMode, LoadReport, QueryResult, QueryStream, StreamProgress, TableRdd,

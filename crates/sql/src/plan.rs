@@ -18,7 +18,7 @@ use shark_common::{DataType, Field, Result, Schema, SharkError, Value};
 
 use crate::aggregate::{AggExpr, AggFunc};
 use crate::ast::{Expr, SelectItem, SelectStmt};
-use crate::catalog::{Catalog, TableMeta};
+use crate::catalog::{CatalogSnapshot, TableMeta};
 use crate::expr::{BoundExpr, ColumnResolver, UdfRegistry};
 
 /// One table scan with pushed-down filters and a pruned column projection.
@@ -234,8 +234,15 @@ impl ColumnResolver for ScanLocalResolver<'_> {
 // The planner
 // ---------------------------------------------------------------------------
 
-/// Analyze a parsed SELECT against the catalog and produce a [`QueryPlan`].
-pub fn plan_select(stmt: &SelectStmt, catalog: &Catalog, udfs: &UdfRegistry) -> Result<QueryPlan> {
+/// Analyze a parsed SELECT against one pinned catalog snapshot and produce
+/// a [`QueryPlan`]. Every table the statement references resolves *once*,
+/// against the same immutable snapshot — concurrent DDL cannot change (or
+/// tear) what the resulting plan reads.
+pub fn plan_select(
+    stmt: &SelectStmt,
+    catalog: &CatalogSnapshot,
+    udfs: &UdfRegistry,
+) -> Result<QueryPlan> {
     let from = stmt.from.as_ref().ok_or_else(|| {
         SharkError::Plan("queries without a FROM clause are not supported".into())
     })?;
@@ -821,6 +828,7 @@ fn resolve_output_column(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::catalog::Catalog;
     use crate::parser::parse_select;
     use shark_common::row;
 
@@ -851,7 +859,12 @@ mod tests {
     }
 
     fn plan(sql: &str) -> QueryPlan {
-        plan_select(&parse_select(sql).unwrap(), &catalog(), &UdfRegistry::new()).unwrap()
+        plan_select(
+            &parse_select(sql).unwrap(),
+            &catalog().snapshot(),
+            &UdfRegistry::new(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -939,9 +952,9 @@ mod tests {
 
     #[test]
     fn planner_errors() {
-        let c = catalog();
+        let snap = catalog().snapshot();
         let udfs = UdfRegistry::new();
-        let bad = |sql: &str| plan_select(&parse_select(sql).unwrap(), &c, &udfs);
+        let bad = |sql: &str| plan_select(&parse_select(sql).unwrap(), &snap, &udfs);
         assert!(bad("SELECT x FROM missing_table").is_err());
         assert!(bad("SELECT nosuchcol FROM rankings").is_err());
         assert!(bad("SELECT pageURL, SUM(pageRank) FROM rankings").is_err()); // non-grouped column
@@ -956,6 +969,6 @@ mod tests {
         assert_eq!(p.distribute_by, Some(0));
         let c = catalog();
         let bad = parse_select("SELECT pageRank FROM rankings DISTRIBUTE BY pageURL").unwrap();
-        assert!(plan_select(&bad, &c, &UdfRegistry::new()).is_err());
+        assert!(plan_select(&bad, &c.snapshot(), &UdfRegistry::new()).is_err());
     }
 }

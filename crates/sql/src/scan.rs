@@ -100,14 +100,22 @@ impl RddImpl<Row> for MemTableScanRdd {
                 // or lost to a node failure. Either way, recompute exactly
                 // this partition from the base data: the lineage-recovery
                 // path of Figure 9, now also the partial-eviction reload
-                // path. Resident partitions are never touched.
+                // path. Resident partitions are never touched. A *retired*
+                // memtable — its table version was dropped from the catalog
+                // and awaits deferred reclamation — is read through without
+                // repopulating it: rebuilding partitions into storage that
+                // is about to be reclaimed would leak bytes past the
+                // deferred-drop accounting and count rebuilds against a
+                // table that no longer exists.
                 let rows = (self.table.base)(original);
                 let bytes = estimate_slice(&rows) as u64;
                 metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
                 metrics.add_ops(rows.len() as f64 * 4.0); // rebuild columnar form
                 let rebuilt = Arc::new(ColumnarPartition::from_rows(&self.table.schema, &rows));
-                self.mem.put(original, rebuilt.clone());
-                self.mem.record_rebuild();
+                if !self.mem.is_retired() {
+                    self.mem.put(original, rebuilt.clone());
+                    self.mem.record_rebuild();
+                }
                 rebuilt
             }
         };
@@ -341,6 +349,34 @@ mod tests {
         assert_eq!(rows.len(), 6 * 50);
         // Recovery reloaded the lost partitions into the memstore.
         assert_eq!(mem.loaded_partitions(), 6);
+    }
+
+    #[test]
+    fn retired_memtable_is_read_through_without_rebuilding() {
+        let ctx = RddContext::local();
+        let meta = Arc::new(table());
+        load(&meta);
+        let mem = meta.cached.as_ref().unwrap();
+        // Evict one partition, then retire the table (as a DROP TABLE
+        // would): a scan over a still-pinned snapshot must produce every
+        // row, but never rebuild the missing partition into the retired
+        // storage or count a rebuild against it.
+        assert!(mem.evict_partition(2) > 0);
+        let resident_bytes = mem.memory_bytes();
+        mem.retire();
+        let rdd = MemTableScanRdd::create(
+            &ctx,
+            meta.clone(),
+            (0..meta.num_partitions).collect(),
+            vec![0, 1, 2],
+            vec![],
+        )
+        .unwrap();
+        let rows = rdd.collect().unwrap();
+        assert_eq!(rows.len(), 6 * 50);
+        assert!(!mem.is_loaded(2), "read-through must not repopulate");
+        assert_eq!(mem.rebuilds(), 0);
+        assert_eq!(mem.memory_bytes(), resident_bytes);
     }
 
     #[test]
