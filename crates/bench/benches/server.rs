@@ -37,6 +37,18 @@ fn bench_server(c: &mut Criterion) {
         b.iter(|| session.sql(QUERY).unwrap())
     });
 
+    // Overhead guard: the identical cached query with the query tracer
+    // (flight recorder) switched on. The gap to `one_session_cached` is
+    // the cost of recording the full span tree; `one_session_cached`
+    // itself is diffed against the main baseline by the bench-regression
+    // gate, which keeps the tracing-*disabled* path at its pre-tracing
+    // cost.
+    shark_obs::tracer().set_enabled(true);
+    g.bench_function("one_session_cached_traced", |b| {
+        b.iter(|| session.sql(QUERY).unwrap())
+    });
+    shark_obs::tracer().set_enabled(false);
+
     let shared = server(u64::MAX);
     g.bench_function("eight_sessions_concurrent", |b| {
         b.iter(|| {
@@ -161,6 +173,11 @@ fn bench_server(c: &mut Criterion) {
     });
 
     g.finish();
+
+    // Publish whatever the run pushed into the unified metrics registry
+    // (query counters, admission-wait/exec histograms, scan cache hits) as
+    // a Prometheus text snapshot, when SHARK_METRICS_SNAPSHOT names a file.
+    shark_bench::dump_metrics_snapshot();
 }
 
 criterion_group!(benches, bench_server);

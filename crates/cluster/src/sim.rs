@@ -62,6 +62,53 @@ pub struct StageSimResult {
     pub tasks_rerun: usize,
 }
 
+/// Simulated-stage-duration histogram buckets (simulated seconds).
+const SIM_STAGE_BUCKETS: &[f64] = &[0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0];
+
+/// Cached handles into the unified metrics registry; registration happens
+/// once, every stage thereafter is a handful of atomic ops.
+struct SimMetrics {
+    stages: std::sync::Arc<shark_obs::Counter>,
+    tasks: std::sync::Arc<shark_obs::Counter>,
+    speculative: std::sync::Arc<shark_obs::Counter>,
+    reruns: std::sync::Arc<shark_obs::Counter>,
+    stage_seconds: std::sync::Arc<shark_obs::Histogram>,
+}
+
+fn sim_metrics() -> &'static SimMetrics {
+    static METRICS: std::sync::OnceLock<SimMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = shark_obs::metrics();
+        SimMetrics {
+            stages: reg.counter("shark_sim_stages_total", "Simulated stages executed"),
+            tasks: reg.counter("shark_sim_tasks_total", "Simulated tasks placed"),
+            speculative: reg.counter(
+                "shark_sim_speculative_copies_total",
+                "Speculative backup task copies launched in simulation",
+            ),
+            reruns: reg.counter(
+                "shark_sim_task_reruns_total",
+                "Simulated task executions lost to node failures and re-run",
+            ),
+            stage_seconds: reg.histogram(
+                "shark_sim_stage_seconds",
+                "Simulated wall-clock duration per stage (simulated seconds)",
+                SIM_STAGE_BUCKETS,
+            ),
+        }
+    })
+}
+
+/// Publish one simulated stage's timing into the unified metrics registry.
+fn record_stage_metrics(result: &StageSimResult, tasks: usize) {
+    let m = sim_metrics();
+    m.stages.inc();
+    m.tasks.add(tasks as u64);
+    m.speculative.add(result.speculative_copies as u64);
+    m.reruns.add(result.tasks_rerun as u64);
+    m.stage_seconds.observe(result.duration);
+}
+
 /// Ordered slot entry for the free-slot heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Slot {
@@ -284,13 +331,15 @@ impl ClusterSim {
         let stage_end = finish_times.iter().fold(stage_start, |acc, &t| acc.max(t));
         self.clock = stage_end;
 
-        StageSimResult {
+        let result = StageSimResult {
             duration: stage_end - stage_start,
             task_finish_times: finish_times,
             placements,
             speculative_copies: speculative,
             tasks_rerun: reruns,
-        }
+        };
+        record_stage_metrics(&result, tasks.len());
+        result
     }
 
     /// Convenience: simulate a stage of `n` identical tasks of `duration`.

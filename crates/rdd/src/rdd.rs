@@ -181,6 +181,13 @@ impl<T: Data> Rdd<T> {
     }
 
     /// Compute one partition, consulting and populating the cache.
+    ///
+    /// When tracing is active and a trace context is installed on the
+    /// current thread, each operator's computation records a span named
+    /// after the operator (`filter`, `shuffle_read`, `memstore_scan(t)`,
+    /// …) tagged with the partition and output rows — the raw material
+    /// `EXPLAIN ANALYZE` aggregates. Disabled-mode cost is one atomic
+    /// load.
     pub fn compute_partition(
         &self,
         ctx: &RddContext,
@@ -190,9 +197,33 @@ impl<T: Data> Rdd<T> {
         if let Some(cached) = ctx.cache().get::<T>(self.id(), partition) {
             let bytes = estimate_slice(cached.as_slice()) as u64;
             metrics.record_input(cached.len() as u64, bytes, InputSource::CachedRows);
+            if shark_obs::active() {
+                shark_obs::event(
+                    "rdd-cache-hit",
+                    &[
+                        ("operator", &self.inner.name()),
+                        ("partition", &partition.to_string()),
+                        ("rows", &cached.len().to_string()),
+                    ],
+                );
+            }
             return Ok((*cached).clone());
         }
+        let span = if shark_obs::active() {
+            shark_obs::span(&self.inner.name())
+        } else {
+            None
+        };
+        if let Some(span) = &span {
+            span.set_partition(partition);
+        }
+        let bytes_before = metrics.bytes_in;
         let data = self.inner.compute(ctx, partition, metrics)?;
+        if let Some(span) = &span {
+            span.set_rows(data.len() as u64);
+            span.set_bytes(metrics.bytes_in.saturating_sub(bytes_before));
+        }
+        drop(span);
         if self.is_cached() {
             let bytes = estimate_slice(&data) as u64;
             let alive = {

@@ -24,6 +24,31 @@ use crate::pair::Aggregator;
 use crate::rdd::{Data, Lineage, Rdd};
 use crate::shuffle::MapOutputStats;
 
+/// Cached handles into the unified metrics registry for per-stage input
+/// totals (the aggregate of every task's [`TaskMetrics`]), so finishing a
+/// stage costs two atomic adds instead of registry lookups.
+struct StageObs {
+    rows_in: Arc<shark_obs::Counter>,
+    bytes_in: Arc<shark_obs::Counter>,
+}
+
+fn stage_obs() -> &'static StageObs {
+    static OBS: std::sync::OnceLock<StageObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = shark_obs::metrics();
+        StageObs {
+            rows_in: reg.counter(
+                "shark_stage_rows_in_total",
+                "Rows read by executed stage tasks (map + result stages)",
+            ),
+            bytes_in: reg.counter(
+                "shark_stage_bytes_in_total",
+                "Bytes read by executed stage tasks (map + result stages)",
+            ),
+        }
+    })
+}
+
 /// The result of executing one task in-process.
 pub(crate) struct TaskOutcome<U> {
     pub value: U,
@@ -49,16 +74,22 @@ where
         .map(|c| c.get())
         .unwrap_or(4)
         .min(n);
+    // Task threads adopt the caller's trace context so per-operator spans
+    // computed off-thread still land in the query's span tree.
+    let trace = shark_obs::current();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let i = counter.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    let _trace = trace.as_ref().map(|t| t.attach());
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        let result = f(i);
+                        slots.lock()[i] = Some(result);
                     }
-                    let result = f(i);
-                    slots.lock()[i] = Some(result);
                 })
             })
             .collect();
@@ -106,6 +137,18 @@ fn finish_stage<U>(
         rows_in: outcomes.iter().map(|o| o.rows_in).sum(),
         bytes_in: outcomes.iter().map(|o| o.bytes_in).sum(),
     };
+    stage_obs().rows_in.add(report.rows_in);
+    stage_obs().bytes_in.add(report.bytes_in);
+    if shark_obs::active() {
+        shark_obs::event(
+            "stage-sim",
+            &[
+                ("stage", name),
+                ("tasks", &report.num_tasks.to_string()),
+                ("sim_seconds", &format!("{:.6}", report.sim_duration)),
+            ],
+        );
+    }
     (report, outcomes.into_iter().map(|o| o.value).collect())
 }
 
@@ -569,6 +612,9 @@ impl<T: Data, U: Send + EstimateSize + 'static> PipelinedJob<T, U> {
             .map(|c| c.get())
             .unwrap_or(4);
         let worker_count = self.prefetch.min(self.order.len()).min(parallelism).max(1);
+        // Prefetch workers adopt the consumer's trace context so spans from
+        // partitions computed ahead still join the query's span tree.
+        let trace = shark_obs::current();
         for _ in 0..worker_count {
             let shared = shared.clone();
             let ctx = self.job.ctx.clone();
@@ -576,37 +622,42 @@ impl<T: Data, U: Send + EstimateSize + 'static> PipelinedJob<T, U> {
             let order = self.order.clone();
             let sink = self.sink;
             let f = self.f.clone();
-            self.workers.push(std::thread::spawn(move || loop {
-                let pos = {
+            self.workers.push(std::thread::spawn(move || {
+                let _trace = trace.as_ref().map(|t| t.attach());
+                loop {
+                    let pos = {
+                        let mut state = shared.lock();
+                        loop {
+                            if state.cancelled || state.next_claim >= order.len() {
+                                return;
+                            }
+                            if state.next_claim < state.deliver_pos + shared.prefetch {
+                                break;
+                            }
+                            state = shared
+                                .changed
+                                .wait(state)
+                                .unwrap_or_else(|e| e.into_inner());
+                        }
+                        let pos = state.next_claim;
+                        state.next_claim += 1;
+                        pos
+                    };
+                    let partition = order[pos];
+                    let f = f.clone();
+                    let outcome =
+                        execute_partition_task(&ctx, &rdd, partition, sink, move |rows, m| {
+                            f(rows, m)
+                        });
                     let mut state = shared.lock();
-                    loop {
-                        if state.cancelled || state.next_claim >= order.len() {
-                            return;
-                        }
-                        if state.next_claim < state.deliver_pos + shared.prefetch {
-                            break;
-                        }
-                        state = shared
-                            .changed
-                            .wait(state)
-                            .unwrap_or_else(|e| e.into_inner());
+                    if outcome.is_err() {
+                        // Delivery is ordered, so this error will surface at or
+                        // before `pos`; work beyond it would be wasted.
+                        state.cancelled = true;
                     }
-                    let pos = state.next_claim;
-                    state.next_claim += 1;
-                    pos
-                };
-                let partition = order[pos];
-                let f = f.clone();
-                let outcome =
-                    execute_partition_task(&ctx, &rdd, partition, sink, move |rows, m| f(rows, m));
-                let mut state = shared.lock();
-                if outcome.is_err() {
-                    // Delivery is ordered, so this error will surface at or
-                    // before `pos`; work beyond it would be wasted.
-                    state.cancelled = true;
+                    state.ready.insert(pos, outcome);
+                    shared.changed.notify_all();
                 }
-                state.ready.insert(pos, outcome);
-                shared.changed.notify_all();
             }));
         }
         self.pool = Some(shared);
@@ -646,11 +697,24 @@ where
         let mut metrics = TaskMetrics::new();
         let data = parent.compute_partition(ctx, partition, &mut metrics)?;
         let input_rows = data.len() as u64;
+        let span = if shark_obs::active() {
+            shark_obs::span("shuffle-write")
+        } else {
+            None
+        };
+        if let Some(span) = &span {
+            span.set_partition(partition);
+        }
         let buckets = bucketize(data, num_buckets);
         let bucket_bytes: Vec<u64> = buckets.iter().map(|b| estimate_slice(b) as u64).collect();
         let bucket_rows: Vec<u64> = buckets.iter().map(|b| b.len() as u64).collect();
         let total_bytes: u64 = bucket_bytes.iter().sum();
         let total_rows: u64 = bucket_rows.iter().sum();
+        if let Some(span) = &span {
+            span.set_rows(total_rows);
+            span.set_bytes(total_bytes);
+        }
+        drop(span);
         // Hash-partitioning each record costs roughly one operation per row.
         metrics.add_ops(input_rows as f64);
         if sort_shuffle {

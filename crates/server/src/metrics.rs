@@ -1,8 +1,99 @@
 //! Per-query and per-session metrics, aggregated into a server-level report.
+//!
+//! Besides the in-process query log ([`MetricsRegistry`]), every recorded
+//! query is also published to the process-wide [`shark_obs::metrics()`]
+//! registry as Prometheus-style counters and histograms
+//! (`shark_queries_total`, `shark_query_exec_seconds`,
+//! `shark_admission_wait_seconds`, …), so one scrape endpoint covers the
+//! serving layer, the scan layer and the simulated cluster.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::sync::OnceLock;
 use std::time::Duration;
+
+use shark_obs::{Counter, Histogram, JsonWriter, LATENCY_BUCKETS};
+
+/// Cached handles into the unified [`shark_obs::metrics()`] registry, so
+/// recording a query costs a handful of atomic ops instead of a registry
+/// lookup per metric.
+struct ObsMetrics {
+    queries: Arc<Counter>,
+    failed: Arc<Counter>,
+    streamed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    rows_delivered: Arc<Counter>,
+    prefetch_hits: Arc<Counter>,
+    cache_hit_bytes: Arc<Counter>,
+    recomputed_tables: Arc<Counter>,
+    evictions: Arc<Counter>,
+    quota_evicted: Arc<Counter>,
+    exec_seconds: Arc<Histogram>,
+    admission_wait_seconds: Arc<Histogram>,
+    ttfr_seconds: Arc<Histogram>,
+}
+
+fn obs_metrics() -> &'static ObsMetrics {
+    static OBS: OnceLock<ObsMetrics> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = shark_obs::metrics();
+        ObsMetrics {
+            queries: reg.counter("shark_queries_total", "Queries run (including failed)"),
+            failed: reg.counter(
+                "shark_queries_failed_total",
+                "Queries that returned an error",
+            ),
+            streamed: reg.counter(
+                "shark_streamed_queries_total",
+                "Queries served through a streaming cursor",
+            ),
+            rejected: reg.counter(
+                "shark_rejected_total",
+                "Queries rejected by admission control",
+            ),
+            rows_delivered: reg.counter(
+                "shark_rows_delivered_total",
+                "Result rows delivered to clients",
+            ),
+            prefetch_hits: reg.counter(
+                "shark_prefetch_hits_total",
+                "Stream batch deliveries served by an already-finished prefetch worker",
+            ),
+            cache_hit_bytes: reg.counter(
+                "shark_cache_hit_bytes_total",
+                "Resident columnar bytes of referenced cached tables at admission",
+            ),
+            recomputed_tables: reg.counter(
+                "shark_lineage_recomputed_tables_total",
+                "Referenced tables recomputed from lineage after eviction",
+            ),
+            evictions: reg.counter(
+                "shark_evictions_triggered_total",
+                "Eviction events triggered by query-completion budget enforcement",
+            ),
+            quota_evicted: reg.counter(
+                "shark_quota_evicted_partitions_total",
+                "Partitions evicted because a session exceeded its memory quota",
+            ),
+            exec_seconds: reg.histogram(
+                "shark_query_exec_seconds",
+                "Wall-clock query execution time after admission",
+                LATENCY_BUCKETS,
+            ),
+            admission_wait_seconds: reg.histogram(
+                "shark_admission_wait_seconds",
+                "Time queries spent waiting in the admission queue",
+                LATENCY_BUCKETS,
+            ),
+            ttfr_seconds: reg.histogram(
+                "shark_time_to_first_row_seconds",
+                "Time from admission until the first result row was delivered",
+                LATENCY_BUCKETS,
+            ),
+        }
+    })
+}
 
 /// What one query cost, observed by the serving layer.
 #[derive(Debug, Clone)]
@@ -226,6 +317,71 @@ impl ServerReport {
         }
         out
     }
+
+    /// Machine-readable JSON rendering of the full report (durations in
+    /// seconds), suitable for CI smoke-test assertions.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("total_queries", self.total_queries);
+        w.field_u64("rejected_queries", self.rejected_queries);
+        w.field_u64("failed_queries", self.failed_queries);
+        w.field_u64(
+            "peak_concurrent_queries",
+            self.peak_concurrent_queries as u64,
+        );
+        w.field_u64("peak_queued_queries", self.peak_queued_queries as u64);
+        w.field_f64(
+            "total_queue_wait_seconds",
+            self.total_queue_wait.as_secs_f64(),
+        );
+        w.field_f64("max_queue_wait_seconds", self.max_queue_wait.as_secs_f64());
+        w.field_f64("total_exec_seconds", self.total_exec_time.as_secs_f64());
+        w.field_f64(
+            "total_time_to_first_row_seconds",
+            self.total_time_to_first_row.as_secs_f64(),
+        );
+        w.field_f64(
+            "streamed_time_to_first_row_seconds",
+            self.streamed_time_to_first_row.as_secs_f64(),
+        );
+        w.field_u64("streamed_queries", self.streamed_queries);
+        w.field_u64("streamed_rows", self.streamed_rows);
+        w.field_u64("streamed_partitions", self.streamed_partitions);
+        w.field_u64("prefetch_hits", self.prefetch_hits);
+        w.field_u64("cache_hit_bytes", self.cache_hit_bytes);
+        w.field_u64("evictions", self.evictions);
+        w.field_u64("evicted_partitions", self.evicted_partitions);
+        w.field_u64("partial_evictions", self.partial_evictions);
+        w.field_u64("evicted_bytes", self.evicted_bytes);
+        w.field_u64("lineage_recomputes", self.lineage_recomputes);
+        w.field_u64("quota_hits", self.quota_hits);
+        w.field_u64("quota_evicted_partitions", self.quota_evicted_partitions);
+        w.field_u64("partition_rebuilds", self.partition_rebuilds);
+        w.field_u64("catalog_epoch", self.catalog_epoch);
+        w.field_u64("live_snapshots", self.live_snapshots as u64);
+        w.field_u64("deferred_drop_bytes", self.deferred_drop_bytes);
+        w.field_u64("deferred_drops_reclaimed", self.deferred_drops_reclaimed);
+        w.field_u64("deferred_reclaimed_bytes", self.deferred_reclaimed_bytes);
+        w.field_u64("memstore_bytes", self.memstore_bytes);
+        w.field_u64("rdd_cache_bytes", self.rdd_cache_bytes);
+        w.field_u64("memory_budget_bytes", self.memory_budget_bytes);
+        w.field_u64("session_quota_bytes", self.session_quota_bytes);
+        w.begin_array_field("sessions");
+        for s in &self.sessions {
+            w.begin_object();
+            w.field_u64("session_id", s.session_id);
+            w.field_u64("queries", s.queries);
+            w.field_u64("rejected", s.rejected);
+            w.field_f64("total_queue_wait_seconds", s.total_queue_wait.as_secs_f64());
+            w.field_f64("total_exec_seconds", s.total_exec_time.as_secs_f64());
+            w.field_u64("cache_hit_bytes", s.cache_hit_bytes);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
 }
 
 /// Collects [`QueryMetrics`] and per-session rejection counts.
@@ -236,13 +392,34 @@ pub struct MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    /// Record one completed (or failed) query.
+    /// Record one completed (or failed) query — in the query log and in the
+    /// unified [`shark_obs::metrics()`] registry.
     pub fn record(&self, metrics: QueryMetrics) {
+        let obs = obs_metrics();
+        obs.queries.inc();
+        if metrics.failed {
+            obs.failed.inc();
+        }
+        if metrics.streamed {
+            obs.streamed.inc();
+        }
+        obs.rows_delivered.add(metrics.rows_streamed);
+        obs.prefetch_hits.add(metrics.prefetch_hits);
+        obs.cache_hit_bytes.add(metrics.cache_hit_bytes);
+        obs.recomputed_tables.add(metrics.recomputed_tables as u64);
+        obs.evictions.add(metrics.evictions_triggered as u64);
+        obs.quota_evicted.add(metrics.quota_evictions as u64);
+        obs.exec_seconds.observe(metrics.exec_time.as_secs_f64());
+        obs.admission_wait_seconds
+            .observe(metrics.queue_wait.as_secs_f64());
+        obs.ttfr_seconds
+            .observe(metrics.time_to_first_row.as_secs_f64());
         self.queries.lock().push(metrics);
     }
 
     /// Record an admission rejection for a session.
     pub fn record_rejection(&self, session_id: u64) {
+        obs_metrics().rejected.inc();
         *self.rejected.lock().entry(session_id).or_insert(0) += 1;
     }
 
@@ -350,5 +527,17 @@ mod tests {
         assert_eq!(report.sessions[2].queries, 0);
         assert_eq!(registry.query_log().len(), 3);
         assert!(!report.render().is_empty());
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"total_queries\":3"));
+        assert!(json.contains("\"streamed_rows\":12"));
+        assert!(json.contains("\"sessions\":[{"));
+        // Publication into the unified registry happened as a side effect.
+        let snap = shark_obs::metrics().snapshot();
+        assert!(snap.counter("shark_queries_total") >= 3);
+        assert!(snap.counter("shark_rejected_total") >= 2);
+        assert!(snap
+            .histogram("shark_admission_wait_seconds")
+            .is_some_and(|h| h.count >= 3));
     }
 }

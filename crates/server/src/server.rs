@@ -376,9 +376,32 @@ impl SessionHandle {
         };
         let tables = pinned_tables_for(&statement);
 
-        let (permit, queue_wait) = match shared.admission.acquire() {
+        // Root span of this query's trace (when query tracing is on). The
+        // attach guard puts the trace context on this thread so every
+        // engine/scheduler span below nests under it; it is dropped before
+        // the root span itself records.
+        let mut root = if shark_obs::tracer().is_enabled() {
+            let mut span = shark_obs::start_trace("query");
+            span.annotate("statement", text);
+            span.annotate("session", &self.id.to_string());
+            Some(span)
+        } else {
+            None
+        };
+        let _trace = root.as_ref().map(|r| r.context().attach());
+
+        let acquired = {
+            // Admission-queue wait as its own span; the always-on histogram
+            // counterpart is observed in `MetricsRegistry::record`.
+            let _wait = shark_obs::span("admission-wait");
+            shared.admission.acquire()
+        };
+        let (permit, queue_wait) = match acquired {
             Ok(admitted) => admitted,
             Err(err) => {
+                if let Some(root) = root.as_mut() {
+                    root.annotate("rejected", "true");
+                }
                 shared.metrics.record_rejection(self.id);
                 return Err(SharkError::Execution(err.to_string()));
             }
@@ -425,6 +448,7 @@ impl SessionHandle {
         // closed — can be reclaimed here.
         shared.memstore.reclaim_dropped(&shared.catalog);
         drop(permit);
+        record_enforcement_events(&evictions, &quota_events);
 
         let metrics = QueryMetrics {
             session_id: self.id,
@@ -447,6 +471,12 @@ impl SessionHandle {
             quota_evictions: quota_events.iter().map(EvictionEvent::partitions).sum(),
             failed: result.is_err(),
         };
+        if let Some(root) = root.as_mut() {
+            root.add_rows(metrics.rows_streamed);
+            if metrics.failed {
+                root.annotate("failed", "true");
+            }
+        }
         shared.metrics.record(metrics.clone());
         Ok(SessionQueryResult {
             result: result?,
@@ -471,9 +501,29 @@ impl SessionHandle {
         };
         let tables = statement.referenced_tables();
 
-        let (permit, queue_wait) = match shared.admission.acquire() {
+        // Root span of the streamed query's trace. It is *stored in the
+        // cursor* and finished by `finalize`, so batch deliveries that
+        // happen long after this call still belong to the same trace.
+        let mut root = if shark_obs::tracer().is_enabled() {
+            let mut span = shark_obs::start_trace("query-stream");
+            span.annotate("statement", text);
+            span.annotate("session", &self.id.to_string());
+            Some(span)
+        } else {
+            None
+        };
+        let _trace = root.as_ref().map(|r| r.context().attach());
+
+        let acquired = {
+            let _wait = shark_obs::span("admission-wait");
+            shared.admission.acquire()
+        };
+        let (permit, queue_wait) = match acquired {
             Ok(admitted) => admitted,
             Err(err) => {
+                if let Some(root) = root.as_mut() {
+                    root.annotate("rejected", "true");
+                }
                 shared.metrics.record_rejection(self.id);
                 return Err(SharkError::Execution(err.to_string()));
             }
@@ -499,12 +549,16 @@ impl SessionHandle {
                 recomputed_tables,
                 cache_hit_bytes,
                 prefetch,
+                root,
                 failed: false,
                 finalized: false,
             }),
             Err(err) => {
                 // Planning failed: release everything and record the
                 // failure before the permit drops.
+                if let Some(root) = root.as_mut() {
+                    root.annotate("failed", "true");
+                }
                 shared.release_prefetch(prefetch);
                 shared.memstore.unpin(&tables);
                 let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
@@ -596,6 +650,30 @@ impl SessionHandle {
     }
 }
 
+/// Attach this query's completion-time enforcement outcome to its trace:
+/// an `eviction` event when the global budget evicted victims and a
+/// `quota-eviction` event when the session's own quota did. No-op when
+/// tracing is off or no trace context is attached.
+fn record_enforcement_events(evictions: &[EvictionEvent], quota_events: &[EvictionEvent]) {
+    if !shark_obs::active() {
+        return;
+    }
+    if !evictions.is_empty() {
+        let partitions: usize = evictions.iter().map(EvictionEvent::partitions).sum();
+        shark_obs::event(
+            "eviction",
+            &[
+                ("events", &evictions.len().to_string()),
+                ("partitions", &partitions.to_string()),
+            ],
+        );
+    }
+    if !quota_events.is_empty() {
+        let partitions: usize = quota_events.iter().map(EvictionEvent::partitions).sum();
+        shark_obs::event("quota-eviction", &[("partitions", &partitions.to_string())]);
+    }
+}
+
 /// The tables a statement needs pinned while it executes: every table it
 /// reads, plus — for CTAS — the table it *creates*, so a concurrent budget
 /// enforcement cannot evict the target's freshly loaded memstore partitions
@@ -675,6 +753,9 @@ pub struct QueryCursor<'s> {
     /// Prefetch depth granted out of the server's aggregate budget,
     /// returned to the pool on finalize.
     prefetch: usize,
+    /// Root trace span of the streamed query (when tracing is on),
+    /// finished with delivery totals when the cursor finalizes.
+    root: Option<shark_obs::DetachedSpan>,
     failed: bool,
     finalized: bool,
 }
@@ -733,6 +814,14 @@ impl QueryCursor<'_> {
         self.finalized = true;
         let shared = &self.session.shared;
         let exec_time = self.admitted_at.elapsed();
+        // Re-attach the query's trace context (finalize may run on a
+        // different thread than sql_stream) so enforcement events below
+        // land inside this query's trace.
+        let _attach = if shark_obs::active() {
+            self.root.as_ref().map(|r| r.context().attach())
+        } else {
+            None
+        };
         // Stop the stream first (cancelling + joining any prefetch workers)
         // so no task can touch a table after its pin is released.
         self.stream.cancel();
@@ -753,6 +842,21 @@ impl QueryCursor<'_> {
         // memstore is reclaimed now.
         shared.memstore.reclaim_dropped(&shared.catalog);
         self.permit.take();
+        record_enforcement_events(&evictions, &quota_events);
+        if let Some(mut root) = self.root.take() {
+            root.add_rows(progress.rows_streamed);
+            root.annotate(
+                "partitions",
+                &format!(
+                    "{}/{}",
+                    progress.partitions_streamed, progress.partitions_total
+                ),
+            );
+            if self.failed {
+                root.annotate("failed", "true");
+            }
+            root.finish();
+        }
         shared.metrics.record(QueryMetrics {
             session_id: self.session.id,
             query_id: shared.next_query_id.fetch_add(1, Ordering::Relaxed),

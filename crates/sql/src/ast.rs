@@ -23,6 +23,16 @@ pub enum Statement {
         /// Table to drop.
         name: String,
     },
+    /// `EXPLAIN [ANALYZE] SELECT …` — render the query plan; with
+    /// `ANALYZE`, execute the query under tracing and annotate each
+    /// operator with recorded times, rows, bytes and cache activity.
+    Explain {
+        /// Whether to execute the query and annotate the plan with the
+        /// recorded trace (`EXPLAIN ANALYZE`) or only render it.
+        analyze: bool,
+        /// The query being explained.
+        query: SelectStmt,
+    },
 }
 
 impl Statement {
@@ -34,6 +44,7 @@ impl Statement {
             Statement::Select(stmt) => stmt.referenced_tables(),
             Statement::CreateTableAs { query, .. } => query.referenced_tables(),
             Statement::DropTable { .. } => Vec::new(),
+            Statement::Explain { query, .. } => query.referenced_tables(),
         }
     }
 }

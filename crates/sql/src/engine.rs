@@ -124,7 +124,13 @@ impl SqlSession {
                 // reclaim the dropped version's memstore before the query
                 // finishes (the pin is released when `snapshot` drops).
                 let snapshot = self.catalog.snapshot();
-                let plan = plan_select(stmt, &snapshot, &self.udfs)?;
+                if shark_obs::active() {
+                    shark_obs::event("snapshot-pin", &[("epoch", &snapshot.epoch().to_string())]);
+                }
+                let plan = {
+                    let _span = shark_obs::span("plan");
+                    plan_select(stmt, &snapshot, &self.udfs)?
+                };
                 exec::execute(&self.ctx, &plan, &self.exec)
             }
             Statement::DropTable { name } => {
@@ -143,6 +149,14 @@ impl SqlSession {
                 properties,
                 query,
             } => self.create_table_as(name, properties, query),
+            Statement::Explain { analyze, query } => {
+                let snapshot = self.catalog.snapshot();
+                let plan = plan_select(query, &snapshot, &self.udfs)?;
+                if !*analyze {
+                    return Ok(crate::explain::explain_plan(&plan));
+                }
+                crate::explain::explain_analyze(&self.ctx, &plan, &self.exec, snapshot)
+            }
         }
     }
 
@@ -160,7 +174,13 @@ impl SqlSession {
     /// concurrent `DROP TABLE` + recreate can never change what it drains.
     pub fn sql_to_stream(&self, stmt: &crate::ast::SelectStmt) -> Result<QueryStream> {
         let snapshot = self.catalog.snapshot();
-        let plan = plan_select(stmt, &snapshot, &self.udfs)?;
+        if shark_obs::active() {
+            shark_obs::event("snapshot-pin", &[("epoch", &snapshot.epoch().to_string())]);
+        }
+        let plan = {
+            let _span = shark_obs::span("plan");
+            plan_select(stmt, &snapshot, &self.udfs)?
+        };
         Ok(exec::execute_stream(&self.ctx, &plan, &self.exec)?.with_snapshot(snapshot))
     }
 

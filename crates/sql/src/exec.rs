@@ -263,11 +263,20 @@ pub fn load_table(ctx: &RddContext, table: &Arc<TableMeta>) -> Result<LoadReport
 pub fn execute(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<QueryResult> {
     let wall = std::time::Instant::now();
     let sim_start = ctx.simulated_time();
-    let table_rdd = build_pipeline(ctx, plan, cfg)?;
+    let table_rdd = {
+        let _span = shark_obs::span("optimize");
+        build_pipeline(ctx, plan, cfg)?
+    };
+    let rows_span = shark_obs::span("stage-launch");
     let mut rows = table_rdd.rdd.collect()?;
+    if let Some(span) = &rows_span {
+        span.set_rows(rows.len() as u64);
+    }
+    drop(rows_span);
 
     // Driver-side ORDER BY / LIMIT (result sets at this point are small).
     if !plan.order_by.is_empty() {
+        let _span = shark_obs::span("sort-merge");
         let keys = plan.order_by.clone();
         rows.sort_by(|a, b| compare_rows(a, b, &keys));
     }
@@ -332,6 +341,10 @@ pub struct StreamProgress {
 /// delivery order, results and simulated timings are identical to the
 /// serial path, only wall-clock time changes.
 pub struct QueryStream {
+    /// Trace context captured at stream creation: batch deliveries (which
+    /// happen later, often from another thread) re-attach it so their
+    /// spans join the query's trace.
+    trace: Option<shark_obs::TraceContext>,
     job: PipelinedJob<Row, Vec<Row>>,
     schema: Schema,
     plan_desc: String,
@@ -443,6 +456,12 @@ impl QueryStream {
         if self.done {
             return Ok(None);
         }
+        let _attach = if shark_obs::active() {
+            self.trace.as_ref().map(|t| t.attach())
+        } else {
+            None
+        };
+        let deliver_span = shark_obs::span("stream-deliver");
         if !self.prefetch_noted {
             self.prefetch_noted = true;
             if self.job.prefetch() > 0 {
@@ -475,6 +494,9 @@ impl QueryStream {
         self.progress.prefetch_hits = self.job.prefetch_hits();
         match batch {
             Some(rows) => {
+                if let Some(span) = &deliver_span {
+                    span.set_rows(rows.len() as u64);
+                }
                 if self.progress.time_to_first_row.is_none() {
                     self.progress.time_to_first_row = Some(self.wall.elapsed());
                     self.progress.sim_seconds_to_first_row = Some(self.sim_seconds());
@@ -570,6 +592,12 @@ impl QueryStream {
                             "top-k pushdown: skipped {} result partitions via partition statistics",
                             self.job.planned() - pos
                         ));
+                        if shark_obs::active() {
+                            shark_obs::event(
+                                "top-k-skip",
+                                &[("skipped", &(self.job.planned() - pos).to_string())],
+                            );
+                        }
                         break;
                     }
                 }
@@ -746,10 +774,17 @@ fn topk_partition_order(
 /// time-to-first-row.
 pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<QueryStream> {
     let wall = Instant::now();
-    let table_rdd = build_pipeline(ctx, plan, cfg)?;
+    let table_rdd = {
+        let _span = shark_obs::span("optimize");
+        build_pipeline(ctx, plan, cfg)?
+    };
     let mut notes = table_rdd.notes;
     notes.push("result streaming: partitions delivered incrementally".into());
-    let streaming = StreamingJob::new(ctx, &table_rdd.rdd, "sql-stream")?;
+    let streaming = {
+        // Stage launch: runs every shuffle map stage the plan depends on.
+        let _span = shark_obs::span("stage-launch");
+        StreamingJob::new(ctx, &table_rdd.rdd, "sql-stream")?
+    };
     let partitions_total = streaming.num_partitions();
 
     // Pick the per-partition task transformation and the execution order.
@@ -785,16 +820,29 @@ pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
             return rows;
         }
         match limit {
-            Some(k) => topk_rows(rows, k, &task_keys, m),
+            Some(k) => {
+                let span = shark_obs::span("top-k");
+                let out = topk_rows(rows, k, &task_keys, m);
+                if let Some(span) = &span {
+                    span.set_rows(out.len() as u64);
+                    span.annotate("k", &k.to_string());
+                }
+                out
+            }
             None => {
+                let span = shark_obs::span("sort-merge");
                 m.add_sort(rows.len() as u64);
                 rows.sort_by(|a, b| compare_rows(a, b, &task_keys));
+                if let Some(span) = &span {
+                    span.set_rows(rows.len() as u64);
+                }
                 rows
             }
         }
     });
     job.set_prefetch(cfg.stream_prefetch);
     Ok(QueryStream {
+        trace: shark_obs::current(),
         job,
         schema: plan.output_schema.clone(),
         plan_desc: plan.describe(),

@@ -17,6 +17,7 @@ pub mod ast;
 pub mod catalog;
 pub mod engine;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod lexer;
 pub mod parser;

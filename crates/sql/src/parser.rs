@@ -107,6 +107,16 @@ impl Parser {
         if self.peek_keyword("select") {
             return Ok(Statement::Select(self.parse_select()?));
         }
+        if self.consume_keyword("explain") {
+            let analyze = self.consume_keyword("analyze");
+            if !self.peek_keyword("select") {
+                return Err(SharkError::Parse(
+                    "EXPLAIN supports only SELECT queries".into(),
+                ));
+            }
+            let query = self.parse_select()?;
+            return Ok(Statement::Explain { analyze, query });
+        }
         if self.consume_keyword("drop") {
             self.expect_keyword("table")?;
             let name = self.parse_identifier()?;

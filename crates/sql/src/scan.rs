@@ -23,6 +23,34 @@ use shark_rdd::{Rdd, RddContext, TaskMetrics};
 use crate::catalog::{MemTable, TableMeta};
 use crate::expr::BoundExpr;
 
+/// Cached unified-registry handles for the hot scan-path counters.
+struct ScanMetrics {
+    cache_hits: Arc<shark_obs::Counter>,
+    cache_hit_bytes: Arc<shark_obs::Counter>,
+    rebuilds: Arc<shark_obs::Counter>,
+}
+
+fn scan_metrics() -> &'static ScanMetrics {
+    static METRICS: std::sync::OnceLock<ScanMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = shark_obs::metrics();
+        ScanMetrics {
+            cache_hits: reg.counter(
+                "shark_memstore_cache_hit_partitions_total",
+                "Memstore scans served from the cached columnar form",
+            ),
+            cache_hit_bytes: reg.counter(
+                "shark_memstore_cache_hit_bytes_total",
+                "Projected columnar bytes served from the memstore cache",
+            ),
+            rebuilds: reg.counter(
+                "shark_partition_rebuilds_total",
+                "Evicted/lost partitions rebuilt from lineage during scans",
+            ),
+        }
+    })
+}
+
 /// Apply pushed-down filters, charging their expression cost.
 fn apply_filters(rows: &mut Vec<Row>, filters: &[BoundExpr], metrics: &mut TaskMetrics) {
     for f in filters {
@@ -93,6 +121,11 @@ impl RddImpl<Row> for MemTableScanRdd {
                     bytes as u64,
                     InputSource::CachedColumnar,
                 );
+                scan_metrics().cache_hits.inc();
+                scan_metrics().cache_hit_bytes.add(bytes as u64);
+                if shark_obs::active() {
+                    shark_obs::annotate("cache", "hit");
+                }
                 c
             }
             None => {
@@ -115,6 +148,10 @@ impl RddImpl<Row> for MemTableScanRdd {
                 if !self.mem.is_retired() {
                     self.mem.put(original, rebuilt.clone());
                     self.mem.record_rebuild();
+                    scan_metrics().rebuilds.inc();
+                    if shark_obs::active() {
+                        shark_obs::annotate("rebuild", "lineage");
+                    }
                 }
                 rebuilt
             }

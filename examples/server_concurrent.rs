@@ -223,7 +223,19 @@ fn main() -> shark_common::Result<()> {
     );
     register_tpch(&server, &tpch_cfg, partitions); // restore orders for the report
 
+    // Observability close-up: EXPLAIN ANALYZE runs the streamed top-k query
+    // under scoped tracing and renders the span tree as per-operator times,
+    // rows, partitions, cache hits and lineage rebuilds.
+    let analyzed = session
+        .sql("EXPLAIN ANALYZE SELECT l_orderkey FROM lineitem ORDER BY l_orderkey LIMIT 5")?;
+    println!("\n--- explain analyze ---");
+    for row in &analyzed.result.rows {
+        println!("{}", row.get(0));
+    }
+
     println!("\n--- server report ---");
     print!("{}", server.report().render());
+    // Machine-readable copy on one line, for CI smoke-test assertions.
+    println!("SERVER_REPORT_JSON: {}", server.report().to_json());
     Ok(())
 }
