@@ -1,0 +1,337 @@
+//! Batch-at-a-time execution over encoded columns.
+//!
+//! A [`ColumnBatch`] is the unit the vectorized operators work on: a borrowed
+//! view of one cached [`ColumnarPartition`], a column projection, and a
+//! [`Selection`] of the rows that are still alive after the predicates applied
+//! so far. Filters shrink the selection without touching the encoded data;
+//! `Row`s are only built at the very end ([`ColumnBatch::materialize`]), which
+//! is the late-materialization discipline of vectorized engines: a selective
+//! scan never pays the per-row allocation cost for rows it is about to drop.
+
+use shark_common::{DataType, Row, Value};
+
+use crate::column::{unpack_bits, EncodedColumn};
+use crate::partition::ColumnarPartition;
+
+/// The set of partition rows still alive in a [`ColumnBatch`].
+///
+/// `All(n)` is the state before any predicate ran; predicate kernels narrow
+/// it to an explicit, strictly ascending row-index list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Every row of a partition with `n` rows is selected.
+    All(usize),
+    /// An explicit, ascending list of selected row indices.
+    Rows(Vec<u32>),
+}
+
+impl Selection {
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Selection::All(n) => *n,
+            Selection::Rows(rows) => rows.len(),
+        }
+    }
+
+    /// True when no rows survive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the selected partition-row indices in ascending order.
+    pub fn iter(&self) -> SelectionIter<'_> {
+        match self {
+            Selection::All(n) => SelectionIter::All(0..*n),
+            Selection::Rows(rows) => SelectionIter::Rows(rows.iter()),
+        }
+    }
+
+    /// Keep only the selected rows for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let rows: Vec<u32> = self.iter().filter(|&i| keep(i)).map(|i| i as u32).collect();
+        *self = Selection::Rows(rows);
+    }
+}
+
+/// Iterator over the row indices of a [`Selection`].
+pub enum SelectionIter<'a> {
+    /// Dense range over every row.
+    All(std::ops::Range<usize>),
+    /// Sparse ascending index list.
+    Rows(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for SelectionIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelectionIter::All(r) => r.next(),
+            SelectionIter::Rows(it) => it.next().map(|&i| i as usize),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            SelectionIter::All(r) => r.size_hint(),
+            SelectionIter::Rows(it) => it.size_hint(),
+        }
+    }
+}
+
+/// A projected, filtered view over one [`ColumnarPartition`].
+///
+/// Columns stay in their compressed encodings for as long as possible;
+/// operators communicate which rows survive through the [`Selection`].
+pub struct ColumnBatch<'a> {
+    partition: &'a ColumnarPartition,
+    /// Original partition column index of each projected column.
+    projection: &'a [usize],
+    selection: Selection,
+}
+
+impl<'a> ColumnBatch<'a> {
+    /// View `partition` through `projection` (original column indices, in
+    /// output order) with every row selected.
+    pub fn new(partition: &'a ColumnarPartition, projection: &'a [usize]) -> ColumnBatch<'a> {
+        ColumnBatch {
+            partition,
+            projection,
+            selection: Selection::All(partition.num_rows()),
+        }
+    }
+
+    /// Number of projected columns.
+    pub fn num_columns(&self) -> usize {
+        self.projection.len()
+    }
+
+    /// Number of rows currently selected.
+    pub fn num_selected(&self) -> usize {
+        self.selection.len()
+    }
+
+    /// The current selection.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Replace the selection (used by predicate kernels).
+    pub fn set_selection(&mut self, selection: Selection) {
+        self.selection = selection;
+    }
+
+    /// Borrow the encoded column behind projected column `i`.
+    pub fn column(&self, i: usize) -> &EncodedColumn {
+        self.partition.column(self.projection[i])
+    }
+
+    /// Logical type of projected column `i`.
+    pub fn column_type(&self, i: usize) -> DataType {
+        self.partition.column_type(self.projection[i])
+    }
+
+    /// Decode the cell at partition row `row`, projected column `col`.
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.partition.value_at(row, self.projection[col])
+    }
+
+    /// Build a full projected [`Row`] for one partition row (the scratch row
+    /// generic expression fallbacks evaluate against).
+    pub fn scratch_row(&self, row: usize) -> Row {
+        Row::new(
+            (0..self.projection.len())
+                .map(|c| self.value_at(row, c))
+                .collect(),
+        )
+    }
+
+    /// Decode one projected column for exactly the selected rows, in
+    /// selection order. Run-length encodings are walked with a single
+    /// cursor rather than probed per value.
+    pub fn gather(&self, col: usize) -> Vec<Value> {
+        gather_column(self.column(col), self.column_type(col), &self.selection)
+    }
+
+    /// Late materialization: build output [`Row`]s for the surviving
+    /// selection only. Produces exactly the rows (and row order) that
+    /// decoding every column and filtering row-wise would.
+    pub fn materialize(&self) -> Vec<Row> {
+        let gathered: Vec<Vec<Value>> =
+            (0..self.projection.len()).map(|c| self.gather(c)).collect();
+        (0..self.selection.len())
+            .map(|r| Row::new(gathered.iter().map(|col| col[r].clone()).collect()))
+            .collect()
+    }
+}
+
+/// Decode `col` at the selected indices only.
+fn gather_column(col: &EncodedColumn, data_type: DataType, selection: &Selection) -> Vec<Value> {
+    match col {
+        // Run-length columns: one forward walk over the runs serves the whole
+        // ascending selection.
+        EncodedColumn::IntRle { runs, nulls, .. } => {
+            let mut out = Vec::with_capacity(selection.len());
+            let mut run_idx = 0usize;
+            let mut run_start = 0usize;
+            for i in selection.iter() {
+                if is_null_at(nulls, i) {
+                    out.push(Value::Null);
+                    continue;
+                }
+                while run_idx < runs.len() && i >= run_start + runs[run_idx].1 as usize {
+                    run_start += runs[run_idx].1 as usize;
+                    run_idx += 1;
+                }
+                out.push(match runs.get(run_idx) {
+                    Some(&(v, _)) if data_type == DataType::Date => Value::Date(v as i32),
+                    Some(&(v, _)) => Value::Int(v),
+                    None => Value::Null,
+                });
+            }
+            out
+        }
+        EncodedColumn::StrRle { runs, nulls, .. } => {
+            let mut out = Vec::with_capacity(selection.len());
+            let mut run_idx = 0usize;
+            let mut run_start = 0usize;
+            for i in selection.iter() {
+                if is_null_at(nulls, i) {
+                    out.push(Value::Null);
+                    continue;
+                }
+                while run_idx < runs.len() && i >= run_start + runs[run_idx].1 as usize {
+                    run_start += runs[run_idx].1 as usize;
+                    run_idx += 1;
+                }
+                out.push(match runs.get(run_idx) {
+                    Some((s, _)) => Value::Str(s.clone()),
+                    None => Value::Null,
+                });
+            }
+            out
+        }
+        EncodedColumn::IntBitPacked {
+            min,
+            bits,
+            words,
+            nulls,
+            ..
+        } => selection
+            .iter()
+            .map(|i| {
+                if is_null_at(nulls, i) {
+                    Value::Null
+                } else {
+                    let v = min + unpack_bits(words, *bits, i) as i64;
+                    if data_type == DataType::Date {
+                        Value::Date(v as i32)
+                    } else {
+                        Value::Int(v)
+                    }
+                }
+            })
+            .collect(),
+        // O(1)-access encodings: random access per selected row.
+        other => selection
+            .iter()
+            .map(|i| other.value_at(i, data_type))
+            .collect(),
+    }
+}
+
+fn is_null_at(mask: &Option<Vec<bool>>, i: usize) -> bool {
+    mask.as_ref().map(|m| !m[i]).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shark_common::{row, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("mode", DataType::Str),
+            ("price", DataType::Float),
+            ("day", DataType::Date),
+        ])
+    }
+
+    fn partition(n: usize) -> ColumnarPartition {
+        let modes = ["AIR", "SHIP", "TRUCK"];
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                row![
+                    i as i64,
+                    modes[i % 3],
+                    i as f64 * 0.5,
+                    Value::Date(10 + (i / 50) as i32)
+                ]
+            })
+            .collect();
+        ColumnarPartition::from_rows(&schema(), &rows)
+    }
+
+    #[test]
+    fn materialize_all_matches_project_rows() {
+        let part = partition(300);
+        let projection = [1usize, 3];
+        let batch = ColumnBatch::new(&part, &projection);
+        assert_eq!(batch.materialize(), part.project_rows(&projection));
+    }
+
+    #[test]
+    fn materialize_selection_matches_filtered_project_rows() {
+        let part = partition(300);
+        let projection = [0usize, 1, 2, 3];
+        let mut batch = ColumnBatch::new(&part, &projection);
+        let mut sel = batch.selection().clone();
+        sel.retain(|i| i % 7 == 0);
+        batch.set_selection(sel);
+        let mut expected = part.project_rows(&projection);
+        let mut keep = 0usize;
+        expected.retain(|_| {
+            let k = keep.is_multiple_of(7);
+            keep += 1;
+            k
+        });
+        assert_eq!(batch.materialize(), expected);
+        assert_eq!(batch.num_selected(), expected.len());
+    }
+
+    #[test]
+    fn gather_handles_every_encoding_with_sparse_selection() {
+        let part = partition(300);
+        let projection: Vec<usize> = (0..part.num_columns()).collect();
+        for c in 0..part.num_columns() {
+            let decoded = part.decode_column(c).unwrap();
+            let mut batch = ColumnBatch::new(&part, &projection);
+            batch.set_selection(Selection::Rows(vec![0, 3, 149, 150, 298]));
+            let gathered = batch.gather(c);
+            for (k, &i) in [0usize, 3, 149, 150, 298].iter().enumerate() {
+                assert_eq!(gathered[k], decoded[i], "col {c} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_row_matches_materialized_row() {
+        let part = partition(40);
+        let projection = [2usize, 0];
+        let batch = ColumnBatch::new(&part, &projection);
+        let rows = batch.materialize();
+        assert_eq!(batch.scratch_row(17), rows[17]);
+    }
+
+    #[test]
+    fn empty_selection_materializes_nothing() {
+        let part = partition(10);
+        let projection = [0usize];
+        let mut batch = ColumnBatch::new(&part, &projection);
+        batch.set_selection(Selection::Rows(Vec::new()));
+        assert!(batch.selection().is_empty());
+        assert!(batch.materialize().is_empty());
+    }
+}

@@ -21,12 +21,14 @@
 //! * [`footprint`] — a model of the per-object overhead a deserialized
 //!   row-object store would pay (the "JVM object" comparison of §3.2).
 
+pub mod batch;
 pub mod column;
 pub mod encoding;
 pub mod footprint;
 pub mod partition;
 pub mod stats;
 
+pub use batch::{ColumnBatch, Selection};
 pub use column::EncodedColumn;
 pub use encoding::{choose_encoding, EncodingChoice, EncodingKind};
 pub use partition::ColumnarPartition;

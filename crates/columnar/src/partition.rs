@@ -74,6 +74,19 @@ impl ColumnarPartition {
         kind_of(&self.columns[i])
     }
 
+    /// Borrow the encoded representation of column `i`. This is the hook the
+    /// vectorized execution path uses to run predicate kernels directly over
+    /// the compressed encoding (run skipping, dictionary-code tests) instead
+    /// of decoding the column into `Value`s first.
+    pub fn column(&self, i: usize) -> &EncodedColumn {
+        &self.columns[i]
+    }
+
+    /// The logical type of column `i`.
+    pub fn column_type(&self, i: usize) -> DataType {
+        self.schema.field(i).data_type
+    }
+
     /// Memory footprint of a single encoded column, in bytes. Scans that
     /// project a subset of columns only pay for the columns they touch.
     pub fn column_bytes(&self, i: usize) -> usize {

@@ -28,6 +28,7 @@
 
 pub mod cache;
 pub mod context;
+pub mod executor;
 pub mod metrics;
 pub mod pair;
 pub mod rdd;
@@ -36,6 +37,7 @@ pub mod shuffle;
 
 pub use cache::{CacheManager, CachedPartitionInfo, EvictionStats};
 pub use context::{JobReport, RddConfig, RddContext, StageReport};
+pub use executor::Executor;
 pub use metrics::TaskMetrics;
 pub use pair::{Aggregator, PreShuffledRdd};
 pub use rdd::{Data, Lineage, Rdd, RddImpl, ShuffleDepHandle};

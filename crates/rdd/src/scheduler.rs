@@ -9,7 +9,7 @@
 //! in a [`JobReport`].
 
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -19,6 +19,7 @@ use shark_common::size::estimate_slice;
 use shark_common::{EstimateSize, Result, SharkError};
 
 use crate::context::{JobReport, RddContext, StageReport};
+use crate::executor::Executor;
 use crate::metrics::TaskMetrics;
 use crate::pair::Aggregator;
 use crate::rdd::{Data, Lineage, Rdd};
@@ -58,7 +59,7 @@ pub(crate) struct TaskOutcome<U> {
     pub bytes_in: u64,
 }
 
-/// Execute `n` tasks (optionally on multiple threads), preserving order.
+/// Execute `n` tasks (optionally on the shared executor), preserving order.
 pub(crate) fn run_tasks<U, F>(parallel: bool, n: usize, f: F) -> Result<Vec<TaskOutcome<U>>>
 where
     U: Send,
@@ -69,43 +70,31 @@ where
     }
     let slots: Mutex<Vec<Option<Result<TaskOutcome<U>>>>> =
         Mutex::new((0..n).map(|_| None).collect());
-    let counter = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(4)
-        .min(n);
-    // Task threads adopt the caller's trace context so per-operator spans
-    // computed off-thread still land in the query's span tree.
+    let panicked = AtomicBool::new(false);
+    // Tasks adopt the caller's trace context so per-operator spans computed
+    // off-thread still land in the query's span tree.
     let trace = shark_obs::current();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let _trace = trace.as_ref().map(|t| t.attach());
-                    loop {
-                        let i = counter.fetch_add(1, Ordering::SeqCst);
-                        if i >= n {
-                            break;
-                        }
-                        let result = f(i);
-                        slots.lock()[i] = Some(result);
-                    }
-                })
-            })
-            .collect();
-        // Join every handle before reporting: leaving a panicked handle
-        // unjoined would make the scope re-raise its panic on exit instead
-        // of letting us return an error.
-        let panics = handles
-            .into_iter()
-            .map(|handle| handle.join())
-            .filter(|joined| joined.is_err())
-            .count();
-        if panics > 0 {
-            return Err(SharkError::Execution("a task thread panicked".into()));
-        }
-        Ok(())
-    })?;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n)
+        .map(|i| {
+            let slots = &slots;
+            let panicked = &panicked;
+            let f = &f;
+            Box::new(move || {
+                let _trace = trace.as_ref().map(|t| t.attach());
+                // A panic in a user closure must not poison the shared
+                // worker pool; it is latched and reported as an execution
+                // error once the whole stage has drained.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                    Ok(result) => slots.lock()[i] = Some(result),
+                    Err(_) => panicked.store(true, Ordering::SeqCst),
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    Executor::global().run_scoped(tasks);
+    if panicked.load(Ordering::SeqCst) {
+        return Err(SharkError::Execution("a task thread panicked".into()));
+    }
     slots
         .into_inner()
         .into_iter()
@@ -239,9 +228,15 @@ pub struct StreamingJob<T: Data> {
     rdd: Rdd<T>,
     name: String,
     stages: Vec<StageReport>,
-    /// Running sum of this job's own stage durations — unlike the context's
-    /// global simulated clock, it is not advanced by concurrent jobs.
-    sim_seconds: f64,
+    /// Simulated seconds spent in the up-front shuffle stages, which run
+    /// before any partition can stream.
+    sim_base: f64,
+    /// Simulated busy time per delivery slot. Streamed partition tasks are
+    /// list-scheduled greedily onto these slots, so a job whose partitions
+    /// were computed by `n` concurrent workers is charged the makespan of
+    /// that schedule instead of the serial sum — unlike the context's
+    /// global simulated clock, this is not advanced by concurrent jobs.
+    sim_slots: Vec<f64>,
     wall: Instant,
     partitions_run: usize,
     finished: bool,
@@ -254,13 +249,14 @@ impl<T: Data> StreamingJob<T> {
     pub fn new(ctx: &RddContext, rdd: &Rdd<T>, name: &str) -> Result<StreamingJob<T>> {
         let wall = Instant::now();
         let stages = ensure_shuffle_deps(ctx, rdd)?;
-        let sim_seconds = stages.iter().map(|s| s.sim_duration).sum();
+        let sim_base = stages.iter().map(|s| s.sim_duration).sum();
         Ok(StreamingJob {
             ctx: ctx.clone(),
             rdd: rdd.clone(),
             name: name.to_string(),
             stages,
-            sim_seconds,
+            sim_base,
+            sim_slots: vec![0.0],
             wall,
             partitions_run: 0,
             finished: false,
@@ -277,11 +273,23 @@ impl<T: Data> StreamingJob<T> {
         self.partitions_run
     }
 
-    /// Simulated seconds charged by *this job's* stages so far (shuffle
-    /// dependencies plus every partition task run). Stable under
-    /// concurrency, unlike deltas of the shared cluster clock.
+    /// Simulated seconds charged by *this job's* stages so far: the
+    /// up-front shuffle stages plus the makespan of the streamed partition
+    /// tasks over the job's delivery slots. Stable under concurrency,
+    /// unlike deltas of the shared cluster clock.
     pub fn sim_seconds(&self) -> f64 {
-        self.sim_seconds
+        self.sim_base + self.sim_slots.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Declare how many workers computed streamed partitions concurrently.
+    /// Later partition tasks are booked onto that many simulated delivery
+    /// slots (greedy list scheduling), so prefetched streams are charged
+    /// wall-clock-shaped time instead of the serial sum. Only honored
+    /// before any partition has been booked.
+    pub fn set_sim_parallelism(&mut self, slots: usize) {
+        if self.partitions_run == 0 {
+            self.sim_slots = vec![0.0; slots.max(1)];
+        }
     }
 
     /// Execute the result-stage task for one partition: compute it
@@ -307,7 +315,16 @@ impl<T: Data> StreamingJob<T> {
             &format!("stream-result({partition})"),
             vec![outcome],
         );
-        self.sim_seconds += report.sim_duration;
+        // Greedy list scheduling: charge the task to the least-loaded
+        // delivery slot. With one slot this degenerates to the serial sum.
+        let slot = self
+            .sim_slots
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        self.sim_slots[slot] += report.sim_duration;
         self.stages.push(report);
         self.partitions_run += 1;
         values.pop().expect("single task outcome")
@@ -316,8 +333,8 @@ impl<T: Data> StreamingJob<T> {
     /// Turn this job into a [`PipelinedJob`] delivering `order`'s partitions
     /// through one fixed per-partition transformation. With a prefetch depth
     /// of 0 the partitions still run serially inside `next()`; with depth
-    /// `n ≥ 1` a worker pool executes up to `n` partitions ahead of the
-    /// consumer.
+    /// `n ≥ 1` morsels on the shared executor compute up to `n` partitions
+    /// ahead of the consumer.
     pub fn pipelined<U, F>(self, order: Vec<usize>, sink: OutputSink, f: F) -> PipelinedJob<T, U>
     where
         U: Send + EstimateSize + 'static,
@@ -330,7 +347,7 @@ impl<T: Data> StreamingJob<T> {
             f: Arc::new(f),
             prefetch: 0,
             pool: None,
-            workers: Vec::new(),
+            env: None,
             delivered: 0,
             prefetch_hits: 0,
             latched: false,
@@ -344,8 +361,8 @@ impl<T: Data> StreamingJob<T> {
             return;
         }
         self.finished = true;
+        let sim_duration = self.sim_seconds();
         let stages = std::mem::take(&mut self.stages);
-        let sim_duration = stages.iter().map(|s| s.sim_duration).sum();
         self.ctx.record_job(JobReport {
             name: self.name.clone(),
             stages,
@@ -401,19 +418,24 @@ where
     })
 }
 
-/// Shared state between a [`PipelinedJob`]'s consumer and its workers: a
-/// bounded, *ordered* channel. Workers claim positions in the planned order
-/// while they are within `prefetch` of the consumer's cursor, park results
-/// in `ready`, and everything shuts down once `cancelled` is set.
+/// Shared state between a [`PipelinedJob`]'s consumer and its morsels: a
+/// bounded, *ordered* channel. Morsel tasks claim positions in the planned
+/// order while they are within `prefetch` of the consumer's cursor, park
+/// results in `ready`, and no new positions are claimed once `cancelled`
+/// is set.
 struct PrefetchState<U> {
-    /// Next position (index into the order) a worker may claim.
+    /// Next position (index into the order) a morsel may claim.
     next_claim: usize,
     /// The consumer's cursor position.
     deliver_pos: usize,
     /// Completed outcomes keyed by position.
     ready: std::collections::HashMap<usize, Result<TaskOutcome<U>>>,
+    /// Positions claimed whose morsel has not finished yet. [`PipelinedJob::finish`]
+    /// waits for this to reach zero, so cancellation-on-drop always drains
+    /// in-flight work before the job report is recorded.
+    in_flight: usize,
     /// No new positions may be claimed (consumer dropped/stopped or a task
-    /// failed). Claimed in-flight tasks still park their result.
+    /// failed). Claimed in-flight morsels still park their result.
     cancelled: bool,
 }
 
@@ -434,21 +456,87 @@ impl<U> PrefetchShared<U> {
     }
 }
 
+/// Everything a prefetch morsel needs, shared between the consumer (which
+/// pumps after each delivery) and completed morsels (which pump to refill
+/// the window).
+struct PumpEnv<T: Data, U: Send + EstimateSize + 'static> {
+    ctx: RddContext,
+    rdd: Rdd<T>,
+    order: Arc<Vec<usize>>,
+    sink: OutputSink,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(Vec<T>, &mut TaskMetrics) -> U + Send + Sync>,
+    /// Consumer's trace context: morsels computed ahead on the shared
+    /// executor still attach their spans to the query's span tree.
+    trace: Option<shark_obs::TraceContext>,
+    /// Concurrency cap: at most this many morsels of this job may be
+    /// queued or running on the shared executor at once.
+    max_workers: usize,
+    shared: Arc<PrefetchShared<U>>,
+}
+
+/// Claim every position currently allowed by the prefetch window and the
+/// concurrency cap, submitting one executor morsel per claim. Called by the
+/// consumer when the window moves and by each finished morsel, so the
+/// window refills without any dedicated per-query threads.
+fn pump<T: Data, U: Send + EstimateSize + 'static>(env: &Arc<PumpEnv<T, U>>) {
+    loop {
+        let pos = {
+            let mut state = env.shared.lock();
+            if state.cancelled
+                || state.next_claim >= env.order.len()
+                || state.next_claim >= state.deliver_pos + env.shared.prefetch
+                || state.in_flight >= env.max_workers
+            {
+                return;
+            }
+            let pos = state.next_claim;
+            state.next_claim += 1;
+            state.in_flight += 1;
+            pos
+        };
+        let env = env.clone();
+        Executor::global().spawn(move || {
+            let _trace = env.trace.as_ref().map(|t| t.attach());
+            let partition = env.order[pos];
+            let f = env.f.clone();
+            let outcome = execute_partition_task(&env.ctx, &env.rdd, partition, env.sink, {
+                move |rows, m| f(rows, m)
+            });
+            {
+                let mut state = env.shared.lock();
+                state.in_flight -= 1;
+                if outcome.is_err() {
+                    // Delivery is ordered, so this error will surface at or
+                    // before `pos`; work beyond it would be wasted.
+                    state.cancelled = true;
+                }
+                state.ready.insert(pos, outcome);
+                env.shared.changed.notify_all();
+            }
+            pump(&env);
+        });
+    }
+}
+
 /// A streaming job whose result partitions are delivered in a fixed planned
-/// order, optionally computed ahead of the consumer by a bounded worker
-/// pool (the pipelined-delivery model with prefetching).
+/// order, optionally computed ahead of the consumer as morsels on the
+/// shared work-stealing [`Executor`] (the pipelined-delivery model with
+/// prefetching).
 ///
 /// * `prefetch = 0` — serial: each [`PipelinedJob::next`] call executes one
 ///   partition inline, exactly like [`StreamingJob::run_partition`].
-/// * `prefetch = n ≥ 1` — a pool of up to `n` worker threads executes
-///   partitions ahead of the cursor, never more than `n` positions beyond
-///   it. Results are delivered strictly in planned order; cluster
-///   simulation and the [`JobReport`] are booked at delivery time, so the
-///   simulated timings are identical to the serial path.
+/// * `prefetch = n ≥ 1` — up to `n` partitions are claimed ahead of the
+///   cursor and submitted as morsels to the shared executor (bounded by the
+///   host's parallelism). Results are delivered strictly in planned order;
+///   cluster simulation and the [`JobReport`] are booked at delivery time,
+///   with the concurrent execution reflected in the simulated makespan via
+///   [`StreamingJob::set_sim_parallelism`].
 ///
-/// Dropping the job (or calling [`PipelinedJob::finish`]) cancels the pool:
-/// no further partitions are claimed, in-flight tasks are joined, and the
-/// job report covering the *delivered* partitions is recorded.
+/// Dropping the job (or calling [`PipelinedJob::finish`]) cancels the
+/// stream: no further partitions are claimed, in-flight morsels are
+/// drained, and the job report covering the *delivered* partitions is
+/// recorded.
 pub struct PipelinedJob<T: Data, U: Send + EstimateSize + 'static> {
     job: StreamingJob<T>,
     order: Arc<Vec<usize>>,
@@ -457,7 +545,7 @@ pub struct PipelinedJob<T: Data, U: Send + EstimateSize + 'static> {
     f: Arc<dyn Fn(Vec<T>, &mut TaskMetrics) -> U + Send + Sync>,
     prefetch: usize,
     pool: Option<Arc<PrefetchShared<U>>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    env: Option<Arc<PumpEnv<T, U>>>,
     delivered: usize,
     prefetch_hits: u64,
     /// Set on error or explicit finish: no further partitions execute or
@@ -552,10 +640,13 @@ impl<T: Data, U: Send + EstimateSize + 'static> PipelinedJob<T, U> {
             }
             let outcome = state.ready.remove(&pos).expect("ready outcome");
             state.deliver_pos += 1;
-            // The window moved: a worker may claim one more position.
             pool.changed.notify_all();
             (outcome, was_ready)
         };
+        // The window moved: claim and submit the next morsel(s).
+        if let Some(env) = &self.env {
+            pump(env);
+        }
         if was_ready {
             self.prefetch_hits += 1;
         }
@@ -574,22 +665,26 @@ impl<T: Data, U: Send + EstimateSize + 'static> PipelinedJob<T, U> {
         }
     }
 
-    /// Stop the pool (joining in-flight workers) and record the job report
-    /// covering everything delivered so far. Latches the job: a later
-    /// `next()` delivers nothing, so the recorded report stays accurate.
-    /// Idempotent; also runs on drop.
+    /// Stop the stream (draining in-flight morsels) and record the job
+    /// report covering everything delivered so far. Latches the job: a
+    /// later `next()` delivers nothing, so the recorded report stays
+    /// accurate. Idempotent; also runs on drop.
     pub fn finish(&mut self) {
         self.latched = true;
         if let Some(pool) = &self.pool {
             pool.cancel();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+            // Claimed morsels still finish on the executor; wait for them
+            // so nothing of this job runs after finish() returns (callers
+            // release resources — e.g. pinned partitions — right after).
+            let mut state = pool.lock();
+            while state.in_flight > 0 {
+                state = pool.changed.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
         }
         self.job.finish();
     }
 
-    /// Spin up the worker pool on first use.
+    /// Set up the prefetch channel and submit the first morsels on first use.
     fn ensure_pool(&mut self) {
         if self.pool.is_some() {
             return;
@@ -599,68 +694,34 @@ impl<T: Data, U: Send + EstimateSize + 'static> PipelinedJob<T, U> {
                 next_claim: 0,
                 deliver_pos: 0,
                 ready: std::collections::HashMap::new(),
+                in_flight: 0,
                 cancelled: false,
             }),
             changed: std::sync::Condvar::new(),
             prefetch: self.prefetch,
         });
         // The *window* (how far execution may run ahead) is `prefetch`; the
-        // thread count is additionally capped by the host's parallelism — a
-        // single worker can still fill a deep window, extra threads only pay
-        // off when they can actually run concurrently.
+        // morsel concurrency is additionally capped by the host's
+        // parallelism — a single slot can still fill a deep window, extra
+        // concurrency only pays off when morsels actually run in parallel.
         let parallelism = std::thread::available_parallelism()
             .map(|c| c.get())
             .unwrap_or(4);
-        let worker_count = self.prefetch.min(self.order.len()).min(parallelism).max(1);
-        // Prefetch workers adopt the consumer's trace context so spans from
-        // partitions computed ahead still join the query's span tree.
-        let trace = shark_obs::current();
-        for _ in 0..worker_count {
-            let shared = shared.clone();
-            let ctx = self.job.ctx.clone();
-            let rdd = self.job.rdd.clone();
-            let order = self.order.clone();
-            let sink = self.sink;
-            let f = self.f.clone();
-            self.workers.push(std::thread::spawn(move || {
-                let _trace = trace.as_ref().map(|t| t.attach());
-                loop {
-                    let pos = {
-                        let mut state = shared.lock();
-                        loop {
-                            if state.cancelled || state.next_claim >= order.len() {
-                                return;
-                            }
-                            if state.next_claim < state.deliver_pos + shared.prefetch {
-                                break;
-                            }
-                            state = shared
-                                .changed
-                                .wait(state)
-                                .unwrap_or_else(|e| e.into_inner());
-                        }
-                        let pos = state.next_claim;
-                        state.next_claim += 1;
-                        pos
-                    };
-                    let partition = order[pos];
-                    let f = f.clone();
-                    let outcome =
-                        execute_partition_task(&ctx, &rdd, partition, sink, move |rows, m| {
-                            f(rows, m)
-                        });
-                    let mut state = shared.lock();
-                    if outcome.is_err() {
-                        // Delivery is ordered, so this error will surface at or
-                        // before `pos`; work beyond it would be wasted.
-                        state.cancelled = true;
-                    }
-                    state.ready.insert(pos, outcome);
-                    shared.changed.notify_all();
-                }
-            }));
-        }
+        let max_workers = self.prefetch.min(self.order.len()).min(parallelism).max(1);
+        self.job.set_sim_parallelism(max_workers);
+        let env = Arc::new(PumpEnv {
+            ctx: self.job.ctx.clone(),
+            rdd: self.job.rdd.clone(),
+            order: self.order.clone(),
+            sink: self.sink,
+            f: self.f.clone(),
+            trace: shark_obs::current(),
+            max_workers,
+            shared: shared.clone(),
+        });
+        pump(&env);
         self.pool = Some(shared);
+        self.env = Some(env);
     }
 }
 
@@ -823,6 +884,7 @@ mod tests {
     use super::*;
     use crate::context::{RddConfig, RddContext};
     use shark_cluster::ClusterConfig;
+    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     #[test]
@@ -985,6 +1047,9 @@ mod tests {
         let rdd = ctx.parallelize((0i64..400).collect(), 16).map(|x| x * 3);
         let expected = rdd.collect().unwrap();
         let mut sim_serial = None;
+        let parallelism = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
         for prefetch in [0usize, 1, 2, 7, 32] {
             let mut job = rdd
                 .stream(&format!("pipelined({prefetch})"))
@@ -1005,14 +1070,26 @@ mod tests {
             assert_eq!(partitions, (0..16).collect::<Vec<usize>>());
             assert_eq!(job.delivered(), 16);
             job.finish();
-            // The cluster simulation is booked in delivery order, so the
-            // simulated cost is identical no matter how far workers ran
-            // ahead of the consumer.
+            // Delivered rows are identical at every depth; the simulated
+            // cost reflects how many morsels ran concurrently — at most the
+            // serial sum (prefetch 0/1 matches it exactly), strictly less
+            // once two or more partitions can overlap.
             let sim = job.sim_seconds();
             match sim_serial {
                 None => sim_serial = Some(sim),
                 Some(reference) => {
-                    assert!((sim - reference).abs() < 1e-9, "prefetch={prefetch}")
+                    assert!(
+                        sim <= reference + 1e-9,
+                        "prefetch={prefetch}: {sim} > {reference}"
+                    );
+                    if prefetch <= 1 {
+                        assert!((sim - reference).abs() < 1e-9, "prefetch={prefetch}");
+                    } else if parallelism >= 2 {
+                        assert!(
+                            sim < reference - 1e-9,
+                            "prefetch={prefetch}: no overlap booked"
+                        );
+                    }
                 }
             }
         }

@@ -18,11 +18,11 @@
 //! queries are never victims, and individual partitions can be pinned too.
 //!
 //! A second, per-session layer sits under the global budget: each session
-//! is charged for the tables it explicitly loaded, created, or faulted in
-//! through its queries (first owner wins), and a session over its quota
-//! has *its own* least-recently-used partitions evicted first — the
-//! tenant-isolation lesson of production multi-tenant SQL serving —
-//! before global pressure touches anyone else's.
+//! that loads, creates, or faults in a table joins that table's *owner
+//! set* and is charged a proportional share of its resident bytes, and a
+//! session over its quota has *its own* least-recently-used partitions
+//! evicted first — the tenant-isolation lesson of production multi-tenant
+//! SQL serving — before global pressure touches anyone else's.
 //!
 //! [`MemTable`]: shark_sql::MemTable
 
@@ -102,9 +102,10 @@ struct MemstoreState {
     /// Partitions evicted by policy whose reload has not yet been observed;
     /// touching their table counts as a lineage recompute.
     awaiting_recompute: FxHashMap<String, HashSet<usize>>,
-    /// Which session is charged for each table (the first session that
-    /// loaded or created it).
-    owners: FxHashMap<String, u64>,
+    /// The sessions charged for each table: every session that loaded,
+    /// created, or faulted it in. Each owner is charged a proportional
+    /// share of the table's resident bytes.
+    owners: FxHashMap<String, std::collections::BTreeSet<u64>>,
     evictions: u64,
     evicted_partitions: u64,
     partial_evictions: u64,
@@ -219,21 +220,30 @@ impl MemstoreManager {
         }
     }
 
-    /// Charge a table to a session (the session that loaded or created it).
-    /// The first owner wins: a shared table is charged to whoever faulted
-    /// it in.
+    /// Add a session to a table's owner set (it loaded, created, or faulted
+    /// the table in). A shared table is charged proportionally to every
+    /// owner instead of entirely to whoever touched it first.
     pub fn record_owner(&self, table: &str, session_id: u64) {
         let mut state = self.state.lock();
-        state.owners.entry(table.to_string()).or_insert(session_id);
+        state
+            .owners
+            .entry(table.to_string())
+            .or_default()
+            .insert(session_id);
     }
 
-    /// The session charged for a table, if any.
-    pub fn owner(&self, table: &str) -> Option<u64> {
-        self.state.lock().owners.get(table).copied()
+    /// The sessions charged for a table, in ascending id order.
+    pub fn owners(&self, table: &str) -> Vec<u64> {
+        self.state
+            .lock()
+            .owners
+            .get(table)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
-    /// Resident bytes currently charged to one session (the memstore bytes
-    /// of the tables it owns).
+    /// Resident bytes currently charged to one session: each owned table's
+    /// memstore bytes divided by its number of owners.
     pub fn session_bytes(&self, session_id: u64, catalog: &Catalog) -> u64 {
         let state = self.state.lock();
         Self::session_bytes_locked(&state, session_id, catalog)
@@ -243,8 +253,14 @@ impl MemstoreManager {
         catalog
             .cached_tables()
             .into_iter()
-            .filter(|t| state.owners.get(&t.name) == Some(&session_id))
-            .filter_map(|t| t.cached.as_ref().map(|m| m.memory_bytes()))
+            .filter_map(|t| {
+                let owners = state.owners.get(&t.name)?;
+                if !owners.contains(&session_id) {
+                    return None;
+                }
+                let bytes = t.cached.as_ref().map(|m| m.memory_bytes())?;
+                Some(bytes / owners.len().max(1) as u64)
+            })
             .sum()
     }
 
@@ -272,7 +288,12 @@ impl MemstoreManager {
                 continue;
             }
             if let Some(session) = owner_filter {
-                if state.owners.get(&table.name) != Some(&session) {
+                let owned = state
+                    .owners
+                    .get(&table.name)
+                    .map(|set| set.contains(&session))
+                    .unwrap_or(false);
+                if !owned {
                     continue;
                 }
             }
@@ -560,6 +581,21 @@ impl MemstoreManager {
         names
     }
 
+    /// Partitions of `table` currently pinned individually (by streaming
+    /// cursors that have delivered them), in ascending index order.
+    pub fn pinned_partitions(&self, table: &str) -> Vec<usize> {
+        let mut parts: Vec<usize> = self
+            .state
+            .lock()
+            .partition_pins
+            .keys()
+            .filter(|(name, _)| name == table)
+            .map(|(_, partition)| *partition)
+            .collect();
+        parts.sort_unstable();
+        parts
+    }
+
     /// Tables with evicted-and-not-yet-reloaded partitions, sorted by name.
     pub fn awaiting_recompute(&self) -> Vec<String> {
         let mut names: Vec<String> = self
@@ -834,12 +870,43 @@ mod tests {
     }
 
     #[test]
-    fn owner_is_first_loader_and_forgotten_on_drop() {
+    fn owner_sets_accumulate_and_are_forgotten_on_drop() {
         let manager = MemstoreManager::new(u64::MAX);
         manager.record_owner("t", 3);
         manager.record_owner("t", 9);
-        assert_eq!(manager.owner("t"), Some(3));
+        manager.record_owner("t", 3); // re-faulting the same table is idempotent
+        assert_eq!(manager.owners("t"), vec![3, 9]);
         manager.forget("t");
-        assert_eq!(manager.owner("t"), None);
+        assert!(manager.owners("t").is_empty());
+    }
+
+    #[test]
+    fn shared_tables_charge_each_owner_a_proportional_share() {
+        let catalog = catalog_with_tables(&["shared", "solo"]);
+        load_all(&catalog);
+        let manager = MemstoreManager::new(u64::MAX);
+        let shared_bytes = catalog
+            .get("shared")
+            .unwrap()
+            .cached
+            .as_ref()
+            .unwrap()
+            .memory_bytes();
+        let solo_bytes = catalog
+            .get("solo")
+            .unwrap()
+            .cached
+            .as_ref()
+            .unwrap()
+            .memory_bytes();
+        manager.record_owner("shared", 1);
+        manager.record_owner("shared", 2);
+        manager.record_owner("solo", 1);
+        assert_eq!(
+            manager.session_bytes(1, &catalog),
+            shared_bytes / 2 + solo_bytes
+        );
+        assert_eq!(manager.session_bytes(2, &catalog), shared_bytes / 2);
+        assert_eq!(manager.session_bytes(3, &catalog), 0);
     }
 }

@@ -48,6 +48,12 @@ pub struct ServerConfig {
     /// queries. A cursor asking for more is granted what remains (possibly
     /// 0 — serial streaming, never rejection).
     pub max_total_prefetch: usize,
+    /// Worker threads of the process-wide work-stealing executor every
+    /// query's tasks run on. `None` leaves the size to the
+    /// `SHARK_EXECUTOR_THREADS` environment variable (falling back to the
+    /// host's parallelism). The pool is process-wide and sized once: the
+    /// first server to start wins, later values are ignored.
+    pub executor_threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +66,7 @@ impl Default for ServerConfig {
             max_concurrent_queries: 4,
             max_queued_queries: 64,
             max_total_prefetch: 8,
+            executor_threads: None,
         }
     }
 }
@@ -87,6 +94,12 @@ impl ServerConfig {
     /// Set the aggregate streaming-prefetch budget.
     pub fn with_prefetch_budget(mut self, total: usize) -> ServerConfig {
         self.max_total_prefetch = total;
+        self
+    }
+
+    /// Size the process-wide work-stealing executor (first server wins).
+    pub fn with_executor_threads(mut self, threads: usize) -> ServerConfig {
+        self.executor_threads = Some(threads);
         self
     }
 }
@@ -145,6 +158,9 @@ pub struct SharkServer {
 impl SharkServer {
     /// Start a server from a configuration.
     pub fn new(config: ServerConfig) -> SharkServer {
+        if let Some(threads) = config.executor_threads {
+            shark_rdd::Executor::configure_global(threads);
+        }
         SharkServer {
             shared: Arc::new(ServerShared {
                 ctx: RddContext::new(config.rdd),
@@ -232,6 +248,12 @@ impl SharkServer {
     /// Tables currently pinned by in-flight queries or open cursors.
     pub fn pinned_tables(&self) -> Vec<String> {
         self.shared.memstore.pinned_tables()
+    }
+
+    /// Partitions of `table` individually pinned by streaming cursors that
+    /// have delivered them, in ascending index order.
+    pub fn pinned_partitions(&self, table: &str) -> Vec<usize> {
+        self.shared.memstore.pinned_partitions(table)
     }
 
     /// Queries currently executing (holding admission permits) — streaming
@@ -486,10 +508,12 @@ impl SessionHandle {
 
     /// Execute a SELECT under admission control and return a streaming
     /// [`QueryCursor`]: row batches are delivered as partitions finish, and
-    /// the cursor holds the admission permit *and* the memstore pins on the
-    /// referenced tables until it is exhausted or dropped — so budget
-    /// enforcement can never evict a table out from under an in-flight
-    /// stream, and a LIMIT stream stops launching partitions early.
+    /// the cursor holds the admission permit *and* memstore pins until it
+    /// is exhausted or dropped. Multi-table pipelines keep whole-table
+    /// pins; a single-scan stream pins only the partitions it has actually
+    /// delivered, so a long-lived cursor leaves the rest of the table
+    /// evictable (evicted partitions are rebuilt from lineage when their
+    /// morsel runs). A LIMIT stream stops launching partitions early.
     pub fn sql_stream(&self, text: &str) -> Result<QueryCursor<'_>> {
         let shared = &self.shared;
         let statement = match shark_sql::parser::parse_select(text) {
@@ -537,22 +561,40 @@ impl SessionHandle {
         let prefetch = shared.acquire_prefetch(self.sql.stream_prefetch());
         let admitted_at = Instant::now();
         match self.sql.sql_to_stream(&statement) {
-            Ok(stream) => Ok(QueryCursor {
-                session: self,
-                permit: Some(permit),
-                stream: stream.with_prefetch(prefetch),
-                tables,
-                residency_before,
-                statement: text.to_string(),
-                queue_wait,
-                admitted_at,
-                recomputed_tables,
-                cache_hit_bytes,
-                prefetch,
-                root,
-                failed: false,
-                finalized: false,
-            }),
+            Ok(stream) => {
+                let stream = stream.with_prefetch(prefetch);
+                // Single-scan streams swap the whole-table pin for
+                // partition-granular pins on delivered partitions: a
+                // long-lived cursor no longer holds every partition of the
+                // table hostage against eviction — undelivered partitions
+                // stay evictable and are rebuilt from lineage if a morsel
+                // needs one after pressure took it.
+                let mut tables = tables;
+                let scan_table = stream.single_scan_table().and_then(|scan| {
+                    let at = tables.iter().position(|t| t == scan)?;
+                    let released = tables.remove(at);
+                    shared.memstore.unpin(std::slice::from_ref(&released));
+                    Some(released)
+                });
+                Ok(QueryCursor {
+                    session: self,
+                    permit: Some(permit),
+                    stream,
+                    tables,
+                    scan_table,
+                    pinned_partitions: 0,
+                    residency_before,
+                    statement: text.to_string(),
+                    queue_wait,
+                    admitted_at,
+                    recomputed_tables,
+                    cache_hit_bytes,
+                    prefetch,
+                    root,
+                    failed: false,
+                    finalized: false,
+                })
+            }
             Err(err) => {
                 // Planning failed: release everything and record the
                 // failure before the permit drops.
@@ -741,7 +783,16 @@ pub struct QueryCursor<'s> {
     session: &'s SessionHandle,
     permit: Option<AdmissionPermit<'s>>,
     stream: QueryStream,
+    /// Tables held under whole-table pins for the cursor's lifetime
+    /// (everything referenced except a single-scan target).
     tables: Vec<String>,
+    /// Single-scan target pinned at partition granularity instead: only
+    /// partitions the stream has delivered are pinned, via
+    /// [`QueryCursor::sync_partition_pins`].
+    scan_table: Option<String>,
+    /// How many entries of the stream's delivered-partition list have been
+    /// pinned so far (the list is append-only).
+    pinned_partitions: usize,
     /// Referenced tables' resident bytes at admission, for fault-in
     /// ownership attribution on finalize.
     residency_before: Vec<(String, u64)>,
@@ -784,7 +835,10 @@ impl QueryCursor<'_> {
             return Ok(None);
         }
         match self.stream.next_batch() {
-            Ok(Some(batch)) => Ok(Some(batch)),
+            Ok(Some(batch)) => {
+                self.sync_partition_pins();
+                Ok(Some(batch))
+            }
             Ok(None) => {
                 self.finalize();
                 Ok(None)
@@ -795,6 +849,18 @@ impl QueryCursor<'_> {
                 Err(err)
             }
         }
+    }
+
+    /// Pin every newly delivered partition of the single-scan table.
+    fn sync_partition_pins(&mut self) {
+        let Some(table) = &self.scan_table else {
+            return;
+        };
+        let delivered = self.stream.delivered_scan_partitions();
+        for &partition in &delivered[self.pinned_partitions..] {
+            self.session.shared.memstore.pin_partition(table, partition);
+        }
+        self.pinned_partitions = delivered.len();
     }
 
     /// Drain the rest of the stream into one vector (closing the cursor).
@@ -829,6 +895,12 @@ impl QueryCursor<'_> {
         let sim_seconds = self.stream.sim_seconds();
         shared.release_prefetch(self.prefetch);
         shared.memstore.unpin(&self.tables);
+        if let Some(table) = &self.scan_table {
+            let delivered = self.stream.delivered_scan_partitions();
+            for &partition in &delivered[..self.pinned_partitions] {
+                shared.memstore.unpin_partition(table, partition);
+            }
+        }
         // Charge faulted-in tables, then re-enforce quota + budget while
         // still holding the permit, exactly as the batch path does on
         // completion.

@@ -224,15 +224,24 @@ fn dropping_a_cursor_mid_stream_releases_pins_and_permit() {
     let mut cursor = session.sql_stream("SELECT k FROM t0").unwrap();
     let first = cursor.next_batch().unwrap().expect("first batch");
     assert!(!first.is_empty());
-    // Mid-stream: the cursor still holds the permit and the table pin.
+    // Mid-stream: the cursor still holds the permit. A single-scan stream
+    // swaps the whole-table pin for per-partition pins covering exactly the
+    // partitions it has delivered so far — the rest stay evictable.
     assert_eq!(server.running_queries(), 1);
-    assert_eq!(server.pinned_tables(), vec!["t0".to_string()]);
+    assert!(server.pinned_tables().is_empty());
+    let pinned = server.pinned_partitions("t0");
+    assert!(!pinned.is_empty(), "delivered partitions must be pinned");
+    assert!(
+        pinned.len() < PARTITIONS,
+        "undelivered partitions stay free"
+    );
     // With one slot and zero queue spots, a second query is rejected.
     assert!(session.sql("SELECT COUNT(*) FROM t0").is_err());
 
     drop(cursor);
     assert_eq!(server.running_queries(), 0);
     assert!(server.pinned_tables().is_empty());
+    assert!(server.pinned_partitions("t0").is_empty());
     // The slot is free again.
     assert!(session.sql("SELECT COUNT(*) FROM t0").is_ok());
 
@@ -248,7 +257,7 @@ fn dropping_a_cursor_mid_stream_releases_pins_and_permit() {
 }
 
 #[test]
-fn open_cursor_pins_its_table_against_budget_enforcement() {
+fn open_cursor_pins_delivered_partitions_against_budget_enforcement() {
     // Budget fits roughly one table, so loading t1 pushes residency over.
     let sizing = server_with(&["t0", "t1"], ServerConfig::default());
     let budget = sizing.catalog().memstore_bytes() * 6 / 10;
@@ -270,20 +279,28 @@ fn open_cursor_pins_its_table_against_budget_enforcement() {
     let streaming_session = server.session();
     let mut cursor = streaming_session.sql_stream("SELECT k FROM t0").unwrap();
     let first = cursor.next_batch().unwrap().expect("first batch");
+    let delivered = server.pinned_partitions("t0");
+    assert!(!delivered.is_empty(), "delivered partitions must be pinned");
 
-    // A concurrent query loads t1, blowing the budget; enforcement must
-    // evict t1 (unpinned once its query finishes), never the pinned t0.
+    // A concurrent query loads t1, blowing the budget. Enforcement may now
+    // evict *undelivered* t0 partitions (rebuilt from lineage if the stream
+    // reaches them), but never the partition-pinned delivered ones.
     let other = server.session();
     other.sql("SELECT COUNT(*) FROM t1").unwrap();
 
     let t0 = server.catalog().get("t0").unwrap();
-    assert_eq!(
-        t0.cached.as_ref().unwrap().loaded_partitions(),
-        PARTITIONS,
-        "pinned table must survive enforcement"
-    );
+    let cached = t0.cached.as_ref().unwrap();
+    for p in &delivered {
+        assert!(
+            cached.is_loaded(*p),
+            "delivered partition {p} must survive enforcement"
+        );
+    }
+    // Even if enforcement evicted undelivered partitions, the stream drains
+    // byte-identically — evicted partitions are rebuilt from lineage.
     let rest = cursor.fetch_all().unwrap();
     assert_eq!(first.len() + rest.len(), PARTITIONS * ROWS_PER_PARTITION);
+    assert!(server.pinned_partitions("t0").is_empty());
 }
 
 #[test]

@@ -83,6 +83,14 @@ impl SqlSession {
         self.exec.stream_prefetch
     }
 
+    /// Toggle the vectorized batch execution path. When disabled, scans and
+    /// aggregations fall back to row-at-a-time evaluation — the two paths
+    /// produce byte-identical results, so this exists for A/B comparison and
+    /// regression testing.
+    pub fn set_vectorized(&mut self, vectorized: bool) {
+        self.exec.vectorized = vectorized;
+    }
+
     /// Register a user-defined scalar function usable from SQL.
     pub fn register_udf<F>(&mut self, name: &str, f: F)
     where

@@ -29,7 +29,7 @@ use crate::catalog::{CatalogSnapshot, TableMeta};
 use crate::expr::BoundExpr;
 use crate::pde::{choose_join_strategy, coalesce_buckets, JoinStrategy};
 use crate::plan::{AggregateNode, OutputRef, QueryPlan, ScanNode};
-use crate::scan::{prune_partitions, DfsScanRdd, MemTableScanRdd};
+use crate::scan::{prune_partitions, DfsScanRdd, MemAggScanRdd, MemTableScanRdd};
 
 /// Which engine the executor should emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,11 @@ pub struct ExecConfig {
     /// How many result partitions a [`QueryStream`] may execute ahead of the
     /// consumer (0 = serial: each partition runs inside `next_batch`).
     pub stream_prefetch: usize,
+    /// Batch-at-a-time execution over the compressed columnar encodings
+    /// (selection vectors, run skipping, dictionary-coded group-by keys,
+    /// late materialization). Off falls back to the decode-then-filter row
+    /// path; both produce byte-identical results.
+    pub vectorized: bool,
 }
 
 impl ExecConfig {
@@ -88,6 +93,7 @@ impl ExecConfig {
             max_reducers: 1000,
             pde_prioritize_small_side: true,
             stream_prefetch: 2,
+            vectorized: true,
         }
     }
 
@@ -125,6 +131,9 @@ impl ExecConfig {
             max_reducers: 1000,
             pde_prioritize_small_side: false,
             stream_prefetch: 0,
+            // Hive's scans are row-oriented from the DFS; the flag only
+            // affects memstore scans and is kept off for fidelity.
+            vectorized: false,
         }
     }
 }
@@ -374,6 +383,14 @@ pub struct QueryStream {
     /// memstore resident (deferred reclamation) and the cursor drains
     /// byte-identical to a snapshot-time blocking query.
     snapshot: Option<Arc<CatalogSnapshot>>,
+    /// When the pipeline is a narrow chain over one memstore scan: the
+    /// scanned table's name plus, aligned with result partitions, the
+    /// original table partition each result partition reads. Lets serving
+    /// layers pin only the partitions a cursor has actually consumed.
+    scan_pin: Option<(String, Vec<usize>)>,
+    /// Original table partitions whose result partition has been executed
+    /// and delivered to this cursor, in delivery order.
+    delivered_scan: Vec<usize>,
     done: bool,
 }
 
@@ -447,6 +464,34 @@ impl QueryStream {
     pub(crate) fn with_snapshot(mut self, snapshot: Arc<CatalogSnapshot>) -> QueryStream {
         self.snapshot = Some(snapshot);
         self
+    }
+
+    /// The table this stream scans, when the whole pipeline is a narrow
+    /// chain over a single memstore scan. Serving layers use this with
+    /// [`QueryStream::delivered_scan_partitions`] to pin at partition
+    /// granularity instead of holding the whole table for the cursor's
+    /// lifetime.
+    pub fn single_scan_table(&self) -> Option<&str> {
+        self.scan_pin.as_ref().map(|(name, _)| name.as_str())
+    }
+
+    /// Original table partitions (of [`QueryStream::single_scan_table`])
+    /// whose result partition has been executed and delivered, in delivery
+    /// order. Empty for multi-table or aggregated pipelines.
+    pub fn delivered_scan_partitions(&self) -> &[usize] {
+        &self.delivered_scan
+    }
+
+    /// Advance the underlying job and record which original table
+    /// partition the delivered result partition read.
+    fn job_next(&mut self) -> Result<Option<(usize, Vec<Row>)>> {
+        let next = self.job.next()?;
+        if let (Some((partition, _)), Some((_, selected))) = (&next, &self.scan_pin) {
+            if let Some(&original) = selected.get(*partition) {
+                self.delivered_scan.push(original);
+            }
+        }
+        Ok(next)
     }
 
     /// Produce the next batch of rows, or `None` when the stream is
@@ -544,7 +589,7 @@ impl QueryStream {
     /// One batch from the unordered path: the next non-empty partition's
     /// rows, truncated to the remaining LIMIT budget.
     fn next_unordered_batch(&mut self) -> Result<Option<Vec<Row>>> {
-        while let Some((_partition, rows)) = self.job.next()? {
+        while let Some((_partition, rows)) = self.job_next()? {
             self.progress.partitions_streamed += 1;
             if rows.is_empty() {
                 continue;
@@ -601,7 +646,7 @@ impl QueryStream {
                         break;
                     }
                 }
-                let Some((partition, rows)) = self.job.next()? else {
+                let Some((partition, rows)) = self.job_next()? else {
                     break;
                 };
                 self.progress.partitions_streamed += 1;
@@ -841,6 +886,10 @@ pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
         }
     });
     job.set_prefetch(cfg.stream_prefetch);
+    let scan_pin = table_rdd
+        .single_scan
+        .as_ref()
+        .map(|info| (info.table.name.clone(), info.selected.clone()));
     Ok(QueryStream {
         trace: shark_obs::current(),
         job,
@@ -860,6 +909,8 @@ pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
         },
         prefetch_noted: false,
         snapshot: None,
+        scan_pin,
+        delivered_scan: Vec::new(),
         done: false,
     })
 }
@@ -869,6 +920,20 @@ pub fn execute_stream(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> R
 /// LIMIT pushdown is.
 pub fn build_pipeline(ctx: &RddContext, plan: &QueryPlan, cfg: &ExecConfig) -> Result<TableRdd> {
     let mut notes = Vec::new();
+
+    // ----- fused vectorized scan + partial aggregate ----------------------------
+    // A single-table memstore aggregation keeps the batch columnar from the
+    // cache straight into the per-group partial states: no intermediate
+    // `Row`s, dictionary-coded group-by keys aggregate by code.
+    if let Some(rdd) = build_fused_aggregation(ctx, plan, cfg, &mut notes)? {
+        return Ok(TableRdd {
+            rdd,
+            schema: plan.output_schema.clone(),
+            notes,
+            single_scan: None,
+            snapshot: None,
+        });
+    }
 
     // ----- scans ---------------------------------------------------------------
     let mut scan_rdds: Vec<Rdd<Row>> = Vec::new();
@@ -982,6 +1047,7 @@ fn build_scan(
             selected.clone(),
             scan.projection.clone(),
             scan.filters.clone(),
+            cfg.vectorized,
         )?;
         let info = SingleScanInfo {
             table: scan.table.clone(),
@@ -1298,6 +1364,70 @@ fn charge_hive_intermediate(ctx: &RddContext, plan: &QueryPlan, notes: &mut Vec<
     ));
 }
 
+/// Per-row expression cost of the partial-aggregation step (group keys plus
+/// aggregate arguments) — charged identically by the row path's
+/// `partial-aggregate` operator and the fused vectorized scan.
+fn partial_agg_ops(agg: &AggregateNode) -> f64 {
+    agg.group_exprs.iter().map(BoundExpr::op_count).sum::<f64>()
+        + agg
+            .aggs
+            .iter()
+            .filter_map(|a| a.arg.as_ref().map(BoundExpr::op_count))
+            .sum::<f64>()
+        + 2.0
+}
+
+/// When the whole plan is `scan → filter → aggregate` over one cached table
+/// and vectorized execution is on, fuse the scan and the partial aggregation
+/// into a single columnar operator and return the finished pipeline.
+fn build_fused_aggregation(
+    ctx: &RddContext,
+    plan: &QueryPlan,
+    cfg: &ExecConfig,
+    notes: &mut Vec<String>,
+) -> Result<Option<Rdd<Row>>> {
+    let use_memstore = matches!(
+        cfg.mode,
+        ExecutionMode::Shark {
+            use_memstore: true,
+            ..
+        }
+    );
+    let Some(agg) = &plan.aggregate else {
+        return Ok(None);
+    };
+    if !cfg.vectorized
+        || !use_memstore
+        || plan.scans.len() != 1
+        || !plan.joins.is_empty()
+        || plan.residual_filter.is_some()
+        || !plan.scans[0].table.is_cached()
+    {
+        return Ok(None);
+    }
+    let scan = &plan.scans[0];
+    let mem = scan.table.cached.as_ref().unwrap();
+    let (selected, pruned) = prune_partitions(&scan.table, mem, &scan.filters, &scan.projection);
+    if pruned > 0 {
+        notes.push(format!(
+            "map pruning: skipped {pruned}/{} partitions of {}",
+            scan.table.num_partitions, scan.table.name
+        ));
+    }
+    let pairs = MemAggScanRdd::create(
+        ctx,
+        scan.table.clone(),
+        selected,
+        scan.projection.clone(),
+        scan.filters.clone(),
+        agg.group_exprs.clone(),
+        agg.aggs.clone(),
+        partial_agg_ops(agg),
+    )?;
+    notes.push("vectorized: fused scan + partial aggregation over columnar batches".into());
+    Ok(Some(finish_aggregation(cfg, notes, pairs, agg)?))
+}
+
 /// Build the aggregation stage.
 fn build_aggregation(
     _ctx: &RddContext,
@@ -1308,12 +1438,7 @@ fn build_aggregation(
 ) -> Result<Rdd<Row>> {
     let group_exprs = agg.group_exprs.clone();
     let agg_exprs: Vec<AggExpr> = agg.aggs.clone();
-    let ops: f64 = group_exprs.iter().map(BoundExpr::op_count).sum::<f64>()
-        + agg_exprs
-            .iter()
-            .filter_map(|a| a.arg.as_ref().map(BoundExpr::op_count))
-            .sum::<f64>()
-        + 2.0;
+    let ops = partial_agg_ops(agg);
 
     // Map each row to (group key, single-row partial state).
     let agg_for_map = agg_exprs.clone();
@@ -1327,7 +1452,18 @@ fn build_aggregation(
             })
             .collect::<Vec<(Row, AggStates)>>()
     });
+    finish_aggregation(cfg, notes, pairs, agg)
+}
 
+/// Shuffle the `(group key, partial state)` pairs, merge states per key, and
+/// finalize output rows in SELECT order (applying HAVING). Shared by the
+/// row-at-a-time and fused vectorized aggregation paths.
+fn finish_aggregation(
+    cfg: &ExecConfig,
+    notes: &mut Vec<String>,
+    pairs: Rdd<(Row, AggStates)>,
+    agg: &AggregateNode,
+) -> Result<Rdd<Row>> {
     let aggregator: Aggregator<AggStates, AggStates> = Aggregator::new(
         |s| s,
         |c: AggStates, s: AggStates| c.merge(&s),

@@ -502,7 +502,7 @@ impl BoundExpr {
     }
 }
 
-fn flip(op: BinaryOp) -> BinaryOp {
+pub(crate) fn flip(op: BinaryOp) -> BinaryOp {
     match op {
         BinaryOp::Lt => BinaryOp::Gt,
         BinaryOp::LtEq => BinaryOp::GtEq,

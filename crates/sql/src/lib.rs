@@ -24,6 +24,7 @@ pub mod parser;
 pub mod pde;
 pub mod plan;
 pub mod scan;
+pub mod vector;
 
 pub use aggregate::{AggExpr, AggFunc, AggState, AggStates};
 pub use catalog::{
@@ -36,3 +37,4 @@ pub use exec::{
 pub use expr::{BoundExpr, ScalarFunc, UdfRegistry};
 pub use pde::{choose_join_strategy, coalesce_buckets, JoinStrategy};
 pub use plan::{plan_select, QueryPlan};
+pub use vector::FilterKernel;

@@ -14,14 +14,16 @@
 use std::sync::Arc;
 
 use shark_cluster::InputSource;
-use shark_columnar::ColumnarPartition;
+use shark_columnar::{ColumnBatch, ColumnarPartition};
 use shark_common::size::estimate_slice;
 use shark_common::{Result, Row};
 use shark_rdd::rdd::{Lineage, RddImpl, ShuffleDepHandle};
 use shark_rdd::{Rdd, RddContext, TaskMetrics};
 
+use crate::aggregate::{AggExpr, AggStates};
 use crate::catalog::{MemTable, TableMeta};
 use crate::expr::BoundExpr;
+use crate::vector::{vector_partial_aggregate, FilterKernel};
 
 /// Cached unified-registry handles for the hot scan-path counters.
 struct ScanMetrics {
@@ -59,6 +61,79 @@ fn apply_filters(rows: &mut Vec<Row>, filters: &[BoundExpr], metrics: &mut TaskM
     }
 }
 
+/// Fetch one partition of a cached table in columnar form, charging the
+/// memstore-hit or lineage-rebuild cost. Shared by the row and vectorized
+/// scan RDDs and by the fused aggregate scan — all three charge identically.
+///
+/// On a miss the partition is recomputed from the table's base generator
+/// (the lineage-recovery path of Figure 9, now also the partial-eviction
+/// reload path). Resident partitions are never touched. A *retired*
+/// memtable — its table version was dropped from the catalog and awaits
+/// deferred reclamation — is read through without repopulating it:
+/// rebuilding partitions into storage that is about to be reclaimed would
+/// leak bytes past the deferred-drop accounting and count rebuilds against
+/// a table that no longer exists.
+fn load_partition(
+    table: &TableMeta,
+    mem: &MemTable,
+    original: usize,
+    projection: &[usize],
+    metrics: &mut TaskMetrics,
+) -> Arc<ColumnarPartition> {
+    match mem.get(original) {
+        Some(c) => {
+            // Charge only the projected columns' encoded bytes (§3.2).
+            let bytes: usize = projection.iter().map(|&c2| c.column_bytes(c2)).sum();
+            metrics.record_input(
+                c.num_rows() as u64,
+                bytes as u64,
+                InputSource::CachedColumnar,
+            );
+            scan_metrics().cache_hits.inc();
+            scan_metrics().cache_hit_bytes.add(bytes as u64);
+            if shark_obs::active() {
+                shark_obs::annotate("cache", "hit");
+            }
+            c
+        }
+        None => {
+            let rows = (table.base)(original);
+            let bytes = estimate_slice(&rows) as u64;
+            metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
+            metrics.add_ops(rows.len() as f64 * 4.0); // rebuild columnar form
+            let rebuilt = Arc::new(ColumnarPartition::from_rows(&table.schema, &rows));
+            if !mem.is_retired() {
+                mem.put(original, rebuilt.clone());
+                mem.record_rebuild();
+                scan_metrics().rebuilds.inc();
+                if shark_obs::active() {
+                    shark_obs::annotate("rebuild", "lineage");
+                }
+            }
+            rebuilt
+        }
+    }
+}
+
+/// Run the compiled filter kernels over a batch, charging exactly what the
+/// row path's [`apply_filters`] charges (each filter pays for the rows still
+/// alive when it runs), and annotate the operator span with the batch
+/// selectivity.
+fn apply_kernels(
+    batch: &mut ColumnBatch<'_>,
+    filters: &[BoundExpr],
+    kernels: &[FilterKernel],
+    metrics: &mut TaskMetrics,
+) {
+    for (f, kernel) in filters.iter().zip(kernels.iter()) {
+        metrics.add_ops(batch.num_selected() as f64 * f.op_count());
+        kernel.apply(batch);
+    }
+    if shark_obs::active() && !filters.is_empty() {
+        shark_obs::annotate("batch", &format!("selected={}", batch.num_selected()));
+    }
+}
+
 /// Scan of a cached, columnar table (the Shark memstore path).
 pub struct MemTableScanRdd {
     id: usize,
@@ -69,6 +144,11 @@ pub struct MemTableScanRdd {
     /// Original column indices to project.
     projection: Arc<Vec<usize>>,
     filters: Arc<Vec<BoundExpr>>,
+    /// Batch kernels compiled from `filters` (used when `vectorized`).
+    kernels: Arc<Vec<FilterKernel>>,
+    /// Batch-at-a-time execution over the compressed encodings (late
+    /// materialization); false falls back to decode-then-filter rows.
+    vectorized: bool,
 }
 
 impl MemTableScanRdd {
@@ -79,10 +159,12 @@ impl MemTableScanRdd {
         selected: Vec<usize>,
         projection: Vec<usize>,
         filters: Vec<BoundExpr>,
+        vectorized: bool,
     ) -> Result<Rdd<Row>> {
         let mem = table.cached.clone().ok_or_else(|| {
             shark_common::SharkError::Plan(format!("table '{}' is not cached", table.name))
         })?;
+        let kernels = filters.iter().map(FilterKernel::compile).collect();
         let inner = MemTableScanRdd {
             id: ctx.next_rdd_id(),
             table,
@@ -90,6 +172,8 @@ impl MemTableScanRdd {
             selected: Arc::new(selected),
             projection: Arc::new(projection),
             filters: Arc::new(filters),
+            kernels: Arc::new(kernels),
+            vectorized,
         };
         Ok(Rdd::new(ctx.clone(), Arc::new(inner)))
     }
@@ -112,53 +196,111 @@ impl RddImpl<Row> for MemTableScanRdd {
         metrics: &mut TaskMetrics,
     ) -> Result<Vec<Row>> {
         let original = self.selected[partition];
-        let columnar = match self.mem.get(original) {
-            Some(c) => {
-                // Charge only the projected columns' encoded bytes (§3.2).
-                let bytes: usize = self.projection.iter().map(|&c2| c.column_bytes(c2)).sum();
-                metrics.record_input(
-                    c.num_rows() as u64,
-                    bytes as u64,
-                    InputSource::CachedColumnar,
-                );
-                scan_metrics().cache_hits.inc();
-                scan_metrics().cache_hit_bytes.add(bytes as u64);
-                if shark_obs::active() {
-                    shark_obs::annotate("cache", "hit");
-                }
-                c
-            }
-            None => {
-                // The partition is missing — evicted under memory pressure
-                // or lost to a node failure. Either way, recompute exactly
-                // this partition from the base data: the lineage-recovery
-                // path of Figure 9, now also the partial-eviction reload
-                // path. Resident partitions are never touched. A *retired*
-                // memtable — its table version was dropped from the catalog
-                // and awaits deferred reclamation — is read through without
-                // repopulating it: rebuilding partitions into storage that
-                // is about to be reclaimed would leak bytes past the
-                // deferred-drop accounting and count rebuilds against a
-                // table that no longer exists.
-                let rows = (self.table.base)(original);
-                let bytes = estimate_slice(&rows) as u64;
-                metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
-                metrics.add_ops(rows.len() as f64 * 4.0); // rebuild columnar form
-                let rebuilt = Arc::new(ColumnarPartition::from_rows(&self.table.schema, &rows));
-                if !self.mem.is_retired() {
-                    self.mem.put(original, rebuilt.clone());
-                    self.mem.record_rebuild();
-                    scan_metrics().rebuilds.inc();
-                    if shark_obs::active() {
-                        shark_obs::annotate("rebuild", "lineage");
-                    }
-                }
-                rebuilt
-            }
+        let columnar = load_partition(&self.table, &self.mem, original, &self.projection, metrics);
+        if self.vectorized {
+            // Batch path: predicates narrow a selection vector over the
+            // compressed encodings; rows are built only for survivors.
+            let mut batch = ColumnBatch::new(&columnar, &self.projection);
+            apply_kernels(&mut batch, &self.filters, &self.kernels, metrics);
+            Ok(batch.materialize())
+        } else {
+            let mut rows = columnar.project_rows(&self.projection);
+            apply_filters(&mut rows, &self.filters, metrics);
+            Ok(rows)
+        }
+    }
+    fn parents(&self) -> Vec<Arc<dyn Lineage>> {
+        Vec::new()
+    }
+    fn shuffle_deps(&self) -> Vec<Arc<dyn ShuffleDepHandle>> {
+        Vec::new()
+    }
+    fn preferred_node(&self, _ctx: &RddContext, partition: usize) -> Option<usize> {
+        Some(self.mem.placement(self.selected[partition]))
+    }
+}
+
+/// Fused scan → filter → partial-aggregate over a cached table: the batch
+/// stays columnar from the memstore all the way into the per-group
+/// aggregation states, so group keys and aggregate inputs are never
+/// materialized as intermediate `Row`s (dictionary-coded group-by keys
+/// aggregate by code). Emits the same `(group key, partial state)` pairs —
+/// one per group per partition, folded in row order — that the row path's
+/// per-row partial-aggregate produces after its map-side combine.
+pub struct MemAggScanRdd {
+    id: usize,
+    table: Arc<TableMeta>,
+    mem: Arc<MemTable>,
+    selected: Arc<Vec<usize>>,
+    projection: Arc<Vec<usize>>,
+    filters: Arc<Vec<BoundExpr>>,
+    kernels: Arc<Vec<FilterKernel>>,
+    group_exprs: Arc<Vec<BoundExpr>>,
+    aggs: Arc<Vec<AggExpr>>,
+    /// Expression cost per surviving row (matches the row path's
+    /// partial-aggregate charge).
+    agg_ops_per_row: f64,
+}
+
+impl MemAggScanRdd {
+    /// Build a fused scan+aggregate RDD over a cached table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        ctx: &RddContext,
+        table: Arc<TableMeta>,
+        selected: Vec<usize>,
+        projection: Vec<usize>,
+        filters: Vec<BoundExpr>,
+        group_exprs: Vec<BoundExpr>,
+        aggs: Vec<AggExpr>,
+        agg_ops_per_row: f64,
+    ) -> Result<Rdd<(Row, AggStates)>> {
+        let mem = table.cached.clone().ok_or_else(|| {
+            shark_common::SharkError::Plan(format!("table '{}' is not cached", table.name))
+        })?;
+        let kernels = filters.iter().map(FilterKernel::compile).collect();
+        let inner = MemAggScanRdd {
+            id: ctx.next_rdd_id(),
+            table,
+            mem,
+            selected: Arc::new(selected),
+            projection: Arc::new(projection),
+            filters: Arc::new(filters),
+            kernels: Arc::new(kernels),
+            group_exprs: Arc::new(group_exprs),
+            aggs: Arc::new(aggs),
+            agg_ops_per_row,
         };
-        let mut rows = columnar.project_rows(&self.projection);
-        apply_filters(&mut rows, &self.filters, metrics);
-        Ok(rows)
+        Ok(Rdd::new(ctx.clone(), Arc::new(inner)))
+    }
+}
+
+impl RddImpl<(Row, AggStates)> for MemAggScanRdd {
+    fn id(&self) -> usize {
+        self.id
+    }
+    fn name(&self) -> String {
+        format!("memstore_scan({})", self.table.name)
+    }
+    fn num_partitions(&self) -> usize {
+        self.selected.len()
+    }
+    fn compute(
+        &self,
+        _ctx: &RddContext,
+        partition: usize,
+        metrics: &mut TaskMetrics,
+    ) -> Result<Vec<(Row, AggStates)>> {
+        let original = self.selected[partition];
+        let columnar = load_partition(&self.table, &self.mem, original, &self.projection, metrics);
+        let mut batch = ColumnBatch::new(&columnar, &self.projection);
+        apply_kernels(&mut batch, &self.filters, &self.kernels, metrics);
+        metrics.add_ops(batch.num_selected() as f64 * self.agg_ops_per_row);
+        let groups = vector_partial_aggregate(&batch, &self.group_exprs, &self.aggs);
+        if shark_obs::active() {
+            shark_obs::annotate("fused", "partial-aggregate");
+        }
+        Ok(groups)
     }
     fn parents(&self) -> Vec<Arc<dyn Lineage>> {
         Vec::new()
@@ -352,8 +494,8 @@ mod tests {
         let meta = Arc::new(table());
         load(&meta);
         let projection = vec![0usize, 2];
-        let rdd =
-            MemTableScanRdd::create(&ctx, meta.clone(), vec![1, 4], projection, vec![]).unwrap();
+        let rdd = MemTableScanRdd::create(&ctx, meta.clone(), vec![1, 4], projection, vec![], true)
+            .unwrap();
         assert_eq!(rdd.num_partitions(), 2);
         let rows = rdd.collect().unwrap();
         assert_eq!(rows.len(), 100);
@@ -380,6 +522,7 @@ mod tests {
             (0..meta.num_partitions).collect(),
             vec![0, 1, 2],
             vec![],
+            true,
         )
         .unwrap();
         let rows = rdd.collect().unwrap();
@@ -407,6 +550,7 @@ mod tests {
             (0..meta.num_partitions).collect(),
             vec![0, 1, 2],
             vec![],
+            true,
         )
         .unwrap();
         let rows = rdd.collect().unwrap();
@@ -414,6 +558,92 @@ mod tests {
         assert!(!mem.is_loaded(2), "read-through must not repopulate");
         assert_eq!(mem.rebuilds(), 0);
         assert_eq!(mem.memory_bytes(), resident_bytes);
+    }
+
+    #[test]
+    fn vectorized_scan_matches_row_scan_exactly() {
+        let meta = Arc::new(table());
+        load(&meta);
+        let projection = vec![0usize, 1, 2];
+        let projected = meta.schema.project(&projection);
+        for pred in ["day >= 2", "country = 'US'", "metric * 2.0 > 10.0"] {
+            let filters = vec![bind_filter(pred, &projected)];
+            let mut outputs = Vec::new();
+            for vectorized in [false, true] {
+                let ctx = RddContext::local();
+                let rdd = MemTableScanRdd::create(
+                    &ctx,
+                    meta.clone(),
+                    (0..meta.num_partitions).collect(),
+                    projection.clone(),
+                    filters.clone(),
+                    vectorized,
+                )
+                .unwrap();
+                outputs.push(rdd.collect().unwrap());
+            }
+            assert_eq!(outputs[0], outputs[1], "{pred}");
+        }
+    }
+
+    #[test]
+    fn fused_aggregate_scan_matches_row_pipeline_fold() {
+        use crate::aggregate::AggFunc;
+        let ctx = RddContext::local();
+        let meta = Arc::new(table());
+        load(&meta);
+        let projection = vec![0usize, 1, 2];
+        let projected = meta.schema.project(&projection);
+        let filters = vec![bind_filter("day < 5", &projected)];
+        let group = vec![BoundExpr::Column(1)];
+        let aggs = vec![
+            AggExpr {
+                func: AggFunc::Count,
+                arg: None,
+            },
+            AggExpr {
+                func: AggFunc::Avg,
+                arg: Some(BoundExpr::Column(2)),
+            },
+        ];
+        let rdd = MemAggScanRdd::create(
+            &ctx,
+            meta.clone(),
+            (0..meta.num_partitions).collect(),
+            projection.clone(),
+            filters.clone(),
+            group.clone(),
+            aggs.clone(),
+            3.0,
+        )
+        .unwrap();
+        let fused = rdd.collect().unwrap();
+
+        // Reference: per-partition row scan, then fold per key in row order.
+        let mut reference: Vec<(Row, AggStates)> = Vec::new();
+        for p in 0..meta.num_partitions {
+            let mut index = std::collections::HashMap::new();
+            let mut groups: Vec<(Row, AggStates)> = Vec::new();
+            let rows: Vec<Row> = (meta.base)(p)
+                .iter()
+                .map(|r| r.project(&projection))
+                .filter(|r| filters.iter().all(|f| f.eval_predicate(r)))
+                .collect();
+            for r in rows {
+                let key = Row::new(vec![group[0].eval(&r)]);
+                let slot = *index.entry(key.clone()).or_insert_with(|| {
+                    groups.push((key.clone(), AggStates::new(&aggs)));
+                    groups.len() - 1
+                });
+                groups[slot].1.update_row(&aggs, &r);
+            }
+            reference.extend(groups);
+        }
+        assert_eq!(fused.len(), reference.len());
+        for ((kf, sf), (kr, sr)) in fused.iter().zip(reference.iter()) {
+            assert_eq!(kf, kr);
+            assert_eq!(sf.finalize(), sr.finalize());
+        }
     }
 
     #[test]

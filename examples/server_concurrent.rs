@@ -94,6 +94,7 @@ fn main() -> shark_common::Result<()> {
         max_concurrent_queries: 4,
         max_queued_queries: 128,
         max_total_prefetch: 8,
+        executor_threads: None,
     });
     register_tpch(&server, &tpch_cfg, partitions);
 
