@@ -26,10 +26,12 @@ pub mod column;
 pub mod encoding;
 pub mod footprint;
 pub mod partition;
+pub mod spill;
 pub mod stats;
 
 pub use batch::{ColumnBatch, Selection};
 pub use column::EncodedColumn;
 pub use encoding::{choose_encoding, EncodingChoice, EncodingKind};
 pub use partition::ColumnarPartition;
+pub use spill::{decode_partition, encode_partition, SPILL_MAGIC, SPILL_VERSION};
 pub use stats::{ColumnStats, PartitionStats};

@@ -17,6 +17,22 @@ pub struct ColumnarPartition {
 }
 
 impl ColumnarPartition {
+    /// Reassemble a partition from its already-encoded parts (the spill
+    /// codec's decode path).
+    pub(crate) fn from_parts(
+        schema: Schema,
+        num_rows: usize,
+        columns: Vec<EncodedColumn>,
+        stats: PartitionStats,
+    ) -> ColumnarPartition {
+        ColumnarPartition {
+            schema,
+            num_rows,
+            columns,
+            stats,
+        }
+    }
+
     /// Convert a row-oriented partition into columnar form, letting each
     /// column pick its own compression scheme.
     pub fn from_rows(schema: &Schema, rows: &[Row]) -> ColumnarPartition {

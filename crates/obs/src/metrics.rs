@@ -17,6 +17,15 @@ pub const LATENCY_BUCKETS: &[f64] = &[
     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 ];
 
+/// Histogram bucket upper bounds (seconds) for local-I/O-style metrics:
+/// spill reads and writes complete in microseconds to low milliseconds, so
+/// the latency buckets start an order of magnitude below
+/// [`LATENCY_BUCKETS`] to keep the distribution visible.
+pub const IO_BUCKETS: &[f64] = &[
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 1.0,
+];
+
 /// Histogram bucket upper bounds (bytes) for size-style metrics.
 pub const BYTES_BUCKETS: &[f64] = &[
     1024.0,

@@ -55,6 +55,12 @@ pub struct CachedPartitionInfo {
 /// Tracks cached RDD partitions, their sizes and their node placement, plus
 /// a per-partition last-access clock and pin counts so a memory manager can
 /// evict individual partitions in least-recently-used order.
+/// Callback invoked with `(rdd_id, partition, bytes)` after each successful
+/// *policy* eviction (not node failures or drops) — the hook a serving layer
+/// uses to observe or demote evicted RDD partitions without the cache
+/// depending on it.
+pub type EvictionObserver = Box<dyn Fn(usize, usize, u64) + Send + Sync>;
+
 #[derive(Default)]
 pub struct CacheManager {
     entries: RwLock<FxHashMap<(usize, usize), CachedPartition>>,
@@ -63,6 +69,8 @@ pub struct CacheManager {
     /// Pin counts per partition: pinned partitions are never LRU victims.
     pins: RwLock<FxHashMap<(usize, usize), usize>>,
     clock: AtomicU64,
+    /// Observer of policy evictions (last installed wins).
+    eviction_observer: RwLock<Option<EvictionObserver>>,
 }
 
 impl CacheManager {
@@ -255,10 +263,13 @@ impl CacheManager {
         };
         self.touches.write().remove(&(rdd_id, partition));
         match removed {
-            Some(e) => EvictionStats {
-                partitions: 1,
-                bytes: e.bytes,
-            },
+            Some(e) => {
+                self.notify_evicted(rdd_id, partition, e.bytes);
+                EvictionStats {
+                    partitions: 1,
+                    bytes: e.bytes,
+                }
+            }
             None => EvictionStats::default(),
         }
     }
@@ -267,12 +278,14 @@ impl CacheManager {
     /// partitions and bytes were freed.
     pub fn evict_rdd(&self, rdd_id: usize) -> EvictionStats {
         let mut stats = EvictionStats::default();
+        let mut evicted: Vec<(usize, u64)> = Vec::new();
         {
             let mut guard = self.entries.write();
-            guard.retain(|(id, _), e| {
+            guard.retain(|(id, partition), e| {
                 if *id == rdd_id {
                     stats.partitions += 1;
                     stats.bytes += e.bytes;
+                    evicted.push((*partition, e.bytes));
                     false
                 } else {
                     true
@@ -280,7 +293,23 @@ impl CacheManager {
             });
         }
         self.touches.write().retain(|(id, _), _| *id != rdd_id);
+        for (partition, bytes) in evicted {
+            self.notify_evicted(rdd_id, partition, bytes);
+        }
         stats
+    }
+
+    /// Install the policy-eviction observer (last installed wins). The
+    /// observer fires after the partition is already gone from the cache
+    /// and must not call back into this manager.
+    pub fn set_eviction_observer(&self, observer: EvictionObserver) {
+        *self.eviction_observer.write() = Some(observer);
+    }
+
+    fn notify_evicted(&self, rdd_id: usize, partition: usize, bytes: u64) {
+        if let Some(observer) = self.eviction_observer.read().as_ref() {
+            observer(rdd_id, partition, bytes);
+        }
     }
 
     /// Total rows cached across all RDDs.

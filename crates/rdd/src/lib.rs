@@ -35,7 +35,7 @@ pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
 
-pub use cache::{CacheManager, CachedPartitionInfo, EvictionStats};
+pub use cache::{CacheManager, CachedPartitionInfo, EvictionObserver, EvictionStats};
 pub use context::{JobReport, RddConfig, RddContext, StageReport};
 pub use executor::Executor;
 pub use metrics::TaskMetrics;

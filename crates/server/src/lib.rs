@@ -23,8 +23,10 @@ pub mod admission;
 pub mod memstore;
 pub mod metrics;
 pub mod server;
+pub mod spill;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionPermit};
 pub use memstore::{EvictionEvent, MemstoreManager};
 pub use metrics::{MetricsRegistry, QueryMetrics, ServerReport, SessionStats};
 pub use server::{QueryCursor, ServerConfig, SessionHandle, SessionQueryResult, SharkServer};
+pub use spill::{SpillManager, StoreOutcome};

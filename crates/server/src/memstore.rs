@@ -33,6 +33,8 @@ use shark_sql::{Catalog, MemTable};
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use crate::spill::SpillManager;
+
 /// One eviction performed while enforcing a budget or quota.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvictionEvent {
@@ -70,24 +72,52 @@ pub enum EvictionEvent {
         /// Bytes reclaimed.
         bytes: u64,
     },
+    /// LRU partitions *demoted* from one cached table to the spill tier
+    /// during a single enforcement pass: the memory copy is gone but the
+    /// compressed columnar form survives on disk, so the next scan promotes
+    /// it back at I/O cost instead of recomputing it from lineage.
+    Demoted {
+        /// Table name.
+        name: String,
+        /// Partition indices demoted, in eviction (coldest-first) order.
+        partitions: Vec<usize>,
+        /// Memory bytes freed.
+        bytes: u64,
+        /// Bytes the spill frames occupy on disk.
+        spill_bytes: u64,
+    },
+    /// Demoted partitions a scan faulted back in from the spill tier
+    /// (reported by [`MemstoreManager::drain_promotions`]).
+    Promoted {
+        /// Table name.
+        name: String,
+        /// Partition indices promoted, in promotion order.
+        partitions: Vec<usize>,
+        /// Memory bytes the promotions brought back into residency.
+        bytes: u64,
+    },
 }
 
 impl EvictionEvent {
-    /// Bytes this eviction freed.
+    /// Bytes this eviction freed (or, for a promotion, restored).
     pub fn bytes(&self) -> u64 {
         match self {
             EvictionEvent::Table { bytes, .. }
             | EvictionEvent::Rdd { bytes, .. }
-            | EvictionEvent::Dropped { bytes, .. } => *bytes,
+            | EvictionEvent::Dropped { bytes, .. }
+            | EvictionEvent::Demoted { bytes, .. }
+            | EvictionEvent::Promoted { bytes, .. } => *bytes,
         }
     }
 
-    /// Partitions this eviction dropped.
+    /// Partitions this eviction dropped (or demoted/promoted).
     pub fn partitions(&self) -> usize {
         match self {
             EvictionEvent::Table { partitions, .. }
             | EvictionEvent::Rdd { partitions, .. }
-            | EvictionEvent::Dropped { partitions, .. } => partitions.len(),
+            | EvictionEvent::Dropped { partitions, .. }
+            | EvictionEvent::Demoted { partitions, .. }
+            | EvictionEvent::Promoted { partitions, .. } => partitions.len(),
         }
     }
 }
@@ -128,6 +158,9 @@ struct MemstoreState {
 pub struct MemstoreManager {
     budget_bytes: u64,
     session_quota_bytes: u64,
+    /// The disk demotion tier. `None` restores the pre-spill behaviour:
+    /// eviction drops the partition and lineage recomputes it later.
+    spill: Option<Arc<SpillManager>>,
     state: Mutex<MemstoreState>,
 }
 
@@ -138,6 +171,7 @@ impl MemstoreManager {
         MemstoreManager {
             budget_bytes: budget_bytes.max(1),
             session_quota_bytes: u64::MAX,
+            spill: None,
             state: Mutex::new(MemstoreState::default()),
         }
     }
@@ -148,6 +182,18 @@ impl MemstoreManager {
     pub fn with_session_quota(mut self, quota_bytes: u64) -> MemstoreManager {
         self.session_quota_bytes = quota_bytes.max(1);
         self
+    }
+
+    /// Attach a spill tier: evictions of table partitions become
+    /// *demotions* that park the compressed columnar form on disk.
+    pub fn with_spill(mut self, spill: Arc<SpillManager>) -> MemstoreManager {
+        self.spill = Some(spill);
+        self
+    }
+
+    /// The attached spill tier, if any.
+    pub fn spill(&self) -> Option<&Arc<SpillManager>> {
+        self.spill.as_ref()
     }
 
     /// The configured budget in bytes.
@@ -259,9 +305,28 @@ impl MemstoreManager {
                     return None;
                 }
                 let bytes = t.cached.as_ref().map(|m| m.memory_bytes())?;
-                Some(bytes / owners.len().max(1) as u64)
+                // Exact apportionment: every owner is charged `bytes / n`,
+                // and the first `bytes % n` owners in id order absorb one
+                // extra byte each, so the shares always sum to the table's
+                // resident bytes (truncating division leaked the remainder,
+                // leaving tables partially uncharged).
+                let n = owners.len() as u64;
+                let rank = owners.iter().position(|o| *o == session_id).unwrap_or(0) as u64;
+                Some(bytes / n + u64::from(rank < bytes % n))
             })
             .sum()
+    }
+
+    /// Remove a closing session from every owner set, re-apportioning each
+    /// co-owned table's bytes over the remaining owners. Without this, a
+    /// closed session kept absorbing its share of a shared table forever,
+    /// under-charging the sessions still using it (stale owner shares).
+    pub fn release_session(&self, session_id: u64) {
+        let mut state = self.state.lock();
+        state.owners.retain(|_, set| {
+            set.remove(&session_id);
+            !set.is_empty()
+        });
     }
 
     /// Resident bytes currently charged against the budget.
@@ -271,13 +336,19 @@ impl MemstoreManager {
 
     /// Evict unpinned table partitions in globally-LRU order until `need`
     /// bytes are freed (or no candidate is left). With `owner_filter`, only
-    /// tables owned by that session are candidates. Returns bytes freed and
-    /// appends one aggregated event per victim table.
+    /// tables owned by that session are candidates; with `table_filter`,
+    /// only that table's partitions are. When a spill tier is attached the
+    /// eviction is a *demotion*: the partition's compressed form is parked
+    /// on disk and only degraded to a plain drop (lineage recompute) if the
+    /// spill write fails or the disk budget displaces the frame. Returns
+    /// memory bytes freed and appends aggregated events per victim table.
     fn evict_table_partitions(
         state: &mut MemstoreState,
         catalog: &Catalog,
         need: u64,
         owner_filter: Option<u64>,
+        table_filter: Option<&str>,
+        spill: Option<&Arc<SpillManager>>,
         events: &mut Vec<EvictionEvent>,
     ) -> u64 {
         // Gather every evictable partition: unpinned table, unpinned
@@ -286,6 +357,11 @@ impl MemstoreManager {
         for table in catalog.cached_tables() {
             if state.pins.contains_key(&table.name) {
                 continue;
+            }
+            if let Some(only) = table_filter {
+                if table.name != only {
+                    continue;
+                }
             }
             if let Some(session) = owner_filter {
                 let owned = state
@@ -314,45 +390,116 @@ impl MemstoreManager {
         candidates.sort_by(|a, b| (a.0, &a.1, a.3).cmp(&(b.0, &b.1, b.3)));
 
         let mut freed = 0u64;
-        // Aggregate per table, preserving first-eviction order.
-        let mut victims: Vec<(String, Arc<MemTable>, Vec<usize>, u64)> = Vec::new();
+        // Aggregate per table, preserving first-eviction order; demoted and
+        // dropped partitions become separate events.
+        struct Victim {
+            name: String,
+            mem: Arc<MemTable>,
+            demoted: Vec<usize>,
+            demoted_bytes: u64,
+            spill_bytes: u64,
+            dropped: Vec<usize>,
+            dropped_bytes: u64,
+        }
+        let mut victims: Vec<Victim> = Vec::new();
         for (_tick, name, mem, partition) in candidates {
             if freed >= need {
                 break;
             }
-            let bytes = mem.evict_partition(partition);
-            if bytes == 0 {
-                // A failure-path drop raced us; nothing freed for this one.
-                continue;
+            let bytes;
+            // (memory bytes, spill-frame bytes) when the demotion stuck.
+            let mut demoted: Option<u64> = None;
+            match spill {
+                Some(spill) => {
+                    let Some(columnar) = mem.take_partition(partition) else {
+                        // A failure-path drop raced us; nothing freed here.
+                        continue;
+                    };
+                    bytes = columnar.memory_bytes() as u64;
+                    // Install the fault-in source lazily so tables created
+                    // after server start (CTAS) are covered too.
+                    if !mem.has_spill_source() {
+                        mem.set_spill_source(spill.clone());
+                    }
+                    // An unwritable spill frame (the Err arm) degrades to a
+                    // plain drop — never surface an I/O error from eviction.
+                    if let Ok(outcome) = spill.store(&name, partition, &columnar) {
+                        let mut self_displaced = false;
+                        for (dt, dp) in outcome.displaced {
+                            // Whatever the disk budget displaced lost
+                            // its last copy: lineage recompute ahead.
+                            self_displaced |= dt == name && dp == partition;
+                            state.awaiting_recompute.entry(dt).or_default().insert(dp);
+                        }
+                        if !self_displaced {
+                            demoted = Some(outcome.spill_bytes);
+                        }
+                    }
+                }
+                None => {
+                    bytes = mem.evict_partition(partition);
+                    if bytes == 0 {
+                        continue;
+                    }
+                }
             }
             freed += bytes;
-            state
-                .awaiting_recompute
-                .entry(name.clone())
-                .or_default()
-                .insert(partition);
-            match victims.iter_mut().find(|(n, _, _, _)| *n == name) {
-                Some((_, _, parts, total)) => {
-                    parts.push(partition);
-                    *total += bytes;
+            let victim = match victims.iter_mut().find(|v| v.name == name) {
+                Some(v) => v,
+                None => {
+                    victims.push(Victim {
+                        name: name.clone(),
+                        mem,
+                        demoted: Vec::new(),
+                        demoted_bytes: 0,
+                        spill_bytes: 0,
+                        dropped: Vec::new(),
+                        dropped_bytes: 0,
+                    });
+                    victims.last_mut().unwrap()
                 }
-                None => victims.push((name, mem, vec![partition], bytes)),
+            };
+            match demoted {
+                Some(spill_bytes) => {
+                    victim.demoted.push(partition);
+                    victim.demoted_bytes += bytes;
+                    victim.spill_bytes += spill_bytes;
+                }
+                None => {
+                    state
+                        .awaiting_recompute
+                        .entry(name)
+                        .or_default()
+                        .insert(partition);
+                    victim.dropped.push(partition);
+                    victim.dropped_bytes += bytes;
+                }
             }
         }
-        for (name, mem, partitions, bytes) in victims {
-            let whole_table = mem.loaded_partitions() == 0;
+        for v in victims {
+            let whole_table = v.mem.loaded_partitions() == 0;
             state.evictions += 1;
-            state.evicted_partitions += partitions.len() as u64;
+            state.evicted_partitions += (v.demoted.len() + v.dropped.len()) as u64;
             if !whole_table {
                 state.partial_evictions += 1;
             }
-            state.evicted_bytes += bytes;
-            events.push(EvictionEvent::Table {
-                name,
-                partitions,
-                bytes,
-                whole_table,
-            });
+            state.evicted_bytes += v.demoted_bytes + v.dropped_bytes;
+            if !v.demoted.is_empty() {
+                events.push(EvictionEvent::Demoted {
+                    name: v.name.clone(),
+                    partitions: v.demoted,
+                    bytes: v.demoted_bytes,
+                    spill_bytes: v.spill_bytes,
+                });
+            }
+            if !v.dropped.is_empty() {
+                events.push(EvictionEvent::Table {
+                    name: v.name,
+                    partitions: v.dropped,
+                    bytes: v.dropped_bytes,
+                    whole_table,
+                });
+            }
         }
         freed
     }
@@ -408,6 +555,10 @@ impl MemstoreManager {
     pub fn enforce(&self, catalog: &Catalog, rdd_cache: &CacheManager) -> Vec<EvictionEvent> {
         let mut events = Vec::new();
         loop {
+            // Progress is judged by *measured* residency, never by the
+            // per-eviction byte estimates: a pass that claimed to free
+            // enough but measures above budget (stale estimates, racing
+            // loads) triggers another pass instead of returning early.
             let resident = self.resident_bytes(catalog, rdd_cache);
             if resident <= self.budget_bytes {
                 break;
@@ -418,18 +569,73 @@ impl MemstoreManager {
             // partition and still lose it, and two concurrent enforce()
             // calls could both evict (and double-count) the same victim.
             let mut state = self.state.lock();
-            let freed = Self::evict_table_partitions(&mut state, catalog, need, None, &mut events);
-            if freed >= need {
-                continue; // re-check the budget (concurrent loads may race)
-            }
-            let rdd_freed =
-                Self::evict_rdd_partitions(&mut state, rdd_cache, need - freed, &mut events);
+            let freed = Self::evict_table_partitions(
+                &mut state,
+                catalog,
+                need,
+                None,
+                None,
+                self.spill.as_ref(),
+                &mut events,
+            );
+            let rdd_freed = if freed < need {
+                Self::evict_rdd_partitions(&mut state, rdd_cache, need - freed, &mut events)
+            } else {
+                0
+            };
             if freed + rdd_freed == 0 {
-                // Everything still resident is pinned; give up, don't spin.
+                // No unpinned candidate is left; the measured residency
+                // cannot come down this pass — give up, don't spin.
                 break;
             }
         }
         events
+    }
+
+    /// Demote every unpinned resident partition of one table to the spill
+    /// tier (plain eviction when no tier is attached), regardless of the
+    /// budget — the administrative path tests and benchmarks use to stage a
+    /// fully demoted table. Returns the events performed.
+    pub fn demote_table(&self, catalog: &Catalog, name: &str) -> Vec<EvictionEvent> {
+        let mut events = Vec::new();
+        let mut state = self.state.lock();
+        Self::evict_table_partitions(
+            &mut state,
+            catalog,
+            u64::MAX,
+            None,
+            Some(name),
+            self.spill.as_ref(),
+            &mut events,
+        );
+        events
+    }
+
+    /// Promotions scans performed since the last drain, aggregated into
+    /// one [`EvictionEvent::Promoted`] per table — the server turns these
+    /// into trace events and report counters.
+    pub fn drain_promotions(&self) -> Vec<EvictionEvent> {
+        let Some(spill) = &self.spill else {
+            return Vec::new();
+        };
+        let mut by_table: Vec<(String, Vec<usize>, u64)> = Vec::new();
+        for (name, partition, bytes) in spill.drain_promotions() {
+            match by_table.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, parts, total)) => {
+                    parts.push(partition);
+                    *total += bytes;
+                }
+                None => by_table.push((name, vec![partition], bytes)),
+            }
+        }
+        by_table
+            .into_iter()
+            .map(|(name, partitions, bytes)| EvictionEvent::Promoted {
+                name,
+                partitions,
+                bytes,
+            })
+            .collect()
     }
 
     /// Bring one session's owned residency back under the per-session
@@ -459,6 +665,8 @@ impl MemstoreManager {
                 catalog,
                 need,
                 Some(session_id),
+                None,
+                self.spill.as_ref(),
                 &mut events,
             );
             let evicted_now = events.iter().map(EvictionEvent::partitions).sum::<usize>() - before;
@@ -522,6 +730,12 @@ impl MemstoreManager {
         state.partition_pins.retain(|(name, _), _| name != table);
         state.awaiting_recompute.remove(table);
         state.owners.remove(table);
+        drop(state);
+        // Spilled frames of the dropped table are unreachable now; a
+        // recreated table of the same name must not fault in stale data.
+        if let Some(spill) = &self.spill {
+            spill.remove_table(table);
+        }
     }
 
     /// Total eviction events recorded so far (one per victim table or RDD
@@ -902,11 +1116,147 @@ mod tests {
         manager.record_owner("shared", 1);
         manager.record_owner("shared", 2);
         manager.record_owner("solo", 1);
+        // The lowest-id owner absorbs the division remainder, so the
+        // per-session charges always sum to the tables' resident bytes.
         assert_eq!(
             manager.session_bytes(1, &catalog),
-            shared_bytes / 2 + solo_bytes
+            shared_bytes / 2 + shared_bytes % 2 + solo_bytes
         );
         assert_eq!(manager.session_bytes(2, &catalog), shared_bytes / 2);
         assert_eq!(manager.session_bytes(3, &catalog), 0);
+        assert_eq!(
+            manager.session_bytes(1, &catalog) + manager.session_bytes(2, &catalog),
+            shared_bytes + solo_bytes,
+            "shares must sum to the resident bytes"
+        );
+    }
+
+    #[test]
+    fn owner_shares_sum_exactly_for_any_owner_count() {
+        let catalog = catalog_with_tables(&["shared"]);
+        load_all(&catalog);
+        let manager = MemstoreManager::new(u64::MAX);
+        let bytes = catalog
+            .get("shared")
+            .unwrap()
+            .cached
+            .as_ref()
+            .unwrap()
+            .memory_bytes();
+        // 3 owners rarely divide the byte count evenly — the remainder must
+        // not be lost.
+        for session in [11u64, 22, 33] {
+            manager.record_owner("shared", session);
+        }
+        let total: u64 = [11u64, 22, 33]
+            .iter()
+            .map(|&s| manager.session_bytes(s, &catalog))
+            .sum();
+        assert_eq!(total, bytes, "shares must sum to the table's bytes");
+    }
+
+    #[test]
+    fn closing_a_session_reapportions_shared_tables() {
+        let catalog = catalog_with_tables(&["shared"]);
+        load_all(&catalog);
+        let manager = MemstoreManager::new(u64::MAX);
+        let bytes = catalog
+            .get("shared")
+            .unwrap()
+            .cached
+            .as_ref()
+            .unwrap()
+            .memory_bytes();
+        manager.record_owner("shared", 1);
+        manager.record_owner("shared", 2);
+        assert!(manager.session_bytes(2, &catalog) < bytes);
+        // Session 1 closes: the survivor is charged the whole table, not a
+        // stale half.
+        manager.release_session(1);
+        assert_eq!(manager.owners("shared"), vec![2]);
+        assert_eq!(manager.session_bytes(2, &catalog), bytes);
+        assert_eq!(manager.session_bytes(1, &catalog), 0);
+        // The last owner closing clears the set entirely.
+        manager.release_session(2);
+        assert!(manager.owners("shared").is_empty());
+    }
+
+    fn spill_manager(tag: &str) -> (Arc<crate::spill::SpillManager>, std::path::PathBuf) {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "shark-memstore-{tag}-{}-{nanos}",
+            std::process::id()
+        ));
+        (
+            Arc::new(crate::spill::SpillManager::create(&dir, u64::MAX).unwrap()),
+            dir,
+        )
+    }
+
+    #[test]
+    fn eviction_with_spill_tier_demotes_instead_of_dropping() {
+        let catalog = catalog_with_tables(&["a"]);
+        load_all(&catalog);
+        let rdd_cache = CacheManager::new();
+        let (spill, dir) = spill_manager("demote");
+        let manager = MemstoreManager::new(1).with_spill(spill.clone());
+        let events = manager.enforce(&catalog, &rdd_cache);
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            EvictionEvent::Demoted {
+                name,
+                partitions,
+                bytes,
+                spill_bytes,
+            } => {
+                assert_eq!(name, "a");
+                assert_eq!(partitions, &vec![0, 1]);
+                assert!(*bytes > 0);
+                assert!(*spill_bytes > 0);
+            }
+            other => panic!("expected a demotion, got {other:?}"),
+        }
+        // Demoted partitions are on the tier, not awaiting lineage
+        // recompute: re-pinning the table is not a recompute signal.
+        assert!(spill.is_spilled("a", 0));
+        assert!(spill.is_spilled("a", 1));
+        assert!(manager.awaiting_recompute().is_empty());
+        assert_eq!(manager.pin(&["a".into()]), 0);
+        // Memory eviction counters still account the demotions.
+        assert_eq!(manager.evicted_partitions(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn demote_table_stages_a_fully_demoted_table() {
+        let catalog = catalog_with_tables(&["a", "b"]);
+        load_all(&catalog);
+        let (spill, dir) = spill_manager("stage");
+        let manager = MemstoreManager::new(u64::MAX).with_spill(spill.clone());
+        let events = manager.demote_table(&catalog, "a");
+        assert_eq!(events.len(), 1);
+        let a = catalog.get("a").unwrap();
+        assert_eq!(a.cached.as_ref().unwrap().loaded_partitions(), 0);
+        assert_eq!(spill.spilled_partition_count(), 2);
+        // Only the named table was touched.
+        let b = catalog.get("b").unwrap();
+        assert_eq!(b.cached.as_ref().unwrap().loaded_partitions(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forget_clears_spilled_frames_of_the_dropped_table() {
+        let catalog = catalog_with_tables(&["a"]);
+        load_all(&catalog);
+        let (spill, dir) = spill_manager("forget");
+        let manager = MemstoreManager::new(u64::MAX).with_spill(spill.clone());
+        manager.demote_table(&catalog, "a");
+        assert_eq!(spill.spilled_partition_count(), 2);
+        manager.forget("a");
+        assert_eq!(spill.spilled_partition_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

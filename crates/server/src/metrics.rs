@@ -218,6 +218,30 @@ pub struct ServerReport {
     /// Partitions rebuilt from the base generator by scans (lineage
     /// recovery after eviction or node failure), summed over cached tables.
     pub partition_rebuilds: u64,
+    /// Demoted partitions faulted back into memory from the spill tier by
+    /// scans, summed over cached tables — recoveries that cost I/O instead
+    /// of recompute.
+    pub partition_promotions: u64,
+    /// Partitions currently demoted to the spill tier.
+    pub spilled_partitions: u64,
+    /// Bytes of spill frames currently on disk.
+    pub spill_disk_bytes: u64,
+    /// The configured spill-tier disk budget (`u64::MAX` = unlimited;
+    /// 0 when no spill tier is configured).
+    pub spill_budget_bytes: u64,
+    /// Partitions ever demoted (written) to the spill tier.
+    pub partitions_demoted: u64,
+    /// Partitions ever promoted (read back) from the spill tier.
+    pub partitions_promoted: u64,
+    /// Spill-frame bytes ever written.
+    pub spill_bytes_written: u64,
+    /// Spill-frame bytes ever read back.
+    pub spill_bytes_read: u64,
+    /// Spill files found corrupt or unreadable on promotion and discarded
+    /// (the partition fell back to lineage recompute).
+    pub spill_poisoned_files: u64,
+    /// Spill frames displaced from disk by the spill tier's own budget.
+    pub spill_displaced_partitions: u64,
     /// The catalog's current epoch (bumped by every DDL).
     pub catalog_epoch: u64,
     /// Catalog snapshots pinned at report time (in-flight queries, open
@@ -273,6 +297,19 @@ impl ServerReport {
             self.lineage_recomputes,
             self.partition_rebuilds,
         ));
+        if self.spill_budget_bytes > 0 {
+            out.push_str(&format!(
+                "spill tier: {} partitions ({} bytes) on disk of {} budget; lifetime {} demoted / {} promoted ({} promotions served to scans), {} displaced, {} poisoned\n",
+                self.spilled_partitions,
+                self.spill_disk_bytes,
+                self.spill_budget_bytes,
+                self.partitions_demoted,
+                self.partitions_promoted,
+                self.partition_promotions,
+                self.spill_displaced_partitions,
+                self.spill_poisoned_files,
+            ));
+        }
         out.push_str(&format!(
             "catalog: epoch {}, {} live snapshots; deferred drops: {} bytes awaiting release, {} versions reclaimed ({} bytes)\n",
             self.catalog_epoch,
@@ -358,6 +395,19 @@ impl ServerReport {
         w.field_u64("quota_hits", self.quota_hits);
         w.field_u64("quota_evicted_partitions", self.quota_evicted_partitions);
         w.field_u64("partition_rebuilds", self.partition_rebuilds);
+        w.field_u64("partition_promotions", self.partition_promotions);
+        w.field_u64("spilled_partitions", self.spilled_partitions);
+        w.field_u64("spill_disk_bytes", self.spill_disk_bytes);
+        w.field_u64("spill_budget_bytes", self.spill_budget_bytes);
+        w.field_u64("partitions_demoted", self.partitions_demoted);
+        w.field_u64("partitions_promoted", self.partitions_promoted);
+        w.field_u64("spill_bytes_written", self.spill_bytes_written);
+        w.field_u64("spill_bytes_read", self.spill_bytes_read);
+        w.field_u64("spill_poisoned_files", self.spill_poisoned_files);
+        w.field_u64(
+            "spill_displaced_partitions",
+            self.spill_displaced_partitions,
+        );
         w.field_u64("catalog_epoch", self.catalog_epoch);
         w.field_u64("live_snapshots", self.live_snapshots as u64);
         w.field_u64("deferred_drop_bytes", self.deferred_drop_bytes);

@@ -9,6 +9,7 @@
 //! cached tables and execute concurrently on their callers' threads, gated
 //! only by admission control.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,6 +24,7 @@ use shark_sql::{
 use crate::admission::{AdmissionController, AdmissionPermit};
 use crate::memstore::{EvictionEvent, MemstoreManager};
 use crate::metrics::{MetricsRegistry, QueryMetrics, ServerReport};
+use crate::spill::SpillManager;
 
 /// Configuration of a [`SharkServer`].
 #[derive(Debug, Clone)]
@@ -54,6 +56,16 @@ pub struct ServerConfig {
     /// host's parallelism). The pool is process-wide and sized once: the
     /// first server to start wins, later values are ignored.
     pub executor_threads: Option<usize>,
+    /// Directory for the spill-to-disk demotion tier. When set, budget and
+    /// quota evictions *demote* table partitions — the compressed columnar
+    /// form is written here and faulted back in by the next scan at I/O
+    /// cost — instead of dropping them to lineage recompute. `None`
+    /// disables the tier (the pre-spill behaviour). An unusable directory
+    /// also just disables the tier; it never fails queries.
+    pub spill_dir: Option<PathBuf>,
+    /// Disk budget for the spill tier. When spilled frames exceed it, the
+    /// coldest are deleted (those partitions degrade to lineage recompute).
+    pub spill_budget_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +79,8 @@ impl Default for ServerConfig {
             max_queued_queries: 64,
             max_total_prefetch: 8,
             executor_threads: None,
+            spill_dir: None,
+            spill_budget_bytes: u64::MAX,
         }
     }
 }
@@ -100,6 +114,18 @@ impl ServerConfig {
     /// Size the process-wide work-stealing executor (first server wins).
     pub fn with_executor_threads(mut self, threads: usize) -> ServerConfig {
         self.executor_threads = Some(threads);
+        self
+    }
+
+    /// Enable the spill-to-disk demotion tier under `dir`.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Cap the spill tier's disk usage.
+    pub fn with_spill_budget(mut self, bytes: u64) -> ServerConfig {
+        self.spill_budget_bytes = bytes;
         self
     }
 }
@@ -149,6 +175,47 @@ impl ServerShared {
     }
 }
 
+/// RAII whole-table pins: releases on drop, so a query that panics or
+/// errors between pin and unpin can no longer leak its pins and leave the
+/// tables unevictable forever. A cursor that must keep the pins alive past
+/// the guard's scope takes them over with [`PinGuard::into_tables`].
+struct PinGuard<'a> {
+    memstore: &'a MemstoreManager,
+    tables: Vec<String>,
+    armed: bool,
+}
+
+impl<'a> PinGuard<'a> {
+    /// Pin `tables`; returns the guard plus the recompute signal
+    /// [`MemstoreManager::pin`] reports.
+    fn pin(memstore: &'a MemstoreManager, tables: Vec<String>) -> (PinGuard<'a>, usize) {
+        let recomputes = memstore.pin(&tables);
+        (
+            PinGuard {
+                memstore,
+                tables,
+                armed: true,
+            },
+            recomputes,
+        )
+    }
+
+    /// Disarm the guard and hand the still-pinned tables to the caller,
+    /// which becomes responsible for unpinning them (the cursor path).
+    fn into_tables(mut self) -> Vec<String> {
+        self.armed = false;
+        std::mem::take(&mut self.tables)
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.memstore.unpin(&self.tables);
+        }
+    }
+}
+
 /// A shared-everything warehouse server handing out concurrent sessions.
 #[derive(Clone)]
 pub struct SharkServer {
@@ -161,17 +228,42 @@ impl SharkServer {
         if let Some(threads) = config.executor_threads {
             shark_rdd::Executor::configure_global(threads);
         }
+        let mut memstore = MemstoreManager::new(config.memory_budget_bytes)
+            .with_session_quota(config.session_mem_quota_bytes);
+        if let Some(dir) = &config.spill_dir {
+            // An unusable spill directory disables the tier rather than
+            // failing server start: queries then see the pre-spill world
+            // (eviction = lineage recompute), never an I/O error.
+            if let Ok(spill) = SpillManager::create(dir, config.spill_budget_bytes) {
+                memstore = memstore.with_spill(Arc::new(spill));
+            }
+        }
+        let ctx = RddContext::new(config.rdd);
+        // Observe RDD-cache policy evictions in the unified registry (the
+        // table memstore's evictions are counted by the manager itself).
+        let rdd_evictions = shark_obs::metrics().counter(
+            "shark_rdd_cache_evicted_partitions_total",
+            "RDD-cache partitions evicted by the memory budget",
+        );
+        let rdd_evicted_bytes = shark_obs::metrics().counter(
+            "shark_rdd_cache_evicted_bytes_total",
+            "RDD-cache bytes evicted by the memory budget",
+        );
+        ctx.cache()
+            .set_eviction_observer(Box::new(move |_rdd, _partition, bytes| {
+                rdd_evictions.inc();
+                rdd_evicted_bytes.add(bytes);
+            }));
         SharkServer {
             shared: Arc::new(ServerShared {
-                ctx: RddContext::new(config.rdd),
+                ctx,
                 catalog: Arc::new(Catalog::new()),
                 exec: config.exec,
                 admission: AdmissionController::new(
                     config.max_concurrent_queries,
                     config.max_queued_queries,
                 ),
-                memstore: MemstoreManager::new(config.memory_budget_bytes)
-                    .with_session_quota(config.session_mem_quota_bytes),
+                memstore,
                 metrics: MetricsRegistry::default(),
                 next_session_id: AtomicU64::new(1),
                 next_query_id: AtomicU64::new(1),
@@ -234,11 +326,9 @@ impl SharkServer {
         // Pin before loading so a concurrent enforcement cannot evict the
         // table out from under the load. (Recency is tracked by the
         // memtable itself: the load's puts refresh each partition's tick.)
-        self.shared.memstore.pin(std::slice::from_ref(&table.name));
+        let (pins, _) = PinGuard::pin(&self.shared.memstore, vec![table.name.clone()]);
         let report = shark_sql::exec::load_table(&self.shared.ctx, &table);
-        self.shared
-            .memstore
-            .unpin(std::slice::from_ref(&table.name));
+        drop(pins);
         self.shared
             .memstore
             .enforce(&self.shared.catalog, self.shared.ctx.cache());
@@ -289,6 +379,20 @@ impl SharkServer {
         self.shared.memstore.reclaim_dropped(&self.shared.catalog)
     }
 
+    /// The spill-to-disk demotion tier, when configured.
+    pub fn spill(&self) -> Option<&Arc<SpillManager>> {
+        self.shared.memstore.spill()
+    }
+
+    /// Demote every unpinned resident partition of one table to the spill
+    /// tier (admin path — used to stage demoted residency states for tests
+    /// and benchmarks; plain eviction when no tier is configured).
+    pub fn demote_table(&self, name: &str) -> Vec<EvictionEvent> {
+        self.shared
+            .memstore
+            .demote_table(&self.shared.catalog, name)
+    }
+
     /// Aggregate a server-level report over everything run so far. Also
     /// performs any reclamation that is already due (a report is an
     /// observation point like a query boundary), so the deferred-drop
@@ -319,6 +423,23 @@ impl SharkServer {
                 .iter()
                 .filter_map(|t| t.cached.as_ref().map(|m| m.rebuilds()))
                 .sum::<u64>();
+        report.partition_promotions = shared
+            .catalog
+            .cached_tables()
+            .iter()
+            .filter_map(|t| t.cached.as_ref().map(|m| m.promotions()))
+            .sum::<u64>();
+        if let Some(spill) = shared.memstore.spill() {
+            report.spilled_partitions = spill.spilled_partition_count();
+            report.spill_disk_bytes = spill.disk_bytes();
+            report.spill_budget_bytes = spill.budget_bytes();
+            report.partitions_demoted = spill.spilled_partitions();
+            report.partitions_promoted = spill.promoted_partitions();
+            report.spill_bytes_written = spill.spilled_bytes();
+            report.spill_bytes_read = spill.promoted_bytes();
+            report.spill_poisoned_files = spill.poisoned_files();
+            report.spill_displaced_partitions = spill.displaced_partitions();
+        }
         report.memstore_bytes = shared.catalog.memstore_bytes();
         report.rdd_cache_bytes = shared.ctx.cache().total_bytes();
         report.memory_budget_bytes = shared.memstore.budget_bytes();
@@ -428,13 +549,15 @@ impl SessionHandle {
                 return Err(SharkError::Execution(err.to_string()));
             }
         };
-        let recomputed_tables = shared.memstore.pin(&tables);
-        let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
-        let residency_before = table_residency(&shared.catalog, &tables);
+        // RAII pins: a panic inside the engine unwinds through the guard
+        // and still releases them, so the tables stay evictable.
+        let (pins, recomputed_tables) = PinGuard::pin(&shared.memstore, tables);
+        let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &pins.tables);
+        let residency_before = table_residency(&shared.catalog, &pins.tables);
         let exec_started = Instant::now();
         let result = self.sql.execute_statement(&statement);
         let exec_time = exec_started.elapsed();
-        shared.memstore.unpin(&tables);
+        drop(pins);
         if result.is_ok() {
             match &statement {
                 shark_sql::ast::Statement::DropTable { name } => {
@@ -470,7 +593,8 @@ impl SessionHandle {
         // closed — can be reclaimed here.
         shared.memstore.reclaim_dropped(&shared.catalog);
         drop(permit);
-        record_enforcement_events(&evictions, &quota_events);
+        let promotions = shared.memstore.drain_promotions();
+        record_enforcement_events(&evictions, &quota_events, &promotions);
 
         let metrics = QueryMetrics {
             session_id: self.id,
@@ -552,9 +676,11 @@ impl SessionHandle {
                 return Err(SharkError::Execution(err.to_string()));
             }
         };
-        let recomputed_tables = shared.memstore.pin(&tables);
-        let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &tables);
-        let residency_before = table_residency(&shared.catalog, &tables);
+        // RAII pins: released on any error/panic path below; the success
+        // path hands them over to the cursor, which owns them from then on.
+        let (pins, recomputed_tables) = PinGuard::pin(&shared.memstore, tables);
+        let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &pins.tables);
+        let residency_before = table_residency(&shared.catalog, &pins.tables);
         // Clamp this cursor's prefetch under the server-wide budget while
         // the admission permit is already held, so total speculative work
         // stays bounded alongside total in-flight queries.
@@ -569,7 +695,7 @@ impl SessionHandle {
                 // table hostage against eviction — undelivered partitions
                 // stay evictable and are rebuilt from lineage if a morsel
                 // needs one after pressure took it.
-                let mut tables = tables;
+                let mut tables = pins.into_tables();
                 let scan_table = stream.single_scan_table().and_then(|scan| {
                     let at = tables.iter().position(|t| t == scan)?;
                     let released = tables.remove(at);
@@ -602,7 +728,7 @@ impl SessionHandle {
                     root.annotate("failed", "true");
                 }
                 shared.release_prefetch(prefetch);
-                shared.memstore.unpin(&tables);
+                drop(pins);
                 let evictions = shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
                 shared.memstore.reclaim_dropped(&shared.catalog);
                 drop(permit);
@@ -668,12 +794,12 @@ impl SessionHandle {
         // Pin before loading so a concurrent enforcement cannot evict the
         // table out from under the load; charge the load to this session.
         let lowered = name.to_lowercase();
-        shared.memstore.pin(std::slice::from_ref(&lowered));
+        let (pins, _) = PinGuard::pin(&shared.memstore, vec![lowered.clone()]);
         let report = self.sql.load_table(name);
         if report.is_ok() {
             shared.memstore.record_owner(&lowered, self.id);
         }
-        shared.memstore.unpin(std::slice::from_ref(&lowered));
+        drop(pins);
         shared
             .memstore
             .enforce_session_quota(self.id, &shared.catalog);
@@ -692,27 +818,53 @@ impl SessionHandle {
     }
 }
 
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        // A closing session leaves every owner set it was in, re-apportioning
+        // co-owned tables' bytes over the surviving owners — otherwise the
+        // dead session would keep absorbing its share forever and the
+        // remaining owners would be under-charged against their quotas.
+        self.shared.memstore.release_session(self.id);
+    }
+}
+
 /// Attach this query's completion-time enforcement outcome to its trace:
-/// an `eviction` event when the global budget evicted victims and a
-/// `quota-eviction` event when the session's own quota did. No-op when
-/// tracing is off or no trace context is attached.
-fn record_enforcement_events(evictions: &[EvictionEvent], quota_events: &[EvictionEvent]) {
+/// an `eviction` event when the global budget evicted victims (with its
+/// demoted share broken out), a `quota-eviction` event when the session's
+/// own quota did, and a `promotion` event for partitions scans faulted back
+/// in from the spill tier. No-op when tracing is off or no trace context is
+/// attached.
+fn record_enforcement_events(
+    evictions: &[EvictionEvent],
+    quota_events: &[EvictionEvent],
+    promotions: &[EvictionEvent],
+) {
     if !shark_obs::active() {
         return;
     }
     if !evictions.is_empty() {
         let partitions: usize = evictions.iter().map(EvictionEvent::partitions).sum();
+        let demoted: usize = evictions
+            .iter()
+            .filter(|e| matches!(e, EvictionEvent::Demoted { .. }))
+            .map(EvictionEvent::partitions)
+            .sum();
         shark_obs::event(
             "eviction",
             &[
                 ("events", &evictions.len().to_string()),
                 ("partitions", &partitions.to_string()),
+                ("demoted", &demoted.to_string()),
             ],
         );
     }
     if !quota_events.is_empty() {
         let partitions: usize = quota_events.iter().map(EvictionEvent::partitions).sum();
         shark_obs::event("quota-eviction", &[("partitions", &partitions.to_string())]);
+    }
+    if !promotions.is_empty() {
+        let partitions: usize = promotions.iter().map(EvictionEvent::partitions).sum();
+        shark_obs::event("promotion", &[("partitions", &partitions.to_string())]);
     }
 }
 
@@ -914,7 +1066,8 @@ impl QueryCursor<'_> {
         // memstore is reclaimed now.
         shared.memstore.reclaim_dropped(&shared.catalog);
         self.permit.take();
-        record_enforcement_events(&evictions, &quota_events);
+        let promotions = shared.memstore.drain_promotions();
+        record_enforcement_events(&evictions, &quota_events, &promotions);
         if let Some(mut root) = self.root.take() {
             root.add_rows(progress.rows_streamed);
             root.annotate(

@@ -1,0 +1,613 @@
+//! Spill-to-disk demotion tier for the memory-budgeted memstore.
+//!
+//! Eviction under memory pressure no longer has to throw a partition's
+//! columnar form away: the [`SpillManager`] serializes the compressed
+//! partition with the versioned, checksummed frame codec of
+//! `shark_columnar::spill` and parks it on disk. A later scan *promotes*
+//! the partition back at pure I/O cost instead of re-running its lineage.
+//! The tier keeps its own disk budget with LRU displacement: when spilled
+//! bytes exceed it, the coldest spill files are deleted and those
+//! partitions degrade to lineage recompute — exactly the pre-spill
+//! behaviour, never an error.
+//!
+//! Crash safety: spill files are written under a temporary name and
+//! atomically renamed into place, so a crash mid-write can never leave a
+//! half-frame under a live name. [`SpillManager::create`] sweeps the spill
+//! directory of leftovers from earlier incarnations (the index is
+//! in-memory, so files without an index entry are unreachable anyway).
+//! A file that fails its checksum on read — truncated, bit-flipped,
+//! tampered — is *poisoned*: it is deleted, counted, and the caller falls
+//! back to lineage recompute; a poisoned spill file is never a query error.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use shark_columnar::{decode_partition, encode_partition, ColumnarPartition};
+use shark_common::hash::FxHashMap;
+use shark_common::{Result, SharkError};
+use shark_sql::SpillSource;
+
+/// Cached unified-registry handles for the spill tier's hot-path metrics.
+struct SpillMetrics {
+    write_seconds: Arc<shark_obs::Histogram>,
+    read_seconds: Arc<shark_obs::Histogram>,
+    demoted: Arc<shark_obs::Counter>,
+    promoted: Arc<shark_obs::Counter>,
+    bytes_written: Arc<shark_obs::Counter>,
+    bytes_read: Arc<shark_obs::Counter>,
+    poisoned: Arc<shark_obs::Counter>,
+    displaced: Arc<shark_obs::Counter>,
+}
+
+fn spill_metrics() -> &'static SpillMetrics {
+    static METRICS: std::sync::OnceLock<SpillMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = shark_obs::metrics();
+        SpillMetrics {
+            write_seconds: reg.histogram(
+                "shark_spill_write_seconds",
+                "Latency of writing one demoted partition's spill frame",
+                shark_obs::IO_BUCKETS,
+            ),
+            read_seconds: reg.histogram(
+                "shark_spill_read_seconds",
+                "Latency of reading one spill frame back during promotion",
+                shark_obs::IO_BUCKETS,
+            ),
+            demoted: reg.counter(
+                "shark_spill_partitions_demoted_total",
+                "Partitions demoted from the memstore to the spill tier",
+            ),
+            promoted: reg.counter(
+                "shark_spill_partitions_promoted_total",
+                "Partitions promoted from the spill tier back into memory",
+            ),
+            bytes_written: reg.counter(
+                "shark_spill_bytes_written_total",
+                "Spill-frame bytes written by demotions",
+            ),
+            bytes_read: reg.counter(
+                "shark_spill_bytes_read_total",
+                "Spill-frame bytes read by promotions",
+            ),
+            poisoned: reg.counter(
+                "shark_spill_poisoned_files_total",
+                "Spill files dropped because they failed frame validation",
+            ),
+            displaced: reg.counter(
+                "shark_spill_displaced_partitions_total",
+                "Spilled partitions deleted by disk-budget LRU displacement",
+            ),
+        }
+    })
+}
+
+/// One spilled partition in the in-memory index.
+struct SpillEntry {
+    /// On-disk frame size.
+    bytes: u64,
+    /// LRU clock value at demotion (or last touch).
+    tick: u64,
+}
+
+struct SpillState {
+    /// `(table, partition)` → index entry; the *only* record of what is
+    /// demoted — files on disk without an entry are unreachable garbage.
+    entries: FxHashMap<(String, usize), SpillEntry>,
+    disk_bytes: u64,
+    clock: u64,
+    /// Promotions performed by scans since the server last drained them
+    /// (table, partition, memory bytes restored).
+    promotions: Vec<(String, usize, u64)>,
+}
+
+/// Result of spilling one partition.
+pub struct StoreOutcome {
+    /// Bytes the spill frame occupies on disk.
+    pub spill_bytes: u64,
+    /// Partitions whose spill files were deleted to respect the disk
+    /// budget; they are now "dropped" and must be marked awaiting
+    /// recompute by the caller.
+    pub displaced: Vec<(String, usize)>,
+}
+
+/// The disk tier: an indexed directory of spill frames plus its own
+/// LRU-displaced disk budget. Shared behind an `Arc`; also implements
+/// [`shark_sql::SpillSource`] so scans can fault partitions back in
+/// without the sql crate depending on the server.
+pub struct SpillManager {
+    dir: PathBuf,
+    budget_bytes: u64,
+    state: Mutex<SpillState>,
+    // Lifetime counters, readable without the state lock.
+    spilled_partitions: AtomicU64,
+    spilled_bytes: AtomicU64,
+    promoted_partitions: AtomicU64,
+    promoted_bytes: AtomicU64,
+    displaced_partitions: AtomicU64,
+    poisoned_files: AtomicU64,
+    write_failures: AtomicU64,
+}
+
+/// FNV-1a over a table name, to keep spill file names unique even when
+/// sanitizing distinct table names to the same safe characters.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SpillManager {
+    /// Open (creating if needed) a spill directory and sweep stale files
+    /// from earlier incarnations: `.tmp-*` partials from a crash mid-write
+    /// and `.spill` frames whose index died with the previous process.
+    pub fn create(dir: impl Into<PathBuf>, budget_bytes: u64) -> Result<SpillManager> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| SharkError::Config(format!("spill dir {}: {e}", dir.display())))?;
+        if let Ok(listing) = fs::read_dir(&dir) {
+            for entry in listing.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let stale = name.ends_with(".spill") || name.contains(".tmp-");
+                if stale {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(SpillManager {
+            dir,
+            budget_bytes,
+            state: Mutex::new(SpillState {
+                entries: FxHashMap::default(),
+                disk_bytes: 0,
+                clock: 0,
+                promotions: Vec::new(),
+            }),
+            spilled_partitions: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            promoted_partitions: AtomicU64::new(0),
+            promoted_bytes: AtomicU64::new(0),
+            displaced_partitions: AtomicU64::new(0),
+            poisoned_files: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory spill frames live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the live spill file for one partition.
+    fn file_path(&self, table: &str, partition: usize) -> PathBuf {
+        let safe: String = table
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        self.dir.join(format!(
+            "{safe}-{:016x}_{partition}.spill",
+            name_hash(table)
+        ))
+    }
+
+    /// Serialize one demoted partition to disk: encode, write to a temp
+    /// name, fsync-free atomic rename into place, then displace the coldest
+    /// spilled partitions if the disk budget is now exceeded. On any I/O
+    /// error nothing is indexed and the caller degrades the partition to
+    /// plain eviction (lineage recompute).
+    pub fn store(
+        &self,
+        table: &str,
+        partition: usize,
+        columnar: &ColumnarPartition,
+    ) -> Result<StoreOutcome> {
+        let started = Instant::now();
+        let frame = encode_partition(columnar);
+        let spill_bytes = frame.len() as u64;
+        let final_path = self.file_path(table, partition);
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = fs::File::create(tmp)?;
+            f.write_all(&frame)?;
+            f.flush()?;
+            drop(f);
+            fs::rename(tmp, &final_path)
+        };
+        // The nonce only needs to be unique within the directory; derive it
+        // from the manager's clock so concurrent demotions cannot collide.
+        let nonce = {
+            let mut state = self.state.lock();
+            state.clock += 1;
+            state.clock
+        };
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{nonce:x}",
+            final_path.file_name().unwrap_or_default().to_string_lossy()
+        ));
+        if let Err(e) = write(&tmp) {
+            let _ = fs::remove_file(&tmp);
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(SharkError::Execution(format!(
+                "spill write {}: {e}",
+                final_path.display()
+            )));
+        }
+        spill_metrics()
+            .write_seconds
+            .observe(started.elapsed().as_secs_f64());
+        spill_metrics().demoted.inc();
+        spill_metrics().bytes_written.add(spill_bytes);
+        self.spilled_partitions.fetch_add(1, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(spill_bytes, Ordering::Relaxed);
+        if shark_obs::active() {
+            shark_obs::event(
+                "spill-write",
+                &[
+                    ("partition", &format!("{table}[{partition}]")),
+                    ("bytes", &spill_bytes.to_string()),
+                ],
+            );
+        }
+
+        let mut state = self.state.lock();
+        state.clock += 1;
+        let tick = state.clock;
+        // Replacing an existing frame (same partition demoted twice without
+        // an intervening promotion) swaps the old size out of the total.
+        if let Some(old) = state.entries.insert(
+            (table.to_string(), partition),
+            SpillEntry {
+                bytes: spill_bytes,
+                tick,
+            },
+        ) {
+            state.disk_bytes -= old.bytes;
+        }
+        state.disk_bytes += spill_bytes;
+
+        // Disk-budget LRU displacement, coldest first. The entry just
+        // written is displaced last — only when it alone exceeds the
+        // budget — so a tiny budget degrades to "spill nothing", not to
+        // thrashing everyone else.
+        let mut displaced = Vec::new();
+        while state.disk_bytes > self.budget_bytes {
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(key, _)| !(key.0 == table && key.1 == partition))
+                .min_by_key(|(key, e)| (e.tick, key.0.clone(), key.1))
+                .map(|(key, _)| key.clone());
+            let victim = match victim {
+                Some(v) => v,
+                None => {
+                    // Only the new entry remains and it is over budget on
+                    // its own: displace it too.
+                    (table.to_string(), partition)
+                }
+            };
+            if let Some(e) = state.entries.remove(&victim) {
+                state.disk_bytes -= e.bytes;
+            }
+            let _ = fs::remove_file(self.file_path(&victim.0, victim.1));
+            spill_metrics().displaced.inc();
+            self.displaced_partitions.fetch_add(1, Ordering::Relaxed);
+            let own = victim.0 == table && victim.1 == partition;
+            displaced.push(victim);
+            if own {
+                break;
+            }
+        }
+        Ok(StoreOutcome {
+            spill_bytes,
+            displaced,
+        })
+    }
+
+    /// Forget every spilled partition of one table (table dropped or
+    /// replaced): index entries and files both go.
+    pub fn remove_table(&self, table: &str) {
+        let mut state = self.state.lock();
+        let victims: Vec<(String, usize)> = state
+            .entries
+            .keys()
+            .filter(|(t, _)| t == table)
+            .cloned()
+            .collect();
+        for key in victims {
+            if let Some(e) = state.entries.remove(&key) {
+                state.disk_bytes -= e.bytes;
+            }
+            let _ = fs::remove_file(self.file_path(&key.0, key.1));
+        }
+    }
+
+    /// Spilled partitions a scan promoted since the last drain, as
+    /// `(table, partition, memory bytes restored)` — the server turns these
+    /// into `Promoted` eviction events and re-charges residency.
+    pub fn drain_promotions(&self) -> Vec<(String, usize, u64)> {
+        std::mem::take(&mut self.state.lock().promotions)
+    }
+
+    /// Number of partitions currently on the spill tier.
+    pub fn spilled_partition_count(&self) -> u64 {
+        self.state.lock().entries.len() as u64
+    }
+
+    /// Bytes currently occupied on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.state.lock().disk_bytes
+    }
+
+    /// The configured disk budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Whether one specific partition is currently spilled.
+    pub fn is_spilled(&self, table: &str, partition: usize) -> bool {
+        self.state
+            .lock()
+            .entries
+            .contains_key(&(table.to_string(), partition))
+    }
+
+    /// Lifetime demotions (partitions written to the tier).
+    pub fn spilled_partitions(&self) -> u64 {
+        self.spilled_partitions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime spill-frame bytes written.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime promotions (partitions read back).
+    pub fn promoted_partitions(&self) -> u64 {
+        self.promoted_partitions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime spill-frame bytes read back.
+    pub fn promoted_bytes(&self) -> u64 {
+        self.promoted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime partitions displaced by the disk budget.
+    pub fn displaced_partitions(&self) -> u64 {
+        self.displaced_partitions.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime spill files found corrupt and discarded.
+    pub fn poisoned_files(&self) -> u64 {
+        self.poisoned_files.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime demotions abandoned because the frame could not be written.
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures.load(Ordering::Relaxed)
+    }
+
+    /// Delete a poisoned frame and forget its entry.
+    fn poison(&self, table: &str, partition: usize, detail: &str) {
+        let mut state = self.state.lock();
+        if let Some(e) = state.entries.remove(&(table.to_string(), partition)) {
+            state.disk_bytes -= e.bytes;
+        }
+        drop(state);
+        let _ = fs::remove_file(self.file_path(table, partition));
+        spill_metrics().poisoned.inc();
+        self.poisoned_files.fetch_add(1, Ordering::Relaxed);
+        if shark_obs::active() {
+            shark_obs::event(
+                "spill-poisoned",
+                &[
+                    ("partition", &format!("{table}[{partition}]")),
+                    ("detail", detail),
+                ],
+            );
+        }
+    }
+}
+
+impl SpillSource for SpillManager {
+    /// Promote one partition: read and validate its frame, then *move* it
+    /// off the tier (file and index entry are removed — the memtable copy
+    /// the caller installs becomes the only one). Any validation failure
+    /// poisons the file and returns `None`; the scan falls back to lineage.
+    fn fetch(&self, table: &str, partition: usize) -> Option<(Arc<ColumnarPartition>, u64)> {
+        let key = (table.to_string(), partition);
+        if !self.state.lock().entries.contains_key(&key) {
+            return None;
+        }
+        let started = Instant::now();
+        let path = self.file_path(table, partition);
+        let frame = match fs::read(&path) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.poison(table, partition, &format!("read: {e}"));
+                return None;
+            }
+        };
+        let columnar = match decode_partition(&frame) {
+            Ok(c) => c,
+            Err(e) => {
+                self.poison(table, partition, &e.to_string());
+                return None;
+            }
+        };
+        let io_bytes = frame.len() as u64;
+        let memory_bytes = columnar.memory_bytes() as u64;
+        let mut state = self.state.lock();
+        if let Some(e) = state.entries.remove(&key) {
+            state.disk_bytes -= e.bytes;
+        }
+        state
+            .promotions
+            .push((table.to_string(), partition, memory_bytes));
+        drop(state);
+        let _ = fs::remove_file(&path);
+        spill_metrics()
+            .read_seconds
+            .observe(started.elapsed().as_secs_f64());
+        spill_metrics().promoted.inc();
+        spill_metrics().bytes_read.add(io_bytes);
+        self.promoted_partitions.fetch_add(1, Ordering::Relaxed);
+        self.promoted_bytes.fetch_add(io_bytes, Ordering::Relaxed);
+        if shark_obs::active() {
+            shark_obs::event(
+                "spill-read",
+                &[
+                    ("partition", &format!("{table}[{partition}]")),
+                    ("bytes", &io_bytes.to_string()),
+                ],
+            );
+        }
+        Some((Arc::new(columnar), io_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shark_common::{row, DataType, Row, Schema};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!("shark-spill-{tag}-{}-{nanos}", std::process::id()))
+    }
+
+    fn partition(rows: usize) -> ColumnarPartition {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)]);
+        let rows: Vec<Row> = (0..rows)
+            .map(|i| row![i as i64, format!("value-{}", i % 7)])
+            .collect();
+        ColumnarPartition::from_rows(&schema, &rows)
+    }
+
+    #[test]
+    fn store_then_fetch_moves_the_partition() {
+        let dir = test_dir("roundtrip");
+        let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+        let p = partition(64);
+        let outcome = mgr.store("t", 3, &p).unwrap();
+        assert!(outcome.spill_bytes > 0);
+        assert!(outcome.displaced.is_empty());
+        assert!(mgr.is_spilled("t", 3));
+        assert_eq!(mgr.disk_bytes(), outcome.spill_bytes);
+
+        let (fetched, io_bytes) = mgr.fetch("t", 3).unwrap();
+        assert_eq!(io_bytes, outcome.spill_bytes);
+        assert_eq!(fetched.to_rows(), p.to_rows());
+        // fetch is a move: nothing left on the tier.
+        assert!(!mgr.is_spilled("t", 3));
+        assert_eq!(mgr.disk_bytes(), 0);
+        assert!(mgr.fetch("t", 3).is_none());
+        assert_eq!(mgr.drain_promotions().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_budget_displaces_coldest_first() {
+        let dir = test_dir("budget");
+        let mgr = SpillManager::create(&dir, 1).unwrap(); // placeholder, resized below
+        let p = partition(64);
+        let frame_bytes = mgr.store("t", 0, &p).unwrap().spill_bytes;
+        let _ = fs::remove_dir_all(&dir);
+
+        // Budget fits exactly two frames.
+        let dir = test_dir("budget2");
+        let mgr = SpillManager::create(&dir, frame_bytes * 2).unwrap();
+        assert!(mgr.store("t", 0, &p).unwrap().displaced.is_empty());
+        assert!(mgr.store("t", 1, &p).unwrap().displaced.is_empty());
+        let third = mgr.store("t", 2, &p).unwrap();
+        // The coldest (first-spilled) partition was displaced.
+        assert_eq!(third.displaced, vec![("t".to_string(), 0)]);
+        assert!(!mgr.is_spilled("t", 0));
+        assert!(mgr.is_spilled("t", 1));
+        assert!(mgr.is_spilled("t", 2));
+        assert!(mgr.disk_bytes() <= frame_bytes * 2);
+        assert_eq!(mgr.displaced_partitions(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_frame_displaces_itself_not_others() {
+        let dir = test_dir("oversized");
+        let mgr = SpillManager::create(&dir, 8).unwrap(); // smaller than any frame
+        let p = partition(64);
+        let outcome = mgr.store("t", 5, &p).unwrap();
+        assert_eq!(outcome.displaced, vec![("t".to_string(), 5)]);
+        assert!(!mgr.is_spilled("t", 5));
+        assert_eq!(mgr.disk_bytes(), 0);
+        assert!(mgr.fetch("t", 5).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_frame_is_poisoned_and_skipped() {
+        let dir = test_dir("poison");
+        let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+        let p = partition(64);
+        mgr.store("t", 0, &p).unwrap();
+        // Flip a payload byte on disk.
+        let file = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .find(|e| e.file_name().to_string_lossy().ends_with(".spill"))
+            .unwrap()
+            .path();
+        let mut bytes = fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&file, &bytes).unwrap();
+
+        assert!(mgr.fetch("t", 0).is_none());
+        assert_eq!(mgr.poisoned_files(), 1);
+        assert!(!mgr.is_spilled("t", 0));
+        assert!(!file.exists(), "poisoned file must be deleted");
+        // Poisoning is not a promotion.
+        assert!(mgr.drain_promotions().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_sweeps_stale_files() {
+        let dir = test_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("old_0.spill"), b"stale frame").unwrap();
+        fs::write(dir.join("old_1.spill.tmp-3f"), b"crashed mid-write").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
+        let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+        assert!(!dir.join("old_0.spill").exists());
+        assert!(!dir.join("old_1.spill.tmp-3f").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        assert_eq!(mgr.disk_bytes(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_table_clears_only_that_table() {
+        let dir = test_dir("remove");
+        let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+        let p = partition(32);
+        mgr.store("a", 0, &p).unwrap();
+        mgr.store("a", 1, &p).unwrap();
+        mgr.store("b", 0, &p).unwrap();
+        mgr.remove_table("a");
+        assert!(!mgr.is_spilled("a", 0));
+        assert!(!mgr.is_spilled("a", 1));
+        assert!(mgr.is_spilled("b", 0));
+        assert_eq!(mgr.spilled_partition_count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

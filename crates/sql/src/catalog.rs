@@ -29,6 +29,21 @@ fn next_memstore_tick() -> u64 {
     MEMSTORE_CLOCK.fetch_add(1, Ordering::Relaxed) + 1
 }
 
+/// A second storage tier demoted partitions can be faulted back in from.
+///
+/// Eviction under memory pressure may *demote* a partition to disk instead
+/// of dropping it; the scan layer then asks the installed source before
+/// paying a lineage recompute. Implemented by the server's spill manager —
+/// the trait lives here so the scan path stays independent of the serving
+/// crate.
+pub trait SpillSource: Send + Sync {
+    /// Fault one demoted partition back in, returning the partition and the
+    /// spill-file bytes read. `None` means not demoted — or a poisoned
+    /// (truncated, corrupted) spill file, which degrades to the caller's
+    /// lineage-recompute path, never to an error.
+    fn fetch(&self, table: &str, partition: usize) -> Option<(Arc<ColumnarPartition>, u64)>;
+}
+
 /// One loaded (or evicted) partition eligible for eviction, as reported by
 /// [`MemTable::lru_candidates`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +78,12 @@ pub struct MemTable {
     /// Partitions rebuilt from the base generator by scans after an eviction
     /// or node failure (the lineage-recovery path).
     rebuilds: AtomicU64,
+    /// Demoted partitions faulted back in from the spill tier by scans (the
+    /// I/O-recovery path — cheaper than a rebuild, counted separately).
+    promotions: AtomicU64,
+    /// The spill tier demoted partitions of this table can be faulted back
+    /// in from, installed by the memory manager on first demotion.
+    spill: RwLock<Option<Arc<dyn SpillSource>>>,
     /// Set when the owning table version is dropped from (or replaced in)
     /// the catalog. Pinned snapshots may still scan the resident partitions,
     /// but rebuilding *missing* partitions into a retired memtable is
@@ -81,6 +102,8 @@ impl MemTable {
             ticks: (0..num_partitions).map(|_| AtomicU64::new(0)).collect(),
             placements: (0..num_partitions).map(|p| p % num_nodes.max(1)).collect(),
             rebuilds: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            spill: RwLock::new(None),
             retired: AtomicBool::new(false),
         }
     }
@@ -192,6 +215,39 @@ impl MemTable {
         }
     }
 
+    /// Remove one resident partition and hand its data to the caller — the
+    /// *demotion* variant of [`MemTable::evict_partition`]: the memory copy
+    /// is gone either way, but the caller can serialize the partition to a
+    /// spill tier instead of relying on lineage recompute. Statistics are
+    /// retained, exactly as for a plain eviction.
+    pub fn take_partition(&self, partition: usize) -> Option<Arc<ColumnarPartition>> {
+        self.partitions[partition].write().take()
+    }
+
+    /// Install the spill tier that demoted partitions of this table fault
+    /// back in from (idempotent; the last source installed wins).
+    pub fn set_spill_source(&self, source: Arc<dyn SpillSource>) {
+        *self.spill.write() = Some(source);
+    }
+
+    /// Whether a spill source has been installed.
+    pub fn has_spill_source(&self) -> bool {
+        self.spill.read().is_some()
+    }
+
+    /// Ask the installed spill tier for a demoted partition. Returns the
+    /// partition plus the spill-file bytes read, or `None` when no tier is
+    /// installed, the partition was never demoted, or its spill file is
+    /// poisoned (the caller then falls back to lineage recompute).
+    pub fn spill_fetch(
+        &self,
+        table: &str,
+        partition: usize,
+    ) -> Option<(Arc<ColumnarPartition>, u64)> {
+        let source = self.spill.read().clone()?;
+        source.fetch(table, partition)
+    }
+
     /// Evict every loaded partition, returning `(partitions, bytes)` freed.
     /// The table stays registered (statistics included) and is transparently
     /// reloaded from its base generator — its lineage — on the next scan.
@@ -238,6 +294,17 @@ impl MemTable {
     /// Partitions rebuilt from lineage by scans (after eviction or failure).
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Record one partition faulted back in from the spill tier.
+    pub fn record_promotion(&self) {
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Partitions promoted from the spill tier by scans (vs. rebuilt from
+    /// lineage — a promotion pays I/O cost only, not recompute cost).
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
     }
 
     /// Mark this table version as dropped from the catalog. Scans running

@@ -28,7 +28,7 @@ pub mod vector;
 
 pub use aggregate::{AggExpr, AggFunc, AggState, AggStates};
 pub use catalog::{
-    Catalog, CatalogSnapshot, MemTable, PartitionResidency, ReclaimedDrop, TableMeta,
+    Catalog, CatalogSnapshot, MemTable, PartitionResidency, ReclaimedDrop, SpillSource, TableMeta,
 };
 pub use engine::SqlSession;
 pub use exec::{

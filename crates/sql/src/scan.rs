@@ -30,6 +30,7 @@ struct ScanMetrics {
     cache_hits: Arc<shark_obs::Counter>,
     cache_hit_bytes: Arc<shark_obs::Counter>,
     rebuilds: Arc<shark_obs::Counter>,
+    promotions: Arc<shark_obs::Counter>,
 }
 
 fn scan_metrics() -> &'static ScanMetrics {
@@ -48,6 +49,10 @@ fn scan_metrics() -> &'static ScanMetrics {
             rebuilds: reg.counter(
                 "shark_partition_rebuilds_total",
                 "Evicted/lost partitions rebuilt from lineage during scans",
+            ),
+            promotions: reg.counter(
+                "shark_partition_promotions_total",
+                "Demoted partitions faulted back in from the spill tier",
             ),
         }
     })
@@ -97,6 +102,22 @@ fn load_partition(
             c
         }
         None => {
+            // A demoted partition faults back in from the spill tier at pure
+            // I/O cost (no recompute): promotion. Only if no spill tier is
+            // installed, the partition was dropped rather than demoted, or
+            // its spill file is poisoned do we fall back to lineage.
+            if let Some((spilled, io_bytes)) = mem.spill_fetch(&table.name, original) {
+                metrics.record_input(spilled.num_rows() as u64, io_bytes, InputSource::Dfs);
+                if !mem.is_retired() {
+                    mem.put(original, spilled.clone());
+                    mem.record_promotion();
+                    scan_metrics().promotions.inc();
+                    if shark_obs::active() {
+                        shark_obs::annotate("promote", "spill");
+                    }
+                }
+                return spilled;
+            }
             let rows = (table.base)(original);
             let bytes = estimate_slice(&rows) as u64;
             metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
@@ -356,10 +377,40 @@ impl RddImpl<Row> for DfsScanRdd {
         partition: usize,
         metrics: &mut TaskMetrics,
     ) -> Result<Vec<Row>> {
-        let rows = (self.table.base)(partition);
-        // Reading from the DFS pays for every column of every row.
-        let bytes = estimate_slice(&rows) as u64;
-        metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
+        // Prefer a demoted partition over regenerating from the base data:
+        // a spill fetch is a *move*, so the fetched copy must go back into
+        // the memtable (unless retired) or the demoted bytes would be lost.
+        let spilled = self
+            .table
+            .cached
+            .as_ref()
+            .filter(|mem| !mem.is_loaded(partition))
+            .and_then(|mem| {
+                let (spilled, io_bytes) = mem.spill_fetch(&self.table.name, partition)?;
+                if !mem.is_retired() {
+                    mem.put(partition, spilled.clone());
+                    mem.record_promotion();
+                    scan_metrics().promotions.inc();
+                    if shark_obs::active() {
+                        shark_obs::annotate("promote", "spill");
+                    }
+                }
+                Some((spilled, io_bytes))
+            });
+        let rows = match &spilled {
+            Some((spilled, io_bytes)) => {
+                let rows = spilled.to_rows();
+                metrics.record_input(rows.len() as u64, *io_bytes, InputSource::Dfs);
+                rows
+            }
+            None => {
+                let rows = (self.table.base)(partition);
+                // Reading from the DFS pays for every column of every row.
+                let bytes = estimate_slice(&rows) as u64;
+                metrics.record_input(rows.len() as u64, bytes, InputSource::Dfs);
+                rows
+            }
+        };
         metrics.add_ops(rows.len() as f64); // field extraction
                                             // Skipping the projection is only sound when it is the identity
                                             // mapping: a full-width *reorder* (e.g. [2, 0, 1]) has the same

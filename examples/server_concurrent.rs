@@ -95,6 +95,11 @@ fn main() -> shark_common::Result<()> {
         max_queued_queries: 128,
         max_total_prefetch: 8,
         executor_threads: None,
+        // Memory-only, as the paper runs it: pressure drops partitions to
+        // lineage recompute. Point spill_dir at a directory to demote them
+        // to disk instead (see the README's "Storage tiers" section).
+        spill_dir: None,
+        spill_budget_bytes: u64::MAX,
     });
     register_tpch(&server, &tpch_cfg, partitions);
 
