@@ -33,5 +33,8 @@ pub use batch::{ColumnBatch, Selection};
 pub use column::EncodedColumn;
 pub use encoding::{choose_encoding, EncodingChoice, EncodingKind};
 pub use partition::ColumnarPartition;
-pub use spill::{decode_partition, encode_partition, SPILL_MAGIC, SPILL_VERSION};
+pub use spill::{
+    decode_partition, encode_partition, read_frame_header, SpillFrameHeader, SPILL_HEADER_BYTES,
+    SPILL_MAGIC, SPILL_VERSION,
+};
 pub use stats::{ColumnStats, PartitionStats};

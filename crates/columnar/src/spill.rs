@@ -7,15 +7,26 @@
 //! verbatim, so a spill file is roughly as small as the partition's in-memory
 //! footprint and decode cost on fault-in is zero beyond the copy.
 //!
-//! Layout (all integers little-endian):
+//! Layout (all integers little-endian; the normative byte-level spec lives
+//! in `docs/ondisk-formats.md` at the repository root — keep the two in
+//! sync, and bump [`SPILL_VERSION`] on any incompatible change):
 //!
 //! ```text
-//! magic     8  b"SHRKSPL1"
-//! version   4  format version (currently 1)
-//! length    8  payload length in bytes
-//! checksum  8  FNV-1a 64 over the payload
-//! payload   …  schema, row count, encoded columns, partition stats
+//! magic          8  b"SHRKSPL1"
+//! version        4  format version (currently 2)
+//! table_version  8  catalog epoch of the owning table version
+//! length         8  payload length in bytes
+//! checksum       8  FNV-1a 64 over table_version (8 bytes LE) ++ payload
+//! payload        …  schema, row count, encoded columns, partition stats
 //! ```
+//!
+//! `table_version` ties a frame to the exact table *version* (the catalog
+//! epoch at which the table was installed) that wrote it, so a frame left
+//! behind by a dropped-and-recreated table of the same name can never be
+//! served to the new incarnation: restore-time adoption and fault-in both
+//! compare it against the live table's version and poison mismatches down
+//! to lineage recompute. Folding it into the checksum means a bit-flipped
+//! version field is indistinguishable from payload rot — both poison.
 //!
 //! Decoding is strictly validating: a bad magic, unknown version, length
 //! mismatch, checksum mismatch, short read or trailing garbage all yield an
@@ -33,22 +44,34 @@ use crate::stats::{ColumnStats, PartitionStats};
 /// Magic bytes opening every spill frame.
 pub const SPILL_MAGIC: [u8; 8] = *b"SHRKSPL1";
 
-/// Current frame format version.
-pub const SPILL_VERSION: u32 = 1;
+/// Current frame format version. Version 2 added the `table_version` header
+/// field; version-1 frames are rejected (and poison down to lineage).
+pub const SPILL_VERSION: u32 = 2;
 
-/// Fixed header size: magic + version + length + checksum.
-pub const SPILL_HEADER_BYTES: usize = 8 + 4 + 8 + 8;
+/// Fixed header size: magic + version + table_version + length + checksum.
+pub const SPILL_HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 8;
 
-/// FNV-1a 64-bit checksum over the payload. Cheap, dependency-free, and
-/// plenty to detect truncation or bit rot; this is an integrity check, not a
-/// cryptographic one.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit checksum. Cheap, dependency-free, and plenty to detect
+/// truncation or bit rot; this is an integrity check, not a cryptographic
+/// one.
+fn fnv1a_from(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Frame checksum: FNV-1a 64 over the `table_version` field (as 8
+/// little-endian bytes) followed by the payload, so header-field rot is
+/// caught the same way payload rot is.
+fn frame_checksum(table_version: u64, payload: &[u8]) -> u64 {
+    fnv1a_from(
+        fnv1a_from(FNV_OFFSET, &table_version.to_le_bytes()),
+        payload,
+    )
 }
 
 fn corrupt(detail: impl Into<String>) -> SharkError {
@@ -259,7 +282,12 @@ fn tag_type(tag: u8) -> Result<DataType> {
 }
 
 /// Serialize a partition into a self-describing, checksummed spill frame.
-pub fn encode_partition(part: &ColumnarPartition) -> Vec<u8> {
+///
+/// `table_version` is the catalog epoch at which the owning table version
+/// was installed; it is stored in the header and folded into the checksum,
+/// and [`decode_partition`] hands it back so callers can reject frames
+/// written by an earlier incarnation of a same-named table.
+pub fn encode_partition(part: &ColumnarPartition, table_version: u64) -> Vec<u8> {
     let mut w = Writer::new();
 
     // Schema.
@@ -309,10 +337,66 @@ pub fn encode_partition(part: &ColumnarPartition) -> Vec<u8> {
     let mut frame = Vec::with_capacity(SPILL_HEADER_BYTES + payload.len());
     frame.extend_from_slice(&SPILL_MAGIC);
     frame.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&table_version.to_le_bytes());
     frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    frame.extend_from_slice(&frame_checksum(table_version, &payload).to_le_bytes());
     frame.extend_from_slice(&payload);
     frame
+}
+
+/// The fixed-size header of a spill frame, as parsed by
+/// [`read_frame_header`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillFrameHeader {
+    /// Catalog epoch of the table version that wrote the frame.
+    pub table_version: u64,
+    /// Payload length the header claims, in bytes.
+    pub payload_len: u64,
+    /// FNV-1a 64 checksum recorded in the header (over `table_version` ++
+    /// payload).
+    pub checksum: u64,
+}
+
+/// Parse and validate just the fixed header of a spill frame: magic, format
+/// version, and — when the full file length is known — that the claimed
+/// payload length matches it.
+///
+/// This is the cheap probe restore-time adoption uses to vet a frame
+/// without reading (or checksumming) its payload; full payload validation
+/// stays in [`decode_partition`] and runs on fault-in. Pass the total file
+/// size as `file_len` (callers holding only the header bytes pass `None`).
+pub fn read_frame_header(bytes: &[u8], file_len: Option<u64>) -> Result<SpillFrameHeader> {
+    if bytes.len() < SPILL_HEADER_BYTES {
+        return Err(corrupt(format!(
+            "file shorter than header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != SPILL_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SPILL_VERSION {
+        return Err(corrupt(format!(
+            "unsupported version {version} (expected {SPILL_VERSION})"
+        )));
+    }
+    let header = SpillFrameHeader {
+        table_version: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        payload_len: u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+        checksum: u64::from_le_bytes(bytes[28..36].try_into().unwrap()),
+    };
+    if let Some(total) = file_len {
+        let expected = (SPILL_HEADER_BYTES as u64).saturating_add(header.payload_len);
+        if total != expected {
+            return Err(corrupt(format!(
+                "payload length mismatch (header says {}, file has {})",
+                header.payload_len,
+                total.saturating_sub(SPILL_HEADER_BYTES as u64)
+            )));
+        }
+    }
+    Ok(header)
 }
 
 // ---------------------------------------------------------------------------
@@ -527,37 +611,17 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Validate and decode a spill frame back into a [`ColumnarPartition`].
+/// Validate and decode a spill frame back into a [`ColumnarPartition`],
+/// returning it together with the `table_version` the frame was written
+/// under.
 ///
 /// Every structural violation — wrong magic, unknown version, length or
 /// checksum mismatch, truncation, trailing bytes — is reported as an error
 /// so the caller can fall back to lineage recompute.
-pub fn decode_partition(bytes: &[u8]) -> Result<ColumnarPartition> {
-    if bytes.len() < SPILL_HEADER_BYTES {
-        return Err(corrupt(format!(
-            "file shorter than header ({} bytes)",
-            bytes.len()
-        )));
-    }
-    if bytes[..8] != SPILL_MAGIC {
-        return Err(corrupt("bad magic"));
-    }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != SPILL_VERSION {
-        return Err(corrupt(format!(
-            "unsupported version {version} (expected {SPILL_VERSION})"
-        )));
-    }
-    let length = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-    let checksum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+pub fn decode_partition(bytes: &[u8]) -> Result<(ColumnarPartition, u64)> {
+    let header = read_frame_header(bytes, Some(bytes.len() as u64))?;
     let payload = &bytes[SPILL_HEADER_BYTES..];
-    if payload.len() as u64 != length {
-        return Err(corrupt(format!(
-            "payload length mismatch (header says {length}, file has {})",
-            payload.len()
-        )));
-    }
-    if fnv1a(payload) != checksum {
+    if frame_checksum(header.table_version, payload) != header.checksum {
         return Err(corrupt("checksum mismatch"));
     }
 
@@ -631,8 +695,9 @@ pub fn decode_partition(bytes: &[u8]) -> Result<ColumnarPartition> {
         )));
     }
 
-    Ok(ColumnarPartition::from_parts(
-        schema, num_rows, columns, stats,
+    Ok((
+        ColumnarPartition::from_parts(schema, num_rows, columns, stats),
+        header.table_version,
     ))
 }
 
@@ -670,9 +735,10 @@ mod tests {
     #[test]
     fn frame_roundtrip_preserves_partition() {
         let part = ColumnarPartition::from_rows(&schema(), &rows(500));
-        let frame = encode_partition(&part);
-        let back = decode_partition(&frame).unwrap();
+        let frame = encode_partition(&part, 7);
+        let (back, version) = decode_partition(&frame).unwrap();
         assert_eq!(back, part);
+        assert_eq!(version, 7);
         assert_eq!(back.to_rows(), part.to_rows());
     }
 
@@ -680,7 +746,7 @@ mod tests {
     fn frame_roundtrip_every_encoding_choice() {
         for choice in [EncodingChoice::Auto, EncodingChoice::ForcePlain] {
             let part = ColumnarPartition::from_rows_with(&schema(), &rows(200), choice);
-            let back = decode_partition(&encode_partition(&part)).unwrap();
+            let (back, _) = decode_partition(&encode_partition(&part, 1)).unwrap();
             assert_eq!(back, part, "{choice:?}");
         }
     }
@@ -694,7 +760,7 @@ mod tests {
             .map(|i| row![["hot", "cold"][(i / 100) % 2], (i / 50) as i64])
             .collect();
         let part = ColumnarPartition::from_rows(&schema, &rows);
-        let back = decode_partition(&encode_partition(&part)).unwrap();
+        let (back, _) = decode_partition(&encode_partition(&part, 1)).unwrap();
         assert_eq!(back, part);
         assert_eq!(back.to_rows(), rows);
     }
@@ -708,18 +774,18 @@ mod tests {
             row![3i64, Value::Null],
         ];
         let part = ColumnarPartition::from_rows(&schema, &rows);
-        let back = decode_partition(&encode_partition(&part)).unwrap();
+        let (back, _) = decode_partition(&encode_partition(&part, 1)).unwrap();
         assert_eq!(back.to_rows(), rows);
 
         let empty = ColumnarPartition::from_rows(&schema, &[]);
-        let back = decode_partition(&encode_partition(&empty)).unwrap();
+        let (back, _) = decode_partition(&encode_partition(&empty, 1)).unwrap();
         assert_eq!(back.num_rows(), 0);
     }
 
     #[test]
     fn truncation_detected_at_every_length() {
         let part = ColumnarPartition::from_rows(&schema(), &rows(64));
-        let frame = encode_partition(&part);
+        let frame = encode_partition(&part, 1);
         // Any strict prefix must fail loudly, whatever byte it stops at.
         for cut in [
             0,
@@ -738,14 +804,15 @@ mod tests {
     #[test]
     fn corruption_detected_by_checksum() {
         let part = ColumnarPartition::from_rows(&schema(), &rows(64));
-        let frame = encode_partition(&part);
-        // Flip one bit in every region: magic, version, length, checksum,
-        // and a spread of payload offsets.
+        let frame = encode_partition(&part, 42);
+        // Flip one bit in every region: magic, version, table_version,
+        // length, checksum, and a spread of payload offsets.
         for pos in [
             0,
             9,
-            13,
+            15,
             21,
+            29,
             SPILL_HEADER_BYTES + 3,
             frame.len() / 2,
             frame.len() - 1,
@@ -759,7 +826,7 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         let part = ColumnarPartition::from_rows(&schema(), &rows(16));
-        let mut frame = encode_partition(&part);
+        let mut frame = encode_partition(&part, 1);
         frame.extend_from_slice(b"junk");
         assert!(decode_partition(&frame).is_err());
     }
@@ -767,9 +834,44 @@ mod tests {
     #[test]
     fn stats_survive_roundtrip() {
         let part = ColumnarPartition::from_rows(&schema(), &rows(100));
-        let back = decode_partition(&encode_partition(&part)).unwrap();
+        let (back, _) = decode_partition(&encode_partition(&part, 1)).unwrap();
         assert_eq!(back.stats(), part.stats());
         assert_eq!(back.stats().column(0).min, Some(Value::Int(0)));
         assert_eq!(back.stats().column(0).max, Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn header_probe_validates_without_payload_read() {
+        let part = ColumnarPartition::from_rows(&schema(), &rows(32));
+        let frame = encode_partition(&part, 9);
+        let header = read_frame_header(&frame, Some(frame.len() as u64)).unwrap();
+        assert_eq!(header.table_version, 9);
+        assert_eq!(
+            header.payload_len as usize,
+            frame.len() - SPILL_HEADER_BYTES
+        );
+        // Probing just the header bytes (no file length) also works.
+        let short = read_frame_header(&frame[..SPILL_HEADER_BYTES], None).unwrap();
+        assert_eq!(short, header);
+        // Wrong file length, bad magic, and bad format version all fail.
+        assert!(read_frame_header(&frame, Some(frame.len() as u64 - 1)).is_err());
+        let mut bad = frame.clone();
+        bad[0] ^= 0xff;
+        assert!(read_frame_header(&bad, None).is_err());
+        let mut bad = frame.clone();
+        bad[8] = 99;
+        assert!(read_frame_header(&bad, None).is_err());
+    }
+
+    #[test]
+    fn version_1_frames_are_rejected() {
+        // A frame stamped with the retired format version must poison, not
+        // decode: the v1 header had no table_version field, so its bytes
+        // would be misinterpreted.
+        let part = ColumnarPartition::from_rows(&schema(), &rows(8));
+        let mut frame = encode_partition(&part, 1);
+        frame[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = decode_partition(&frame).unwrap_err().to_string();
+        assert!(err.contains("unsupported version"), "{err}");
     }
 }

@@ -18,15 +18,27 @@
 //! * **Metrics** ([`MetricsRegistry`]) — per-query queue wait, execution
 //!   time, cache-hit bytes, recomputes and evictions, aggregated per
 //!   session and server-wide into a [`ServerReport`].
+//! * **Durability** ([`wal`]) — when the spill tier is configured, catalog
+//!   DDL and spill movements are journaled to a write-ahead log and folded
+//!   into periodic snapshot + manifest checkpoints;
+//!   [`SharkServer::restore`] replays them and re-adopts the spill frames
+//!   still on disk, so a restart comes back at the same catalog epoch with
+//!   demoted partitions servable at I/O cost instead of recomputed.
 
 pub mod admission;
 pub mod memstore;
 pub mod metrics;
 pub mod server;
 pub mod spill;
+pub mod wal;
 
 pub use admission::{AdmissionController, AdmissionError, AdmissionPermit};
 pub use memstore::{EvictionEvent, MemstoreManager};
 pub use metrics::{MetricsRegistry, QueryMetrics, ServerReport, SessionStats};
 pub use server::{QueryCursor, ServerConfig, SessionHandle, SessionQueryResult, SharkServer};
-pub use spill::{SpillManager, StoreOutcome};
+pub use spill::{SpillEvent, SpillManager, StoreOutcome};
+pub use wal::{
+    read_manifest, read_snapshot, replay_wal, write_manifest, write_snapshot, ManifestEntry,
+    SnapshotFile, SpillManifest, TableRecord, WalRecord, WalReplay, WalWriter, MANIFEST_FILE,
+    SNAPSHOT_FILE, WAL_FILE,
+};

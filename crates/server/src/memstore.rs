@@ -353,7 +353,7 @@ impl MemstoreManager {
     ) -> u64 {
         // Gather every evictable partition: unpinned table, unpinned
         // partition, matching owner when session-scoped.
-        let mut candidates: Vec<(u64, String, Arc<MemTable>, usize)> = Vec::new();
+        let mut candidates: Vec<(u64, String, Arc<MemTable>, usize, u64)> = Vec::new();
         for table in catalog.cached_tables() {
             if state.pins.contains_key(&table.name) {
                 continue;
@@ -383,7 +383,13 @@ impl MemstoreManager {
                 {
                     continue;
                 }
-                candidates.push((c.last_tick, table.name.clone(), mem.clone(), c.partition));
+                candidates.push((
+                    c.last_tick,
+                    table.name.clone(),
+                    mem.clone(),
+                    c.partition,
+                    table.version(),
+                ));
             }
         }
         // Coldest first; ties broken by name/partition for determinism.
@@ -402,7 +408,7 @@ impl MemstoreManager {
             dropped_bytes: u64,
         }
         let mut victims: Vec<Victim> = Vec::new();
-        for (_tick, name, mem, partition) in candidates {
+        for (_tick, name, mem, partition, table_version) in candidates {
             if freed >= need {
                 break;
             }
@@ -423,7 +429,7 @@ impl MemstoreManager {
                     }
                     // An unwritable spill frame (the Err arm) degrades to a
                     // plain drop — never surface an I/O error from eviction.
-                    if let Ok(outcome) = spill.store(&name, partition, &columnar) {
+                    if let Ok(outcome) = spill.store(&name, partition, &columnar, table_version) {
                         let mut self_displaced = false;
                         for (dt, dp) in outcome.displaced {
                             // Whatever the disk budget displaced lost

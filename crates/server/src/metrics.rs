@@ -255,6 +255,34 @@ pub struct ServerReport {
     pub deferred_drops_reclaimed: u64,
     /// Bytes those deferred reclamations freed.
     pub deferred_reclaimed_bytes: u64,
+    /// Whether catalog durability (WAL + snapshots) is enabled.
+    pub wal_enabled: bool,
+    /// Records appended to the catalog WAL by this server (resets when a
+    /// checkpoint truncates the log).
+    pub wal_records: u64,
+    /// Catalog checkpoints written (snapshot + manifest + WAL truncation).
+    pub wal_snapshots_written: u64,
+    /// WAL batch appends that failed (durability is best-effort: the query
+    /// itself still succeeded).
+    pub wal_append_failures: u64,
+    /// Whether this server was started via `SharkServer::restore`.
+    pub restored: bool,
+    /// WAL records replayed during restore.
+    pub recovery_wal_records_replayed: u64,
+    /// Whether restore truncated a torn or corrupt WAL tail.
+    pub recovery_torn_wal_tail: bool,
+    /// Tables re-registered from snapshot + WAL during restore.
+    pub recovery_tables_restored: u64,
+    /// Restored tables left with a placeholder row generator (no resolver
+    /// match); they panic on first lineage recompute.
+    pub recovery_placeholder_tables: u64,
+    /// Spill frames re-adopted into the tier during restore.
+    pub recovery_frames_adopted: u64,
+    /// Manifest/WAL frame expectations rejected during restore (missing,
+    /// corrupt or version-mismatched files).
+    pub recovery_frames_rejected: u64,
+    /// Unreachable spill files deleted by the post-adoption orphan sweep.
+    pub recovery_orphans_swept: u64,
     /// Resident table-memstore bytes at report time.
     pub memstore_bytes: u64,
     /// Resident RDD-cache bytes at report time.
@@ -308,6 +336,28 @@ impl ServerReport {
                 self.partition_promotions,
                 self.spill_displaced_partitions,
                 self.spill_poisoned_files,
+            ));
+        }
+        if self.wal_enabled {
+            out.push_str(&format!(
+                "durability: {} WAL records since last checkpoint, {} checkpoints written, {} append failures\n",
+                self.wal_records, self.wal_snapshots_written, self.wal_append_failures,
+            ));
+        }
+        if self.restored {
+            out.push_str(&format!(
+                "recovery: {} tables restored ({} placeholder generators), {} WAL records replayed{}; frames: {} adopted, {} rejected, {} orphans swept\n",
+                self.recovery_tables_restored,
+                self.recovery_placeholder_tables,
+                self.recovery_wal_records_replayed,
+                if self.recovery_torn_wal_tail {
+                    " (torn tail truncated)"
+                } else {
+                    ""
+                },
+                self.recovery_frames_adopted,
+                self.recovery_frames_rejected,
+                self.recovery_orphans_swept,
             ));
         }
         out.push_str(&format!(
@@ -408,6 +458,24 @@ impl ServerReport {
             "spill_displaced_partitions",
             self.spill_displaced_partitions,
         );
+        w.field_bool("wal_enabled", self.wal_enabled);
+        w.field_u64("wal_records", self.wal_records);
+        w.field_u64("wal_snapshots_written", self.wal_snapshots_written);
+        w.field_u64("wal_append_failures", self.wal_append_failures);
+        w.field_bool("restored", self.restored);
+        w.field_u64(
+            "recovery_wal_records_replayed",
+            self.recovery_wal_records_replayed,
+        );
+        w.field_bool("recovery_torn_wal_tail", self.recovery_torn_wal_tail);
+        w.field_u64("recovery_tables_restored", self.recovery_tables_restored);
+        w.field_u64(
+            "recovery_placeholder_tables",
+            self.recovery_placeholder_tables,
+        );
+        w.field_u64("recovery_frames_adopted", self.recovery_frames_adopted);
+        w.field_u64("recovery_frames_rejected", self.recovery_frames_rejected);
+        w.field_u64("recovery_orphans_swept", self.recovery_orphans_swept);
         w.field_u64("catalog_epoch", self.catalog_epoch);
         w.field_u64("live_snapshots", self.live_snapshots as u64);
         w.field_u64("deferred_drop_bytes", self.deferred_drop_bytes);

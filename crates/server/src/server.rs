@@ -8,23 +8,37 @@
 //! over the shared state, so queries from different sessions read the same
 //! cached tables and execute concurrently on their callers' threads, gated
 //! only by admission control.
+//!
+//! When a spill directory is configured the server is also **durable**:
+//! catalog DDL and spill-tier movements are journaled to a write-ahead log
+//! (see [`crate::wal`]) at query boundaries, periodically folded into a
+//! catalog snapshot + spill manifest, and [`SharkServer::restore`] brings
+//! a new process back to the same catalog epoch with demoted partitions
+//! re-adopted — servable at I/O cost instead of recomputed from lineage.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use shark_common::{Result, Row, Schema, SharkError};
 use shark_rdd::{RddConfig, RddContext};
 use shark_sql::exec::LoadReport;
 use shark_sql::{
-    Catalog, ExecConfig, QueryResult, QueryStream, SqlSession, StreamProgress, TableMeta,
+    Catalog, ExecConfig, QueryResult, QueryStream, RowGenerator, SqlSession, StreamProgress,
+    TableMeta,
 };
 
 use crate::admission::{AdmissionController, AdmissionPermit};
 use crate::memstore::{EvictionEvent, MemstoreManager};
 use crate::metrics::{MetricsRegistry, QueryMetrics, ServerReport};
-use crate::spill::SpillManager;
+use crate::spill::{SpillEvent, SpillManager};
+use crate::wal::{
+    read_manifest, read_snapshot, recovery_metrics, replay_wal, write_manifest, write_snapshot,
+    ManifestEntry, SnapshotFile, SpillManifest, TableRecord, WalRecord, WalWriter, MANIFEST_FILE,
+    SNAPSHOT_FILE, WAL_FILE,
+};
 
 /// Configuration of a [`SharkServer`].
 #[derive(Debug, Clone)]
@@ -66,6 +80,11 @@ pub struct ServerConfig {
     /// Disk budget for the spill tier. When spilled frames exceed it, the
     /// coldest are deleted (those partitions degrade to lineage recompute).
     pub spill_budget_bytes: u64,
+    /// How many catalog-WAL records may accumulate before the server folds
+    /// them into a fresh snapshot + manifest checkpoint. Lower values bound
+    /// replay work at restore; higher values amortize checkpoint I/O.
+    /// Only meaningful when `spill_dir` is set (the WAL lives there).
+    pub wal_snapshot_every_records: u64,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +100,7 @@ impl Default for ServerConfig {
             executor_threads: None,
             spill_dir: None,
             spill_budget_bytes: u64::MAX,
+            wal_snapshot_every_records: 256,
         }
     }
 }
@@ -128,6 +148,42 @@ impl ServerConfig {
         self.spill_budget_bytes = bytes;
         self
     }
+
+    /// Checkpoint the catalog WAL every `records` committed records.
+    pub fn with_wal_snapshot_every(mut self, records: u64) -> ServerConfig {
+        self.wal_snapshot_every_records = records;
+        self
+    }
+}
+
+/// The durable-catalog machinery of one server: the open WAL appender plus
+/// the checkpoint cadence. Lives behind one mutex so WAL batches from
+/// concurrent query boundaries serialize — the journals are drained *under*
+/// this lock, which is what keeps a table's `Created` record ahead of its
+/// partitions' `Demoted` records in the log.
+struct Durability {
+    /// Directory the WAL, snapshot and manifest live in (the spill dir).
+    dir: PathBuf,
+    /// The open WAL appender (recreated fresh by every checkpoint).
+    wal: WalWriter,
+    /// Fold the WAL into a snapshot after this many committed records.
+    snapshot_every: u64,
+    /// Records committed since the last checkpoint.
+    records_since_snapshot: u64,
+}
+
+/// What one restore observed, frozen at construction and surfaced through
+/// [`ServerReport`].
+#[derive(Debug, Clone, Default)]
+struct RecoveryStats {
+    restored: bool,
+    wal_records_replayed: u64,
+    torn_wal_tail: bool,
+    tables_restored: u64,
+    placeholder_tables: u64,
+    frames_adopted: u64,
+    frames_rejected: u64,
+    orphans_swept: u64,
 }
 
 pub(crate) struct ServerShared {
@@ -141,6 +197,13 @@ pub(crate) struct ServerShared {
     next_query_id: AtomicU64,
     max_total_prefetch: usize,
     prefetch_in_use: AtomicUsize,
+    /// `Some` when a spill directory is configured and its WAL is writable.
+    durability: Option<Mutex<Durability>>,
+    /// What the restore that produced this server observed (all-default
+    /// for a fresh start).
+    recovery: RecoveryStats,
+    snapshots_written: AtomicU64,
+    wal_append_failures: AtomicU64,
 }
 
 impl ServerShared {
@@ -171,6 +234,126 @@ impl ServerShared {
     fn release_prefetch(&self, granted: usize) {
         if granted > 0 {
             self.prefetch_in_use.fetch_sub(granted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain the catalog's DDL journal and the spill tier's event journal
+    /// into one fsync'd WAL batch. Runs at every query boundary (and at
+    /// admin operations that change durable state); a no-op without
+    /// durability or when nothing changed. Spill events are stamped with
+    /// the *current* epoch — replay does not order by epoch, it applies
+    /// records in log order, so a late stamp is harmless.
+    fn persist_durable(&self) {
+        let Some(durability) = &self.durability else {
+            return;
+        };
+        let mut dur = durability.lock();
+        let mut records: Vec<WalRecord> = self
+            .catalog
+            .drain_ddl()
+            .iter()
+            .map(WalRecord::from_ddl)
+            .collect();
+        let epoch = self.catalog.epoch();
+        if let Some(spill) = self.memstore.spill() {
+            for event in spill.drain_wal_events() {
+                records.push(match event {
+                    SpillEvent::Demoted {
+                        table,
+                        partition,
+                        table_version,
+                        bytes,
+                        checksum,
+                    } => WalRecord::Demoted {
+                        epoch,
+                        table,
+                        table_version,
+                        partition: partition as u64,
+                        bytes,
+                        checksum,
+                    },
+                    SpillEvent::Promoted {
+                        table,
+                        partition,
+                        table_version,
+                    } => WalRecord::Promoted {
+                        epoch,
+                        table,
+                        table_version,
+                        partition: partition as u64,
+                    },
+                });
+            }
+        }
+        if records.is_empty() {
+            return;
+        }
+        match dur.wal.append_batch(&records) {
+            Ok(()) => {
+                dur.records_since_snapshot += records.len() as u64;
+                if dur.records_since_snapshot >= dur.snapshot_every {
+                    self.checkpoint(&mut dur);
+                }
+            }
+            Err(_) => {
+                // The journals are already drained, so these records never
+                // reach the log. Force a checkpoint: the snapshot captures
+                // the full current state, which re-covers whatever the
+                // failed append lost.
+                self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+                self.checkpoint(&mut dur);
+            }
+        }
+    }
+
+    /// Fold the WAL into fresh durable state: write the spill manifest,
+    /// then the catalog snapshot, then start an empty WAL. The order is
+    /// the crash-safety argument — a crash before the WAL is recreated
+    /// leaves old records in the log, and replaying them *onto* the new
+    /// snapshot is idempotent (the snapshot is the fold of exactly those
+    /// records). Returns whether the checkpoint fully landed.
+    fn checkpoint(&self, dur: &mut Durability) -> bool {
+        let entries = self
+            .memstore
+            .spill()
+            .map(|s| s.manifest_entries())
+            .unwrap_or_default();
+        if write_manifest(&dur.dir.join(MANIFEST_FILE), &SpillManifest { entries }).is_err() {
+            self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let snapshot = SnapshotFile {
+            epoch: self.catalog.epoch(),
+            tables: self
+                .catalog
+                .table_names()
+                .iter()
+                .filter_map(|name| self.catalog.get(name).ok())
+                .map(|table| TableRecord::from_meta(&table))
+                .collect(),
+        };
+        if write_snapshot(&dur.dir.join(SNAPSHOT_FILE), &snapshot).is_err() {
+            self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        match WalWriter::create(dur.dir.join(WAL_FILE)) {
+            Ok(wal) => {
+                dur.wal = wal;
+                dur.records_since_snapshot = 0;
+                self.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                shark_obs::event(
+                    "checkpoint",
+                    &[
+                        ("epoch", &snapshot.epoch.to_string()),
+                        ("tables", &snapshot.tables.len().to_string()),
+                    ],
+                );
+                true
+            }
+            Err(_) => {
+                self.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+                false
+            }
         }
     }
 }
@@ -216,6 +399,10 @@ impl Drop for PinGuard<'_> {
     }
 }
 
+/// Restore-time hook mapping a restored table's metadata to the row
+/// generator to re-attach; `None` leaves the loud placeholder.
+type GeneratorResolver<'a> = &'a dyn Fn(&TableRecord) -> Option<RowGenerator>;
+
 /// A shared-everything warehouse server handing out concurrent sessions.
 #[derive(Clone)]
 pub struct SharkServer {
@@ -223,21 +410,95 @@ pub struct SharkServer {
 }
 
 impl SharkServer {
-    /// Start a server from a configuration.
+    /// Start a fresh server from a configuration. Any durable state a
+    /// previous incarnation left under the spill directory is deliberately
+    /// ignored — and its spill frames swept as orphans; use
+    /// [`SharkServer::restore`] to come back warm instead.
     pub fn new(config: ServerConfig) -> SharkServer {
+        SharkServer::boot(config, None)
+    }
+
+    /// Restore a server from the durable state under the configured spill
+    /// directory: load the catalog snapshot, replay the WAL over it
+    /// (truncating any torn tail), and re-adopt the spill frames the
+    /// manifest + WAL still expect — demoted partitions are servable again
+    /// at I/O cost, not recomputed. Restored tables get a placeholder row
+    /// generator that panics on first lineage recompute; use
+    /// [`SharkServer::restore_with`] to re-attach real generators.
+    ///
+    /// Fails only when `config.spill_dir` is unset (nowhere to restore
+    /// from). Damaged durable state never fails the restore — it degrades:
+    /// torn WAL tails are cut, a corrupt snapshot or manifest reads as
+    /// empty, and rejected frames fall back to lineage recompute.
+    pub fn restore(config: ServerConfig) -> Result<SharkServer> {
+        SharkServer::restore_with(config, |_| None)
+    }
+
+    /// [`SharkServer::restore`], with a resolver that re-attaches a row
+    /// generator to each restored table (generators are code, not data —
+    /// they cannot live in the snapshot). Tables the resolver declines get
+    /// the loud placeholder generator.
+    pub fn restore_with(
+        config: ServerConfig,
+        resolver: impl Fn(&TableRecord) -> Option<RowGenerator>,
+    ) -> Result<SharkServer> {
+        if config.spill_dir.is_none() {
+            return Err(SharkError::Config(
+                "restore requires a spill directory (ServerConfig::with_spill_dir): \
+                 the catalog WAL, snapshot and spill manifest live there"
+                    .into(),
+            ));
+        }
+        Ok(SharkServer::boot(config, Some(&resolver)))
+    }
+
+    /// Shared construction path. `resolver` is `Some` for a restore (replay
+    /// durable state before serving) and `None` for a fresh start (sweep
+    /// the directory's frames as orphans).
+    fn boot(config: ServerConfig, resolver: Option<GeneratorResolver<'_>>) -> SharkServer {
         if let Some(threads) = config.executor_threads {
             shark_rdd::Executor::configure_global(threads);
         }
         let mut memstore = MemstoreManager::new(config.memory_budget_bytes)
             .with_session_quota(config.session_mem_quota_bytes);
+        let mut spill = None;
         if let Some(dir) = &config.spill_dir {
-            // An unusable spill directory disables the tier rather than
-            // failing server start: queries then see the pre-spill world
-            // (eviction = lineage recompute), never an I/O error.
-            if let Ok(spill) = SpillManager::create(dir, config.spill_budget_bytes) {
-                memstore = memstore.with_spill(Arc::new(spill));
+            // An unusable spill directory disables the tier (and with it
+            // durability) rather than failing server start: queries then
+            // see the pre-spill world (eviction = lineage recompute),
+            // never an I/O error.
+            if let Ok(manager) = SpillManager::create(dir, config.spill_budget_bytes) {
+                let manager = Arc::new(manager);
+                memstore = memstore.with_spill(manager.clone());
+                spill = Some(manager);
             }
         }
+        let catalog = Arc::new(Catalog::new());
+        let num_nodes = config.rdd.cluster.num_nodes;
+        let recovery = match (&spill, resolver) {
+            (Some(spill), Some(resolver)) => restore_catalog(&catalog, spill, num_nodes, resolver),
+            (Some(spill), None) => {
+                // Fresh start: a previous incarnation's frames are orphans
+                // here, not recoverable data.
+                spill.sweep_orphans();
+                RecoveryStats::default()
+            }
+            _ => RecoveryStats::default(),
+        };
+        let durability = spill.as_ref().and_then(|spill| {
+            // A WAL that cannot be created disables durability the same
+            // way an unusable directory disables the tier.
+            WalWriter::create(spill.dir().join(WAL_FILE))
+                .ok()
+                .map(|wal| {
+                    Mutex::new(Durability {
+                        dir: spill.dir().to_path_buf(),
+                        wal,
+                        snapshot_every: config.wal_snapshot_every_records.max(1),
+                        records_since_snapshot: 0,
+                    })
+                })
+        });
         let ctx = RddContext::new(config.rdd);
         // Observe RDD-cache policy evictions in the unified registry (the
         // table memstore's evictions are counted by the manager itself).
@@ -254,10 +515,10 @@ impl SharkServer {
                 rdd_evictions.inc();
                 rdd_evicted_bytes.add(bytes);
             }));
-        SharkServer {
+        let server = SharkServer {
             shared: Arc::new(ServerShared {
                 ctx,
-                catalog: Arc::new(Catalog::new()),
+                catalog,
                 exec: config.exec,
                 admission: AdmissionController::new(
                     config.max_concurrent_queries,
@@ -269,7 +530,45 @@ impl SharkServer {
                 next_query_id: AtomicU64::new(1),
                 max_total_prefetch: config.max_total_prefetch,
                 prefetch_in_use: AtomicUsize::new(0),
+                durability,
+                recovery,
+                snapshots_written: AtomicU64::new(0),
+                wal_append_failures: AtomicU64::new(0),
             }),
+        };
+        // Boot checkpoint: snapshot, manifest and (fresh) WAL now agree
+        // with the in-memory state, so a crash at any later point replays
+        // from here.
+        if let Some(dur) = &server.shared.durability {
+            server.shared.checkpoint(&mut dur.lock());
+        }
+        server
+    }
+
+    /// Quiesce and persist: demote every cached table's resident
+    /// partitions to the spill tier, commit the final WAL batch and write
+    /// a checkpoint, so [`SharkServer::restore`] brings the catalog back
+    /// warm. A no-op without durability. The server stays usable after —
+    /// shutdown is a durability barrier, not a poison pill.
+    pub fn shutdown(&self) -> Result<()> {
+        let shared = &self.shared;
+        if shared.durability.is_none() {
+            return Ok(());
+        }
+        let _span = shark_obs::span("shutdown");
+        for table in shared.catalog.cached_tables() {
+            shared.memstore.demote_table(&shared.catalog, &table.name);
+        }
+        shared.persist_durable();
+        let Some(dur) = &shared.durability else {
+            return Ok(());
+        };
+        if shared.checkpoint(&mut dur.lock()) {
+            Ok(())
+        } else {
+            Err(SharkError::Execution(
+                "shutdown checkpoint failed: the durable catalog state on disk is stale".into(),
+            ))
         }
     }
 
@@ -316,6 +615,7 @@ impl SharkServer {
             self.shared.memstore.forget(&registered.name);
         }
         self.shared.memstore.reclaim_dropped(&self.shared.catalog);
+        self.shared.persist_durable();
         registered
     }
 
@@ -332,6 +632,7 @@ impl SharkServer {
         self.shared
             .memstore
             .enforce(&self.shared.catalog, self.shared.ctx.cache());
+        self.shared.persist_durable();
         report
     }
 
@@ -388,9 +689,12 @@ impl SharkServer {
     /// tier (admin path — used to stage demoted residency states for tests
     /// and benchmarks; plain eviction when no tier is configured).
     pub fn demote_table(&self, name: &str) -> Vec<EvictionEvent> {
-        self.shared
+        let events = self
+            .shared
             .memstore
-            .demote_table(&self.shared.catalog, name)
+            .demote_table(&self.shared.catalog, name);
+        self.shared.persist_durable();
+        events
     }
 
     /// Aggregate a server-level report over everything run so far. Also
@@ -400,6 +704,9 @@ impl SharkServer {
     pub fn report(&self) -> ServerReport {
         let shared = &self.shared;
         shared.memstore.reclaim_dropped(&shared.catalog);
+        // A report is a durability point too: whatever the journals hold
+        // is committed, so the WAL numbers below are current.
+        shared.persist_durable();
         let mut report = shared.metrics.aggregate();
         report.peak_concurrent_queries = shared.admission.peak_running();
         report.peak_queued_queries = shared.admission.peak_queued();
@@ -440,6 +747,20 @@ impl SharkServer {
             report.spill_poisoned_files = spill.poisoned_files();
             report.spill_displaced_partitions = spill.displaced_partitions();
         }
+        report.wal_enabled = shared.durability.is_some();
+        if let Some(dur) = &shared.durability {
+            report.wal_records = dur.lock().wal.record_count();
+        }
+        report.wal_snapshots_written = shared.snapshots_written.load(Ordering::Relaxed);
+        report.wal_append_failures = shared.wal_append_failures.load(Ordering::Relaxed);
+        report.restored = shared.recovery.restored;
+        report.recovery_wal_records_replayed = shared.recovery.wal_records_replayed;
+        report.recovery_torn_wal_tail = shared.recovery.torn_wal_tail;
+        report.recovery_tables_restored = shared.recovery.tables_restored;
+        report.recovery_placeholder_tables = shared.recovery.placeholder_tables;
+        report.recovery_frames_adopted = shared.recovery.frames_adopted;
+        report.recovery_frames_rejected = shared.recovery.frames_rejected;
+        report.recovery_orphans_swept = shared.recovery.orphans_swept;
         report.memstore_bytes = shared.catalog.memstore_bytes();
         report.rdd_cache_bytes = shared.ctx.cache().total_bytes();
         report.memory_budget_bytes = shared.memstore.budget_bytes();
@@ -595,6 +916,9 @@ impl SessionHandle {
         drop(permit);
         let promotions = shared.memstore.drain_promotions();
         record_enforcement_events(&evictions, &quota_events, &promotions);
+        // Commit this query's durable effects (CTAS/DROP, demotions,
+        // promotions) before its result is observable.
+        shared.persist_durable();
 
         let metrics = QueryMetrics {
             session_id: self.id,
@@ -805,6 +1129,7 @@ impl SessionHandle {
             .enforce_session_quota(self.id, &shared.catalog);
         shared.memstore.enforce(&shared.catalog, shared.ctx.cache());
         drop(permit);
+        shared.persist_durable();
         report
     }
 
@@ -866,6 +1191,152 @@ fn record_enforcement_events(
         let partitions: usize = promotions.iter().map(EvictionEvent::partitions).sum();
         shark_obs::event("promotion", &[("partitions", &partitions.to_string())]);
     }
+}
+
+/// Rebuild the catalog and spill tier from the durable state under the
+/// spill directory: snapshot + WAL replay for the table map and epoch,
+/// manifest + WAL replay for the set of frames worth re-adopting.
+///
+/// Replay applies WAL records in log order *onto* the snapshot/manifest
+/// baseline. No epoch filtering is needed: a checkpoint that crashed
+/// before truncating the WAL leaves records that are already folded into
+/// the snapshot, and re-applying them is idempotent (same upserts, same
+/// removals). Frames only survive into the adoption set if their table
+/// still exists at the exact version the frame was written under —
+/// anything else is swept and falls back to lineage recompute.
+fn restore_catalog(
+    catalog: &Catalog,
+    spill: &Arc<SpillManager>,
+    num_nodes: usize,
+    resolver: GeneratorResolver<'_>,
+) -> RecoveryStats {
+    let started = Instant::now();
+    let mut root = if shark_obs::tracer().is_enabled() {
+        Some(shark_obs::start_trace("restore"))
+    } else {
+        None
+    };
+    let _trace = root.as_ref().map(|r| r.context().attach());
+    let dir = spill.dir();
+    let replay = replay_wal(&dir.join(WAL_FILE));
+    let snapshot = read_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap_or_default();
+    let manifest = read_manifest(&dir.join(MANIFEST_FILE)).unwrap_or_default();
+
+    let mut stats = RecoveryStats {
+        restored: true,
+        wal_records_replayed: replay.records.len() as u64,
+        torn_wal_tail: replay.torn,
+        ..RecoveryStats::default()
+    };
+    let mut tables: Vec<TableRecord> = snapshot.tables;
+    let mut expected: Vec<ManifestEntry> = manifest.entries;
+    let mut max_epoch = snapshot.epoch;
+    for record in &replay.records {
+        max_epoch = max_epoch.max(record.epoch());
+        match record {
+            WalRecord::Created { table, .. } => {
+                tables.retain(|t| t.name != table.name);
+                tables.push(table.clone());
+            }
+            WalRecord::Dropped { name, .. } => {
+                tables.retain(|t| t.name != *name);
+            }
+            WalRecord::Demoted {
+                table,
+                table_version,
+                partition,
+                bytes,
+                checksum,
+                ..
+            } => {
+                expected.retain(|e| !(e.table == *table && e.partition == *partition));
+                expected.push(ManifestEntry {
+                    table: table.clone(),
+                    partition: *partition,
+                    table_version: *table_version,
+                    file: spill.frame_file_name(table, *partition as usize),
+                    file_bytes: *bytes,
+                    checksum: *checksum,
+                });
+            }
+            WalRecord::Promoted {
+                table, partition, ..
+            } => {
+                expected.retain(|e| !(e.table == *table && e.partition == *partition));
+            }
+        }
+    }
+    // A frame is only re-adoptable for the exact table version it was
+    // written under; frames of dropped or replaced tables become orphans.
+    expected.retain(|e| {
+        tables
+            .iter()
+            .any(|t| t.name == e.table && t.version == e.table_version)
+    });
+
+    tables.sort_by(|a, b| a.name.cmp(&b.name));
+    for record in &tables {
+        let generator = resolver(record);
+        let placeholder = generator.is_none();
+        let generator = generator.unwrap_or_else(|| placeholder_generator(&record.name));
+        let meta = record.into_meta(generator, num_nodes);
+        if let Some(mem) = &meta.cached {
+            // Wire the tier before the first scan so adopted frames are
+            // faulted in instead of recomputed.
+            mem.set_spill_source(spill.clone());
+        }
+        catalog.register(meta);
+        stats.tables_restored += 1;
+        if placeholder {
+            stats.placeholder_tables += 1;
+        }
+    }
+    // Replayed registrations bumped the epoch from zero; land on the exact
+    // pre-crash epoch and discard the registrations' DDL journal — replay
+    // is history, not new DDL to be re-logged.
+    catalog.advance_epoch_to(max_epoch);
+    catalog.drain_ddl();
+
+    let (adopted, rejected) = spill.adopt(&expected);
+    stats.frames_adopted = adopted;
+    stats.frames_rejected = rejected;
+    stats.orphans_swept = spill.sweep_orphans();
+
+    let metrics = recovery_metrics();
+    metrics.restores.inc();
+    metrics.wal_records_replayed.add(stats.wal_records_replayed);
+    if stats.torn_wal_tail {
+        metrics.torn_wal_tails.inc();
+    }
+    metrics.tables_restored.add(stats.tables_restored);
+    metrics.seconds.observe(started.elapsed().as_secs_f64());
+    if let Some(root) = root.as_mut() {
+        root.annotate("tables", &stats.tables_restored.to_string());
+        root.annotate("frames_adopted", &stats.frames_adopted.to_string());
+        root.annotate("epoch", &max_epoch.to_string());
+        if stats.torn_wal_tail {
+            root.annotate("torn_wal_tail", "true");
+        }
+    }
+    if let Some(root) = root {
+        root.finish();
+    }
+    stats
+}
+
+/// The generator a restored table falls back to when the resolver has
+/// nothing for it: generators are code, so they cannot be persisted, and
+/// silently serving zero rows would corrupt results. Scans served from
+/// memory or adopted spill frames never call it; only a lineage recompute
+/// does, and then it fails loudly.
+fn placeholder_generator(name: &str) -> RowGenerator {
+    let name = name.to_string();
+    Arc::new(move |_| {
+        panic!(
+            "table '{name}' was restored without a row generator; \
+             re-attach one with SharkServer::restore_with"
+        )
+    })
 }
 
 /// The tables a statement needs pinned while it executes: every table it
@@ -1068,6 +1539,7 @@ impl QueryCursor<'_> {
         self.permit.take();
         let promotions = shared.memstore.drain_promotions();
         record_enforcement_events(&evictions, &quota_events, &promotions);
+        shared.persist_durable();
         if let Some(mut root) = self.root.take() {
             root.add_rows(progress.rows_streamed);
             root.annotate(

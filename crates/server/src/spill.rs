@@ -12,14 +12,25 @@
 //!
 //! Crash safety: spill files are written under a temporary name and
 //! atomically renamed into place, so a crash mid-write can never leave a
-//! half-frame under a live name. [`SpillManager::create`] sweeps the spill
-//! directory of leftovers from earlier incarnations (the index is
-//! in-memory, so files without an index entry are unreachable anyway).
+//! half-frame under a live name (the frame layout itself is specified in
+//! `docs/ondisk-formats.md`). [`SpillManager::create`] sweeps only `.tmp-*`
+//! partials from a crashed write; intact `.spill` frames are left on disk
+//! so a restore can *re-adopt* them via [`SpillManager::adopt`] — deleting
+//! them eagerly at startup raced lazily-installed restores and threw away
+//! perfectly servable data. Frames nobody adopts are removed by the
+//! explicit [`SpillManager::sweep_orphans`] pass the server runs once
+//! adoption (or a durability-free startup) has decided what is reachable.
 //! A file that fails its checksum on read — truncated, bit-flipped,
 //! tampered — is *poisoned*: it is deleted, counted, and the caller falls
 //! back to lineage recompute; a poisoned spill file is never a query error.
+//!
+//! Every frame is stamped with the owning table's catalog version
+//! ([`shark_sql::TableMeta::version`]); a fetch whose expected version
+//! disagrees with the frame's poisons it the same way, so a re-adopted
+//! frame from a dropped-and-recreated table can never serve stale rows.
 
 use std::fs;
+use std::io::Read as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,10 +38,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use shark_columnar::{decode_partition, encode_partition, ColumnarPartition};
+use shark_columnar::{
+    decode_partition, encode_partition, read_frame_header, ColumnarPartition, SPILL_HEADER_BYTES,
+};
 use shark_common::hash::FxHashMap;
 use shark_common::{Result, SharkError};
 use shark_sql::SpillSource;
+
+use crate::wal::{recovery_metrics, ManifestEntry};
 
 /// Cached unified-registry handles for the spill tier's hot-path metrics.
 struct SpillMetrics {
@@ -93,7 +108,44 @@ struct SpillEntry {
     bytes: u64,
     /// LRU clock value at demotion (or last touch).
     tick: u64,
+    /// The owning table's catalog version the frame was written under.
+    version: u64,
+    /// The frame's header checksum, recorded for the manifest.
+    checksum: u64,
 }
+
+/// A spill-tier movement awaiting journaling into the catalog WAL. The
+/// server drains these at query boundaries ([`SpillManager::drain_wal_events`])
+/// and appends them as `Demoted`/`Promoted` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillEvent {
+    /// A partition's frame was written to the tier.
+    Demoted {
+        /// Owning table.
+        table: String,
+        /// Partition index.
+        partition: usize,
+        /// The owning table's catalog version.
+        table_version: u64,
+        /// Frame size on disk.
+        bytes: u64,
+        /// Frame header checksum.
+        checksum: u64,
+    },
+    /// A partition's frame was moved back into memory.
+    Promoted {
+        /// Owning table.
+        table: String,
+        /// Partition index.
+        partition: usize,
+        /// The owning table's catalog version.
+        table_version: u64,
+    },
+}
+
+/// Bound on the un-drained WAL-event journal, so a server without
+/// durability configured (nobody draining) cannot grow it forever.
+const WAL_EVENT_CAP: usize = 4096;
 
 struct SpillState {
     /// `(table, partition)` → index entry; the *only* record of what is
@@ -104,6 +156,8 @@ struct SpillState {
     /// Promotions performed by scans since the server last drained them
     /// (table, partition, memory bytes restored).
     promotions: Vec<(String, usize, u64)>,
+    /// Demotions/promotions not yet journaled into the WAL.
+    wal_events: Vec<SpillEvent>,
 }
 
 /// Result of spilling one partition.
@@ -146,9 +200,14 @@ fn name_hash(name: &str) -> u64 {
 }
 
 impl SpillManager {
-    /// Open (creating if needed) a spill directory and sweep stale files
-    /// from earlier incarnations: `.tmp-*` partials from a crash mid-write
-    /// and `.spill` frames whose index died with the previous process.
+    /// Open (creating if needed) a spill directory and sweep only `.tmp-*`
+    /// partials from a crashed mid-write. Intact `.spill` frames from an
+    /// earlier incarnation are deliberately left alone: a restore re-adopts
+    /// them via [`SpillManager::adopt`], and whatever remains unreachable
+    /// afterwards is removed by [`SpillManager::sweep_orphans`]. (An
+    /// earlier version deleted every `.spill` file here, which raced
+    /// restores that install the manager lazily and destroyed re-adoptable
+    /// frames.)
     pub fn create(dir: impl Into<PathBuf>, budget_bytes: u64) -> Result<SpillManager> {
         let dir = dir.into();
         fs::create_dir_all(&dir)
@@ -157,8 +216,7 @@ impl SpillManager {
             for entry in listing.flatten() {
                 let name = entry.file_name();
                 let name = name.to_string_lossy();
-                let stale = name.ends_with(".spill") || name.contains(".tmp-");
-                if stale {
+                if name.contains(".tmp-") {
                     let _ = fs::remove_file(entry.path());
                 }
             }
@@ -171,6 +229,7 @@ impl SpillManager {
                 disk_bytes: 0,
                 clock: 0,
                 promotions: Vec::new(),
+                wal_events: Vec::new(),
             }),
             spilled_partitions: AtomicU64::new(0),
             spilled_bytes: AtomicU64::new(0),
@@ -185,6 +244,16 @@ impl SpillManager {
     /// The directory spill frames live in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Canonical file name (no directory) for one partition's spill frame.
+    /// WAL replay uses this to reconstruct manifest entries for demotions
+    /// that happened after the last snapshot.
+    pub fn frame_file_name(&self, table: &str, partition: usize) -> String {
+        self.file_path(table, partition)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default()
     }
 
     /// Path of the live spill file for one partition.
@@ -209,10 +278,16 @@ impl SpillManager {
         table: &str,
         partition: usize,
         columnar: &ColumnarPartition,
+        table_version: u64,
     ) -> Result<StoreOutcome> {
         let started = Instant::now();
-        let frame = encode_partition(columnar);
+        let frame = encode_partition(columnar, table_version);
         let spill_bytes = frame.len() as u64;
+        // The codec just stamped the header; read the checksum back for the
+        // index entry (and, through it, the manifest and WAL).
+        let checksum = read_frame_header(&frame, Some(spill_bytes))
+            .map(|h| h.checksum)
+            .unwrap_or(0);
         let final_path = self.file_path(table, partition);
         let write = |tmp: &Path| -> std::io::Result<()> {
             let mut f = fs::File::create(tmp)?;
@@ -267,11 +342,23 @@ impl SpillManager {
             SpillEntry {
                 bytes: spill_bytes,
                 tick,
+                version: table_version,
+                checksum,
             },
         ) {
             state.disk_bytes -= old.bytes;
         }
         state.disk_bytes += spill_bytes;
+        Self::journal(
+            &mut state,
+            SpillEvent::Demoted {
+                table: table.to_string(),
+                partition,
+                table_version,
+                bytes: spill_bytes,
+                checksum,
+            },
+        );
 
         // Disk-budget LRU displacement, coldest first. The entry just
         // written is displaced last — only when it alone exceeds the
@@ -334,6 +421,146 @@ impl SpillManager {
     /// into `Promoted` eviction events and re-charges residency.
     pub fn drain_promotions(&self) -> Vec<(String, usize, u64)> {
         std::mem::take(&mut self.state.lock().promotions)
+    }
+
+    /// Append one event to the bounded WAL-event journal.
+    fn journal(state: &mut SpillState, event: SpillEvent) {
+        state.wal_events.push(event);
+        if state.wal_events.len() > WAL_EVENT_CAP {
+            let excess = state.wal_events.len() - WAL_EVENT_CAP;
+            state.wal_events.drain(..excess);
+        }
+    }
+
+    /// Spill-tier movements awaiting WAL journaling, oldest first. The
+    /// journal is bounded (`WAL_EVENT_CAP`); on a durability-free server
+    /// nobody drains it and the oldest events simply age out.
+    pub fn drain_wal_events(&self) -> Vec<SpillEvent> {
+        std::mem::take(&mut self.state.lock().wal_events)
+    }
+
+    /// The current tier contents as manifest entries, for persisting
+    /// alongside a catalog snapshot.
+    pub fn manifest_entries(&self) -> Vec<ManifestEntry> {
+        let state = self.state.lock();
+        let mut entries: Vec<ManifestEntry> = state
+            .entries
+            .iter()
+            .map(|((table, partition), e)| ManifestEntry {
+                table: table.clone(),
+                partition: *partition as u64,
+                table_version: e.version,
+                file: self
+                    .file_path(table, *partition)
+                    .file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .into_owned(),
+                file_bytes: e.bytes,
+                checksum: e.checksum,
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.table, a.partition).cmp(&(&b.table, b.partition)));
+        entries
+    }
+
+    /// Re-adopt spill frames left by an earlier incarnation: for each
+    /// expected entry, probe the frame header on disk (no payload read) and
+    /// index the frame if everything matches — file name, size, version and
+    /// checksum. A frame that is missing, undersized, corrupt or
+    /// mismatched is rejected and deleted; its partition simply comes back
+    /// via lineage. Returns `(adopted, rejected)` counts. Call before the
+    /// manager is shared (restore runs single-threaded) and follow with
+    /// [`SpillManager::sweep_orphans`].
+    pub fn adopt(&self, expected: &[ManifestEntry]) -> (u64, u64) {
+        let recovery = recovery_metrics();
+        let mut adopted = 0u64;
+        let mut rejected = 0u64;
+        for entry in expected {
+            let partition = entry.partition as usize;
+            let path = self.file_path(&entry.table, partition);
+            let canonical = path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
+            let ok = canonical == entry.file && self.probe_frame(&path, entry).is_some();
+            if ok {
+                let mut state = self.state.lock();
+                state.clock += 1;
+                let tick = state.clock;
+                let prev = state.entries.insert(
+                    (entry.table.clone(), partition),
+                    SpillEntry {
+                        bytes: entry.file_bytes,
+                        tick,
+                        version: entry.table_version,
+                        checksum: entry.checksum,
+                    },
+                );
+                if let Some(old) = prev {
+                    state.disk_bytes -= old.bytes;
+                }
+                state.disk_bytes += entry.file_bytes;
+                adopted += 1;
+            } else {
+                let _ = fs::remove_file(&path);
+                rejected += 1;
+            }
+        }
+        recovery.frames_adopted.add(adopted);
+        recovery.frames_rejected.add(rejected);
+        (adopted, rejected)
+    }
+
+    /// Header-only validation of one on-disk frame against its manifest
+    /// entry. Reads [`SPILL_HEADER_BYTES`], never the payload; the full
+    /// checksum pass stays where it always was — at fetch time.
+    fn probe_frame(&self, path: &Path, entry: &ManifestEntry) -> Option<()> {
+        let meta = fs::metadata(path).ok()?;
+        if meta.len() != entry.file_bytes {
+            return None;
+        }
+        let mut file = fs::File::open(path).ok()?;
+        let mut header = [0u8; SPILL_HEADER_BYTES];
+        file.read_exact(&mut header).ok()?;
+        let header = read_frame_header(&header, Some(meta.len())).ok()?;
+        (header.table_version == entry.table_version && header.checksum == entry.checksum)
+            .then_some(())
+    }
+
+    /// Delete every `.spill` frame (and stray `.tmp-*` partial) in the
+    /// directory that has no index entry — the explicit orphan sweep that
+    /// replaced the old delete-everything startup sweep. Run it after
+    /// [`SpillManager::adopt`] decided what is reachable (or right after
+    /// [`SpillManager::create`] on a server without durability). Returns
+    /// the number of files removed.
+    pub fn sweep_orphans(&self) -> u64 {
+        let live: std::collections::HashSet<std::ffi::OsString> = {
+            let state = self.state.lock();
+            state
+                .entries
+                .keys()
+                .filter_map(|(table, partition)| {
+                    self.file_path(table, *partition)
+                        .file_name()
+                        .map(Into::into)
+                })
+                .collect()
+        };
+        let mut removed = 0u64;
+        if let Ok(listing) = fs::read_dir(&self.dir) {
+            for entry in listing.flatten() {
+                let name = entry.file_name();
+                let lossy = name.to_string_lossy();
+                let sweepable = lossy.ends_with(".spill") || lossy.contains(".tmp-");
+                if sweepable && !live.contains(&name) {
+                    let _ = fs::remove_file(entry.path());
+                    removed += 1;
+                }
+            }
+        }
+        removed
     }
 
     /// Number of partitions currently on the spill tier.
@@ -419,11 +646,33 @@ impl SpillManager {
 impl SpillSource for SpillManager {
     /// Promote one partition: read and validate its frame, then *move* it
     /// off the tier (file and index entry are removed — the memtable copy
-    /// the caller installs becomes the only one). Any validation failure
-    /// poisons the file and returns `None`; the scan falls back to lineage.
-    fn fetch(&self, table: &str, partition: usize) -> Option<(Arc<ColumnarPartition>, u64)> {
+    /// the caller installs becomes the only one). Any validation failure —
+    /// including a frame stamped with a different table version than the
+    /// scan expects — poisons the file and returns `None`; the scan falls
+    /// back to lineage.
+    fn fetch(
+        &self,
+        table: &str,
+        partition: usize,
+        expected_version: u64,
+    ) -> Option<(Arc<ColumnarPartition>, u64)> {
         let key = (table.to_string(), partition);
-        if !self.state.lock().entries.contains_key(&key) {
+        let stale_version = {
+            let state = self.state.lock();
+            match state.entries.get(&key) {
+                None => return None,
+                Some(entry) if entry.version != expected_version => Some(entry.version),
+                Some(_) => None,
+            }
+        };
+        if let Some(frame_version) = stale_version {
+            self.poison(
+                table,
+                partition,
+                &format!(
+                    "table version mismatch: frame v{frame_version}, expected v{expected_version}"
+                ),
+            );
             return None;
         }
         let started = Instant::now();
@@ -435,13 +684,23 @@ impl SpillSource for SpillManager {
                 return None;
             }
         };
-        let columnar = match decode_partition(&frame) {
-            Ok(c) => c,
+        let (columnar, frame_version) = match decode_partition(&frame) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 self.poison(table, partition, &e.to_string());
                 return None;
             }
         };
+        if frame_version != expected_version {
+            self.poison(
+                table,
+                partition,
+                &format!(
+                    "table version mismatch: frame v{frame_version}, expected v{expected_version}"
+                ),
+            );
+            return None;
+        }
         let io_bytes = frame.len() as u64;
         let memory_bytes = columnar.memory_bytes() as u64;
         let mut state = self.state.lock();
@@ -451,6 +710,14 @@ impl SpillSource for SpillManager {
         state
             .promotions
             .push((table.to_string(), partition, memory_bytes));
+        Self::journal(
+            &mut state,
+            SpillEvent::Promoted {
+                table: table.to_string(),
+                partition,
+                table_version: expected_version,
+            },
+        );
         drop(state);
         let _ = fs::remove_file(&path);
         spill_metrics()
@@ -499,20 +766,46 @@ mod tests {
         let dir = test_dir("roundtrip");
         let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
         let p = partition(64);
-        let outcome = mgr.store("t", 3, &p).unwrap();
+        let outcome = mgr.store("t", 3, &p, 1).unwrap();
         assert!(outcome.spill_bytes > 0);
         assert!(outcome.displaced.is_empty());
         assert!(mgr.is_spilled("t", 3));
         assert_eq!(mgr.disk_bytes(), outcome.spill_bytes);
 
-        let (fetched, io_bytes) = mgr.fetch("t", 3).unwrap();
+        let (fetched, io_bytes) = mgr.fetch("t", 3, 1).unwrap();
         assert_eq!(io_bytes, outcome.spill_bytes);
         assert_eq!(fetched.to_rows(), p.to_rows());
         // fetch is a move: nothing left on the tier.
         assert!(!mgr.is_spilled("t", 3));
         assert_eq!(mgr.disk_bytes(), 0);
-        assert!(mgr.fetch("t", 3).is_none());
+        assert!(mgr.fetch("t", 3, 1).is_none());
         assert_eq!(mgr.drain_promotions().len(), 1);
+        // Both movements were journaled for the WAL.
+        let events = mgr.drain_wal_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            SpillEvent::Demoted { table, partition: 3, table_version: 1, .. } if table == "t"
+        ));
+        assert!(matches!(
+            &events[1],
+            SpillEvent::Promoted { table, partition: 3, table_version: 1 } if table == "t"
+        ));
+        assert!(mgr.drain_wal_events().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatched_fetch_poisons_instead_of_serving_stale_rows() {
+        let dir = test_dir("version");
+        let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+        let p = partition(32);
+        mgr.store("t", 0, &p, 4).unwrap();
+        // The table was dropped and recreated: scans now expect version 6.
+        assert!(mgr.fetch("t", 0, 6).is_none());
+        assert_eq!(mgr.poisoned_files(), 1);
+        assert!(!mgr.is_spilled("t", 0));
+        assert!(mgr.drain_promotions().is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -521,15 +814,15 @@ mod tests {
         let dir = test_dir("budget");
         let mgr = SpillManager::create(&dir, 1).unwrap(); // placeholder, resized below
         let p = partition(64);
-        let frame_bytes = mgr.store("t", 0, &p).unwrap().spill_bytes;
+        let frame_bytes = mgr.store("t", 0, &p, 1).unwrap().spill_bytes;
         let _ = fs::remove_dir_all(&dir);
 
         // Budget fits exactly two frames.
         let dir = test_dir("budget2");
         let mgr = SpillManager::create(&dir, frame_bytes * 2).unwrap();
-        assert!(mgr.store("t", 0, &p).unwrap().displaced.is_empty());
-        assert!(mgr.store("t", 1, &p).unwrap().displaced.is_empty());
-        let third = mgr.store("t", 2, &p).unwrap();
+        assert!(mgr.store("t", 0, &p, 1).unwrap().displaced.is_empty());
+        assert!(mgr.store("t", 1, &p, 1).unwrap().displaced.is_empty());
+        let third = mgr.store("t", 2, &p, 1).unwrap();
         // The coldest (first-spilled) partition was displaced.
         assert_eq!(third.displaced, vec![("t".to_string(), 0)]);
         assert!(!mgr.is_spilled("t", 0));
@@ -545,11 +838,11 @@ mod tests {
         let dir = test_dir("oversized");
         let mgr = SpillManager::create(&dir, 8).unwrap(); // smaller than any frame
         let p = partition(64);
-        let outcome = mgr.store("t", 5, &p).unwrap();
+        let outcome = mgr.store("t", 5, &p, 1).unwrap();
         assert_eq!(outcome.displaced, vec![("t".to_string(), 5)]);
         assert!(!mgr.is_spilled("t", 5));
         assert_eq!(mgr.disk_bytes(), 0);
-        assert!(mgr.fetch("t", 5).is_none());
+        assert!(mgr.fetch("t", 5, 1).is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -558,7 +851,7 @@ mod tests {
         let dir = test_dir("poison");
         let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
         let p = partition(64);
-        mgr.store("t", 0, &p).unwrap();
+        mgr.store("t", 0, &p, 1).unwrap();
         // Flip a payload byte on disk.
         let file = fs::read_dir(&dir)
             .unwrap()
@@ -571,7 +864,7 @@ mod tests {
         bytes[last] ^= 0xff;
         fs::write(&file, &bytes).unwrap();
 
-        assert!(mgr.fetch("t", 0).is_none());
+        assert!(mgr.fetch("t", 0, 1).is_none());
         assert_eq!(mgr.poisoned_files(), 1);
         assert!(!mgr.is_spilled("t", 0));
         assert!(!file.exists(), "poisoned file must be deleted");
@@ -581,17 +874,98 @@ mod tests {
     }
 
     #[test]
-    fn create_sweeps_stale_files() {
+    fn create_keeps_frames_for_adoption_and_sweeps_only_partials() {
         let dir = test_dir("sweep");
         fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join("old_0.spill"), b"stale frame").unwrap();
+        fs::write(dir.join("old_0.spill"), b"possibly re-adoptable").unwrap();
         fs::write(dir.join("old_1.spill.tmp-3f"), b"crashed mid-write").unwrap();
         fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
         let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
-        assert!(!dir.join("old_0.spill").exists());
+        // Intact frames survive startup so a restore can adopt them; only
+        // the crashed partial is gone.
+        assert!(dir.join("old_0.spill").exists());
         assert!(!dir.join("old_1.spill.tmp-3f").exists());
         assert!(dir.join("unrelated.txt").exists());
         assert_eq!(mgr.disk_bytes(), 0);
+        // The explicit orphan sweep removes what nobody adopted — and
+        // nothing else.
+        assert_eq!(mgr.sweep_orphans(), 1);
+        assert!(!dir.join("old_0.spill").exists());
+        assert!(dir.join("unrelated.txt").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adopt_reindexes_valid_frames_and_rejects_damaged_ones() {
+        let dir = test_dir("adopt");
+        let p = partition(48);
+        // First incarnation: three frames on disk, manifest captured.
+        let manifest = {
+            let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+            mgr.store("t", 0, &p, 2).unwrap();
+            mgr.store("t", 1, &p, 2).unwrap();
+            mgr.store("t", 2, &p, 2).unwrap();
+            mgr.manifest_entries()
+        };
+        assert_eq!(manifest.len(), 3);
+        // Damage frame 1 on disk after the manifest was written.
+        let f1 = manifest.iter().find(|e| e.partition == 1).unwrap();
+        let path1 = dir.join(&f1.file);
+        let mut bytes = fs::read(&path1).unwrap();
+        bytes[SPILL_HEADER_BYTES] ^= 0xff; // payload flip — size unchanged
+        fs::write(&path1, &bytes).unwrap();
+
+        // Second incarnation adopts from the manifest.
+        let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+        let (adopted, rejected) = mgr.adopt(&manifest);
+        // The header probe is header-only, so the payload flip sails
+        // through adoption…
+        assert_eq!((adopted, rejected), (3, 0));
+        assert_eq!(mgr.sweep_orphans(), 0);
+        assert_eq!(mgr.spilled_partition_count(), 3);
+        // …and is caught by the full checksum at fetch time: poisoned, not
+        // served.
+        assert!(mgr.fetch("t", 1, 2).is_none());
+        assert_eq!(mgr.poisoned_files(), 1);
+        // Healthy adopted frames serve byte-identical rows.
+        let (fetched, _) = mgr.fetch("t", 0, 2).unwrap();
+        assert_eq!(fetched.to_rows(), p.to_rows());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adopt_rejects_missing_truncated_and_version_mismatched_frames() {
+        let dir = test_dir("adopt-reject");
+        let p = partition(48);
+        let manifest = {
+            let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+            mgr.store("t", 0, &p, 2).unwrap();
+            mgr.store("t", 1, &p, 2).unwrap();
+            mgr.store("t", 2, &p, 2).unwrap();
+            mgr.manifest_entries()
+        };
+        // Frame 0: deleted. Frame 1: truncated. Frame 2: manifest expects a
+        // different table version than the header carries.
+        let by_partition = |n: u64| manifest.iter().find(|e| e.partition == n).unwrap();
+        fs::remove_file(dir.join(&by_partition(0).file)).unwrap();
+        let path1 = dir.join(&by_partition(1).file);
+        let bytes = fs::read(&path1).unwrap();
+        fs::write(&path1, &bytes[..bytes.len() - 4]).unwrap();
+        let mut tampered = manifest.clone();
+        tampered
+            .iter_mut()
+            .find(|e| e.partition == 2)
+            .unwrap()
+            .table_version = 9;
+
+        let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
+        let (adopted, rejected) = mgr.adopt(&tampered);
+        assert_eq!((adopted, rejected), (0, 3));
+        assert_eq!(mgr.spilled_partition_count(), 0);
+        assert_eq!(mgr.disk_bytes(), 0);
+        // Rejected frames were deleted on the spot.
+        assert!(!dir.join(&by_partition(1).file).exists());
+        assert!(!dir.join(&by_partition(2).file).exists());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -600,9 +974,9 @@ mod tests {
         let dir = test_dir("remove");
         let mgr = SpillManager::create(&dir, u64::MAX).unwrap();
         let p = partition(32);
-        mgr.store("a", 0, &p).unwrap();
-        mgr.store("a", 1, &p).unwrap();
-        mgr.store("b", 0, &p).unwrap();
+        mgr.store("a", 0, &p, 1).unwrap();
+        mgr.store("a", 1, &p, 1).unwrap();
+        mgr.store("b", 0, &p, 1).unwrap();
         mgr.remove_table("a");
         assert!(!mgr.is_spilled("a", 0));
         assert!(!mgr.is_spilled("a", 1));

@@ -38,10 +38,18 @@ fn next_memstore_tick() -> u64 {
 /// crate.
 pub trait SpillSource: Send + Sync {
     /// Fault one demoted partition back in, returning the partition and the
-    /// spill-file bytes read. `None` means not demoted — or a poisoned
-    /// (truncated, corrupted) spill file, which degrades to the caller's
-    /// lineage-recompute path, never to an error.
-    fn fetch(&self, table: &str, partition: usize) -> Option<(Arc<ColumnarPartition>, u64)>;
+    /// spill-file bytes read. `expected_version` is the requesting table's
+    /// [`TableMeta::version`]; a frame written under any other version (a
+    /// prior incarnation of the name, or a restore gone stale) must not be
+    /// served. `None` means not demoted — or a poisoned (truncated,
+    /// corrupted, version-mismatched) spill file, which degrades to the
+    /// caller's lineage-recompute path, never to an error.
+    fn fetch(
+        &self,
+        table: &str,
+        partition: usize,
+        expected_version: u64,
+    ) -> Option<(Arc<ColumnarPartition>, u64)>;
 }
 
 /// One loaded (or evicted) partition eligible for eviction, as reported by
@@ -235,17 +243,20 @@ impl MemTable {
         self.spill.read().is_some()
     }
 
-    /// Ask the installed spill tier for a demoted partition. Returns the
-    /// partition plus the spill-file bytes read, or `None` when no tier is
-    /// installed, the partition was never demoted, or its spill file is
-    /// poisoned (the caller then falls back to lineage recompute).
+    /// Ask the installed spill tier for a demoted partition, verified
+    /// against the owning table's version. Returns the partition plus the
+    /// spill-file bytes read, or `None` when no tier is installed, the
+    /// partition was never demoted, or its spill file is poisoned or was
+    /// written by a different table version (the caller then falls back to
+    /// lineage recompute).
     pub fn spill_fetch(
         &self,
         table: &str,
         partition: usize,
+        expected_version: u64,
     ) -> Option<(Arc<ColumnarPartition>, u64)> {
         let source = self.spill.read().clone()?;
-        source.fetch(table, partition)
+        source.fetch(table, partition, expected_version)
     }
 
     /// Evict every loaded partition, returning `(partitions, bytes)` freed.
@@ -339,6 +350,13 @@ pub struct TableMeta {
     pub copartitioned_with: Option<String>,
     /// Estimated total number of rows (used by the static optimizer).
     pub row_count_hint: Option<u64>,
+    /// The catalog epoch at which this table version was installed
+    /// (0 = not yet registered). Spill frames are stamped with it, so a
+    /// frame left behind by a dropped-and-recreated table of the same name
+    /// can never be served to the new incarnation. Set once by
+    /// [`Catalog::install`] — or pre-set via [`TableMeta::with_version`]
+    /// when a restore replays a recorded registration.
+    version: AtomicU64,
 }
 
 impl TableMeta {
@@ -356,6 +374,7 @@ impl TableMeta {
             distribute_by: None,
             copartitioned_with: None,
             row_count_hint: None,
+            version: AtomicU64::new(0),
         }
     }
 
@@ -383,6 +402,28 @@ impl TableMeta {
     pub fn with_row_count_hint(mut self, rows: u64) -> TableMeta {
         self.row_count_hint = Some(rows);
         self
+    }
+
+    /// Pre-set the table version (restore replaying a recorded
+    /// registration). Registration leaves a pre-set version untouched.
+    pub fn with_version(self, version: u64) -> TableMeta {
+        self.version.store(version, Ordering::Relaxed);
+        self
+    }
+
+    /// The catalog epoch this table version was installed at (0 before
+    /// registration). This — not the name — identifies the version on disk:
+    /// spill frames and WAL records carry it.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Stamp the installation epoch, keeping a version pre-set by
+    /// [`TableMeta::with_version`] (restore replay) intact.
+    fn mark_installed(&self, epoch: u64) {
+        let _ = self
+            .version
+            .compare_exchange(0, epoch, Ordering::Relaxed, Ordering::Relaxed);
     }
 
     /// Whether the table has a memstore attached.
@@ -498,6 +539,42 @@ pub struct ReclaimedDrop {
 /// boundary, so anything beyond this is a leak, not accounting.
 const RECLAIMED_LOG_CAP: usize = 4096;
 
+/// One committed catalog mutation, as recorded in the DDL journal.
+///
+/// CTAS and `DROP TABLE` execute inside the SQL engine, which knows nothing
+/// about durability; the catalog journals every install instead, and a
+/// serving layer with a write-ahead log drains the journal at query
+/// boundaries ([`Catalog::drain_ddl`]) and appends the records there. A
+/// crash between the install and the drain loses only the journal tail —
+/// the same contract as a torn WAL tail, and recovered the same way
+/// (affected tables come back cold via their base generators).
+#[derive(Clone)]
+pub enum DdlRecord {
+    /// A table version was registered (including a same-name replacement)
+    /// at the given epoch. The `Arc` carries everything a replay needs:
+    /// name, schema, partition count, hints and [`TableMeta::version`].
+    Created {
+        /// The epoch the registration bumped the catalog to.
+        epoch: u64,
+        /// The installed table version.
+        table: Arc<TableMeta>,
+    },
+    /// A table was dropped at the given epoch.
+    Dropped {
+        /// The epoch the drop bumped the catalog to.
+        epoch: u64,
+        /// Lower-cased table name.
+        name: String,
+    },
+}
+
+/// Upper bound on undrained [`DdlRecord`]s, mirroring
+/// [`RECLAIMED_LOG_CAP`]: standalone sessions never drain the journal, so
+/// it must stay bounded. Dropping the *oldest* records is safe for them —
+/// there is no WAL to miss the updates — and a serving layer drains at
+/// every query boundary, far inside the cap.
+const DDL_JOURNAL_CAP: usize = 4096;
+
 /// The metastore: a registry of tables by name, rebuilt around immutable,
 /// epoch-versioned snapshots.
 ///
@@ -524,6 +601,8 @@ pub struct Catalog {
     deferred: Mutex<Vec<DeferredDrop>>,
     /// Reclamations performed but not yet drained by the serving layer.
     reclaimed: Mutex<Vec<ReclaimedDrop>>,
+    /// Committed DDL not yet drained into a write-ahead log.
+    ddl: Mutex<Vec<DdlRecord>>,
 }
 
 impl Default for Catalog {
@@ -533,6 +612,7 @@ impl Default for Catalog {
             live: Mutex::new(Vec::new()),
             deferred: Mutex::new(Vec::new()),
             reclaimed: Mutex::new(Vec::new()),
+            ddl: Mutex::new(Vec::new()),
         }
     }
 }
@@ -582,20 +662,58 @@ impl Catalog {
     }
 
     /// Install a new snapshot produced by applying `mutate` to the current
-    /// table map, returning whatever the mutation yields. An `Err` from the
-    /// mutation leaves the current snapshot (and epoch) untouched.
+    /// table map, returning whatever the mutation yields. The mutation
+    /// receives the epoch the new snapshot will carry, so registrations can
+    /// stamp it into the installed [`TableMeta::version`]. An `Err` from
+    /// the mutation leaves the current snapshot (and epoch) untouched.
     fn install<R>(
         &self,
-        mutate: impl FnOnce(&mut HashMap<String, Arc<TableMeta>>) -> Result<R>,
+        mutate: impl FnOnce(&mut HashMap<String, Arc<TableMeta>>, u64) -> Result<R>,
     ) -> Result<R> {
         let mut current = self.current.write();
+        let next_epoch = current.epoch + 1;
         let mut tables = (*current.tables).clone();
-        let displaced = mutate(&mut tables)?;
+        let displaced = mutate(&mut tables, next_epoch)?;
         *current = Arc::new(CatalogSnapshot {
-            epoch: current.epoch + 1,
+            epoch: next_epoch,
             tables: Arc::new(tables),
         });
         Ok(displaced)
+    }
+
+    /// Append one committed mutation to the DDL journal, keeping it bounded
+    /// for standalone sessions that never drain it.
+    fn journal(&self, record: DdlRecord) {
+        let mut log = self.ddl.lock();
+        log.push(record);
+        if log.len() > DDL_JOURNAL_CAP {
+            let excess = log.len() - DDL_JOURNAL_CAP;
+            log.drain(..excess);
+        }
+    }
+
+    /// Drain the journal of committed DDL. The serving layer calls this at
+    /// every query boundary and appends the records to its write-ahead log;
+    /// a restore drains (and discards) whatever replay itself re-journaled.
+    pub fn drain_ddl(&self) -> Vec<DdlRecord> {
+        std::mem::take(&mut *self.ddl.lock())
+    }
+
+    /// Restore-time epoch replay hook: advance the current epoch to `epoch`
+    /// without touching the table map, so a replayed catalog ends up at the
+    /// exact epoch the WAL recorded (each replayed DDL only bumps by one,
+    /// and gaps — e.g. drops of tables that were never re-registered —
+    /// would otherwise leave the restored epoch behind the recorded one).
+    /// A smaller-or-equal `epoch` is a no-op; the epoch never moves
+    /// backwards.
+    pub fn advance_epoch_to(&self, epoch: u64) {
+        let mut current = self.current.write();
+        if current.epoch < epoch {
+            *current = Arc::new(CatalogSnapshot {
+                epoch,
+                tables: current.tables.clone(),
+            });
+        }
     }
 
     /// Queue a table version removed from the current snapshot for deferred
@@ -616,9 +734,18 @@ impl Catalog {
     pub fn register(&self, table: TableMeta) -> Arc<TableMeta> {
         let arc = Arc::new(table);
         let registered = arc.clone();
+        let mut installed_epoch = 0;
         let replaced = self
-            .install(|tables| Ok(tables.insert(arc.name.clone(), arc)))
+            .install(|tables, epoch| {
+                arc.mark_installed(epoch);
+                installed_epoch = epoch;
+                Ok(tables.insert(arc.name.clone(), arc))
+            })
             .expect("plain registration is infallible");
+        self.journal(DdlRecord::Created {
+            epoch: installed_epoch,
+            table: registered.clone(),
+        });
         if let Some(old) = replaced {
             self.defer_drop(old);
         }
@@ -641,16 +768,23 @@ impl Catalog {
     /// in from lineage mid-registration).
     pub fn register_arc_if_absent(&self, arc: Arc<TableMeta>) -> Result<Arc<TableMeta>> {
         let registered = arc.clone();
-        self.install(|tables| {
+        let mut installed_epoch = 0;
+        self.install(|tables, epoch| {
             if tables.contains_key(&arc.name) {
                 return Err(SharkError::Catalog(format!(
                     "table '{}' already exists",
                     arc.name
                 )));
             }
+            arc.mark_installed(epoch);
+            installed_epoch = epoch;
             tables.insert(arc.name.clone(), arc);
             Ok(())
         })?;
+        self.journal(DdlRecord::Created {
+            epoch: installed_epoch,
+            table: registered.clone(),
+        });
         Ok(registered)
     }
 
@@ -670,11 +804,17 @@ impl Catalog {
     /// it immediately — see [`Catalog::reclaim_unreferenced`]).
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let lowered = name.to_lowercase();
-        let removed = self.install(|tables| {
+        let mut installed_epoch = 0;
+        let removed = self.install(|tables, epoch| {
+            installed_epoch = epoch;
             tables
                 .remove(&lowered)
                 .ok_or_else(|| SharkError::Catalog(format!("table '{name}' not found")))
         })?;
+        self.journal(DdlRecord::Dropped {
+            epoch: installed_epoch,
+            name: lowered,
+        });
         self.defer_drop(removed);
         Ok(())
     }
@@ -1112,6 +1252,79 @@ mod tests {
         drop(pin);
         assert_eq!(catalog.reclaim_unreferenced(), 1);
         drop(late);
+    }
+
+    #[test]
+    fn versions_stamp_the_installation_epoch() {
+        let catalog = Catalog::new();
+        let first = catalog.register(demo_table(false));
+        assert_eq!(first.version(), 1);
+        catalog.drop_table("users").unwrap(); // epoch 2
+        let second = catalog.register(demo_table(false)); // epoch 3
+        assert_eq!(second.version(), 3);
+        assert_eq!(catalog.epoch(), 3);
+        // A replay-provided version survives registration untouched.
+        let replayed = catalog.register(
+            TableMeta::new(
+                "other",
+                Schema::from_pairs(&[("x", DataType::Int)]),
+                1,
+                |_| vec![],
+            )
+            .with_version(17),
+        );
+        assert_eq!(replayed.version(), 17);
+    }
+
+    #[test]
+    fn ddl_journal_records_installs_in_order() {
+        let catalog = Catalog::new();
+        catalog.register(demo_table(false)); // epoch 1
+        catalog.drop_table("users").unwrap(); // epoch 2
+        catalog.register(demo_table(true)); // epoch 3
+        let journal = catalog.drain_ddl();
+        assert_eq!(journal.len(), 3);
+        match &journal[0] {
+            DdlRecord::Created { epoch, table } => {
+                assert_eq!(*epoch, 1);
+                assert_eq!(table.name, "users");
+                assert_eq!(table.version(), 1);
+            }
+            _ => panic!("expected Created"),
+        }
+        match &journal[1] {
+            DdlRecord::Dropped { epoch, name } => {
+                assert_eq!(*epoch, 2);
+                assert_eq!(name, "users");
+            }
+            _ => panic!("expected Dropped"),
+        }
+        match &journal[2] {
+            DdlRecord::Created { epoch, table } => {
+                assert_eq!(*epoch, 3);
+                assert!(table.is_cached());
+            }
+            _ => panic!("expected Created"),
+        }
+        // Drained means drained; a failed registration journals nothing.
+        assert!(catalog.drain_ddl().is_empty());
+        assert!(catalog.register_if_absent(demo_table(false)).is_err());
+        assert!(catalog.drain_ddl().is_empty());
+    }
+
+    #[test]
+    fn advance_epoch_to_never_moves_backwards() {
+        let catalog = Catalog::new();
+        catalog.register(demo_table(false));
+        assert_eq!(catalog.epoch(), 1);
+        catalog.advance_epoch_to(9);
+        assert_eq!(catalog.epoch(), 9);
+        assert!(catalog.contains("users"), "table map untouched");
+        catalog.advance_epoch_to(4);
+        assert_eq!(catalog.epoch(), 9);
+        // The next DDL continues from the advanced epoch.
+        catalog.drop_table("users").unwrap();
+        assert_eq!(catalog.epoch(), 10);
     }
 
     #[test]

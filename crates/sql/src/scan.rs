@@ -106,7 +106,9 @@ fn load_partition(
             // I/O cost (no recompute): promotion. Only if no spill tier is
             // installed, the partition was dropped rather than demoted, or
             // its spill file is poisoned do we fall back to lineage.
-            if let Some((spilled, io_bytes)) = mem.spill_fetch(&table.name, original) {
+            if let Some((spilled, io_bytes)) =
+                mem.spill_fetch(&table.name, original, table.version())
+            {
                 metrics.record_input(spilled.num_rows() as u64, io_bytes, InputSource::Dfs);
                 if !mem.is_retired() {
                     mem.put(original, spilled.clone());
@@ -386,7 +388,8 @@ impl RddImpl<Row> for DfsScanRdd {
             .as_ref()
             .filter(|mem| !mem.is_loaded(partition))
             .and_then(|mem| {
-                let (spilled, io_bytes) = mem.spill_fetch(&self.table.name, partition)?;
+                let (spilled, io_bytes) =
+                    mem.spill_fetch(&self.table.name, partition, self.table.version())?;
                 if !mem.is_retired() {
                     mem.put(partition, spilled.clone());
                     mem.record_promotion();

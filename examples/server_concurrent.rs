@@ -100,6 +100,7 @@ fn main() -> shark_common::Result<()> {
         // to disk instead (see the README's "Storage tiers" section).
         spill_dir: None,
         spill_budget_bytes: u64::MAX,
+        wal_snapshot_every_records: 256,
     });
     register_tpch(&server, &tpch_cfg, partitions);
 

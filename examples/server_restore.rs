@@ -1,0 +1,111 @@
+//! Durability round-trip: populate a cached table, demote it to the spill
+//! tier, `shutdown()` the server (final WAL commit + checkpoint), then
+//! `restore_with` a second server from the same directory — the catalog
+//! comes back at the same epoch, every spill frame is re-adopted, and the
+//! verification query is answered through promotions (I/O), not lineage
+//! recompute. The process then prints the human report plus a
+//! `SERVER_REPORT_JSON:` line whose recovery gauges CI asserts on.
+//!
+//! Run with: `cargo run --release -p shark-examples --example server_restore`
+//! The durable directory defaults to a per-process temp dir; set
+//! `SHARK_RESTORE_DIR` to choose one (it is created if missing).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use shark_common::{row, DataType, Row, Schema};
+use shark_server::{ServerConfig, SharkServer, TableRecord};
+use shark_sql::{RowGenerator, TableMeta};
+
+const PARTITIONS: usize = 8;
+const ROWS_PER_PARTITION: usize = 512;
+const SEED: u64 = 0x7e57_ab1e_5a1e_5eed;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seeded sales generator — a plain `fn`, so the restore resolver can
+/// re-attach *the same* lineage the first incarnation registered.
+fn sales_rows(p: usize) -> Vec<Row> {
+    let mut rng = SEED ^ (p as u64).wrapping_mul(0xd134_2543_de82_ef95);
+    (0..ROWS_PER_PARTITION)
+        .map(|i| {
+            let r = splitmix(&mut rng);
+            row![
+                (p * ROWS_PER_PARTITION + i) as i64,
+                ["emea", "apac", "amer"][(r % 3) as usize],
+                (r % 100_000) as f64 / 100.0
+            ]
+        })
+        .collect()
+}
+
+fn sales_meta() -> TableMeta {
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("region", DataType::Str),
+        ("amount", DataType::Float),
+    ]);
+    TableMeta::new("sales", schema, PARTITIONS, sales_rows)
+        .with_cache(PARTITIONS)
+        .with_row_count_hint((PARTITIONS * ROWS_PER_PARTITION) as u64)
+}
+
+fn resolve(record: &TableRecord) -> Option<RowGenerator> {
+    (record.name == "sales").then(|| Arc::new(sales_rows) as RowGenerator)
+}
+
+const VERIFY: &str =
+    "SELECT region, COUNT(*), SUM(amount), MIN(id), MAX(amount) FROM sales GROUP BY region ORDER BY region";
+
+fn main() -> shark_common::Result<()> {
+    let dir = std::env::var_os("SHARK_RESTORE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("shark-restore-{}", std::process::id()))
+        });
+    let config = || ServerConfig::default().with_spill_dir(&dir);
+
+    // ----- Incarnation 1: populate, demote, shut down -------------------
+    let expected = {
+        let server = SharkServer::new(config());
+        server.register_table(sales_meta());
+        server.load_table("sales")?;
+        let session = server.session();
+        let expected = session.sql(VERIFY)?.result.rows;
+        let report = server.report();
+        println!(
+            "incarnation 1: {} rows loaded over {PARTITIONS} partitions, epoch {}, {} WAL records",
+            PARTITIONS * ROWS_PER_PARTITION,
+            report.catalog_epoch,
+            report.wal_records,
+        );
+        server.shutdown()?;
+        println!("shutdown: partitions demoted and checkpoint written under {dir:?}");
+        expected
+    };
+
+    // ----- Incarnation 2: restore and verify ----------------------------
+    let server = SharkServer::restore_with(config(), resolve)?;
+    let session = server.session();
+    let restored = session.sql(VERIFY)?.result.rows;
+    assert_eq!(
+        restored, expected,
+        "restored query result must be byte-identical"
+    );
+    println!("incarnation 2: verification query byte-identical after restore");
+
+    let report = server.report();
+    assert!(report.restored);
+    assert!(report.recovery_frames_adopted > 0);
+    assert_eq!(report.partition_rebuilds, 0, "adopted frames must promote");
+    print!("{}", report.render());
+    // Stable machine-readable line for scripts/CI (jq-friendly).
+    println!("SERVER_REPORT_JSON: {}", report.to_json());
+    Ok(())
+}
