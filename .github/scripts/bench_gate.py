@@ -2,7 +2,7 @@
 """Bench regression gate: diff this run's fast-mode medians against the
 latest successful `main` baseline.
 
-Usage: bench_gate.py <baseline-dir> <current-dir>
+Usage: bench_gate.py <baseline-dir> <current-dir> [nightly-fallback-dir]
 
 Each directory is expected to hold one `BENCH_*.json` produced by the
 bench-smoke job: `{"schema": "shark-bench-smoke-v1", "commit": "...",
@@ -15,8 +15,12 @@ Behaviour:
     exceeds BENCH_GATE_MAX_RATIO (default 2.0) — fast-mode runs on shared
     CI runners are noisy, so the default only catches step-function
     regressions;
-  * a missing baseline (first run, expired artifact) is non-blocking:
-    the gate passes vacuously and says so in the summary.
+  * when the fast-mode main baseline is missing (first run, expired
+    artifact) but a nightly-fallback dir holds a `bench-nightly-*`
+    medians file, the diff runs against that instead in **advisory
+    mode**: nightly numbers come from full-size runs, so deltas are
+    reported in the summary but never fail the gate;
+  * with neither baseline the gate passes vacuously and says so.
 """
 
 import glob
@@ -26,16 +30,16 @@ import sys
 
 
 def load_medians(dirpath):
-    """Return ({'group/bench': median_ns}, commit) or (None, None)."""
+    """Return ({'group/bench': median_ns}, commit, mode) or (None, None, None)."""
     files = sorted(glob.glob(os.path.join(dirpath, "**", "BENCH_*.json"), recursive=True))
     if not files:
-        return None, None
+        return None, None, None
     with open(files[0]) as f:
         doc = json.load(f)
     medians = {}
     for b in doc.get("benches", []):
         medians["{}/{}".format(b["group"], b["bench"])] = float(b["median_ns"])
-    return medians, doc.get("commit", "unknown")
+    return medians, doc.get("commit", "unknown"), doc.get("mode", "unknown")
 
 
 def fmt_ns(ns):
@@ -49,17 +53,28 @@ def fmt_ns(ns):
 
 
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         return 2
     baseline_dir, current_dir = sys.argv[1], sys.argv[2]
+    nightly_dir = sys.argv[3] if len(sys.argv) == 4 else None
     max_ratio = float(os.environ.get("BENCH_GATE_MAX_RATIO", "2.0"))
 
-    current, current_commit = load_medians(current_dir)
+    current, current_commit, _ = load_medians(current_dir)
     if current is None:
         print("bench-gate: no current bench medians in {}".format(current_dir), file=sys.stderr)
         return 2
-    baseline, baseline_commit = load_medians(baseline_dir)
+    baseline, baseline_commit, baseline_mode = load_medians(baseline_dir)
+    advisory = False
+    baseline_label = "latest successful main"
+    if baseline is None and nightly_dir:
+        baseline, baseline_commit, baseline_mode = load_medians(nightly_dir)
+        if baseline is not None:
+            # Nightly medians come from full-size runs: not comparable to
+            # this run's fast-mode numbers as a hard gate, but a delta
+            # table against them still surfaces step-function changes.
+            advisory = True
+            baseline_label = "nightly fallback, mode={}".format(baseline_mode)
 
     lines = ["## Bench regression gate", ""]
     regressions = []
@@ -71,9 +86,17 @@ def main():
         )
     else:
         lines.append(
-            "Baseline `{}` (latest successful main) vs current `{}`. "
+            "Baseline `{}` ({}) vs current `{}`. "
             "Fail threshold: median ratio > {:.2f}× "
-            "(env `BENCH_GATE_MAX_RATIO`).".format(baseline_commit, current_commit, max_ratio)
+            "(env `BENCH_GATE_MAX_RATIO`){}.".format(
+                baseline_commit,
+                baseline_label,
+                current_commit,
+                max_ratio,
+                " — **advisory only**: the fast-mode main baseline was "
+                "missing, and nightly full-size numbers are not "
+                "comparable enough to fail on" if advisory else "",
+            )
         )
         lines.append("")
         lines.append("| bench | baseline median | current median | ratio | |")
@@ -104,8 +127,13 @@ def main():
         lines.append("")
         if regressions:
             lines.append(
-                "**{} bench(es) regressed beyond {:.2f}×:** ".format(len(regressions), max_ratio)
+                "**{} bench(es) {} beyond {:.2f}×:** ".format(
+                    len(regressions),
+                    "over the advisory threshold" if advisory else "regressed",
+                    max_ratio,
+                )
                 + ", ".join("{} ({:.2f}×)".format(n, r) for n, r in regressions)
+                + (" — not failing the gate (advisory mode)." if advisory else "")
             )
         else:
             lines.append("No median regression beyond {:.2f}×.".format(max_ratio))
@@ -116,7 +144,7 @@ def main():
         with open(summary_path, "a") as f:
             f.write(summary)
     print(summary)
-    return 1 if regressions else 0
+    return 1 if regressions and not advisory else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Render the committed perf trajectory as a markdown delta table.
+
+Usage: bench_trajectory.py [repo-root]
+
+Reads every `BENCH_pr<N>.json` committed at the repo root (the per-PR
+fast-mode medians the bench-smoke job snapshots), orders them by PR
+number, and appends one table to $GITHUB_STEP_SUMMARY (stdout when
+unset): one row per bench, one column per PR, and a trend column with
+the last/first ratio. All files share the bench-smoke schema
+(`{"schema": "shark-bench-smoke-v1", "benches": [...]}`), and all are
+fast-mode numbers from shared runners — the table shows the *story*
+across the PR sequence, not absolute performance (nightly runs own
+that).
+
+Purely informational: always exits 0 unless no trajectory files exist
+at all (which means the checkout is broken, not the perf).
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "{:.2f} s".format(ns / 1e9)
+    if ns >= 1e6:
+        return "{:.2f} ms".format(ns / 1e6)
+    if ns >= 1e3:
+        return "{:.2f} µs".format(ns / 1e3)
+    return "{:.0f} ns".format(ns)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    series = []
+    for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+        match = re.fullmatch(r"BENCH_pr(\d+)\.json", os.path.basename(path))
+        if not match:
+            continue
+        with open(path) as f:
+            doc = json.load(f)
+        medians = {
+            "{}/{}".format(b["group"], b["bench"]): float(b["median_ns"])
+            for b in doc.get("benches", [])
+        }
+        series.append((int(match.group(1)), medians))
+    if not series:
+        print("bench-trajectory: no BENCH_pr*.json at {}".format(root), file=sys.stderr)
+        return 2
+    series.sort()
+
+    names = sorted(set().union(*(medians for _, medians in series)))
+    prs = [pr for pr, _ in series]
+    lines = ["## Bench trajectory (committed per-PR fast-mode medians)", ""]
+    lines.append(
+        "{} benches across {} snapshots (PR {} → PR {}). Trend is "
+        "last/first median for benches present in both; fast-mode numbers "
+        "are noisy — read trends, not digits.".format(
+            len(names), len(prs), prs[0], prs[-1]
+        )
+    )
+    lines.append("")
+    lines.append("| bench | " + " | ".join("pr{}".format(pr) for pr in prs) + " | trend |")
+    lines.append("|---|" + "---:|" * (len(prs) + 1))
+    for name in names:
+        cells = []
+        present = []
+        for _, medians in series:
+            value = medians.get(name)
+            cells.append(fmt_ns(value) if value is not None else "—")
+            if value is not None:
+                present.append(value)
+        if len(present) >= 2 and present[0] > 0:
+            ratio = present[-1] / present[0]
+            trend = "{:.2f}×".format(ratio)
+            if ratio > 1.5:
+                trend += " 🔺"
+            elif ratio < 0.67:
+                trend += " 🟢"
+        else:
+            trend = "—"
+        lines.append("| {} | {} | {} |".format(name, " | ".join(cells), trend))
+
+    summary = "\n".join(lines) + "\n"
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write(summary)
+    print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ pub mod trace;
 pub use json::JsonWriter;
 pub use metrics::{
     metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    BYTES_BUCKETS, IO_BUCKETS, LATENCY_BUCKETS,
+    BYTES_BUCKETS, IO_BUCKETS, LATENCY_BUCKETS, WIRE_BUCKETS,
 };
 pub use trace::{
     active, add_bytes, add_rows, annotate, current, event, span, start_trace, tracer, AttachGuard,

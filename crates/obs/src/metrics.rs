@@ -38,6 +38,24 @@ pub const BYTES_BUCKETS: &[f64] = &[
     16.0 * 1024.0 * 1024.0 * 1024.0,
 ];
 
+/// Histogram bucket upper bounds (bytes) for wire-protocol frame sizes:
+/// most frames are a handful of bytes (handshakes, acks) up to a few
+/// megabytes (result batches), so the buckets start two orders of
+/// magnitude below [`BYTES_BUCKETS`] and stop at the 16 MiB frame cap.
+pub const WIRE_BUCKETS: &[f64] = &[
+    16.0,
+    64.0,
+    256.0,
+    1024.0,
+    4.0 * 1024.0,
+    16.0 * 1024.0,
+    64.0 * 1024.0,
+    256.0 * 1024.0,
+    1024.0 * 1024.0,
+    4.0 * 1024.0 * 1024.0,
+    16.0 * 1024.0 * 1024.0,
+];
+
 /// Monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);

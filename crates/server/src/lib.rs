@@ -18,6 +18,14 @@
 //! * **Metrics** ([`MetricsRegistry`]) — per-query queue wait, execution
 //!   time, cache-hit bytes, recomputes and evictions, aggregated per
 //!   session and server-wide into a [`ServerReport`].
+//! * **Wire serving** ([`net`]) — a length-prefixed, checksummed TCP
+//!   protocol ([`net::frame`], spec in `docs/wire-protocol.md`) and a
+//!   thread-per-connection frontend ([`NetServer`]) that multiplexes
+//!   client connections onto sessions: streamed results are client-paced
+//!   through the cursor's prefetch grant, idle connections are reaped on
+//!   a deadline wheel, and tenants get [`RateClass`]es layered on the
+//!   per-session quotas. Repeated statements skip parse + plan through
+//!   the shared [`shark_sql::PlanCache`].
 //! * **Durability** ([`wal`]) — when the spill tier is configured, catalog
 //!   DDL and spill movements are journaled to a write-ahead log and folded
 //!   into periodic snapshot + manifest checkpoints;
@@ -28,6 +36,7 @@
 pub mod admission;
 pub mod memstore;
 pub mod metrics;
+pub mod net;
 pub mod server;
 pub mod spill;
 pub mod wal;
@@ -35,6 +44,7 @@ pub mod wal;
 pub use admission::{AdmissionController, AdmissionError, AdmissionPermit};
 pub use memstore::{EvictionEvent, MemstoreManager};
 pub use metrics::{MetricsRegistry, QueryMetrics, ServerReport, SessionStats};
+pub use net::{frame, NetConfig, NetCounters, NetServer, RateClass};
 pub use server::{QueryCursor, ServerConfig, SessionHandle, SessionQueryResult, SharkServer};
 pub use spill::{SpillEvent, SpillManager, StoreOutcome};
 pub use wal::{

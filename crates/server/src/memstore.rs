@@ -29,7 +29,7 @@
 use parking_lot::Mutex;
 use shark_common::hash::FxHashMap;
 use shark_rdd::CacheManager;
-use shark_sql::{Catalog, MemTable};
+use shark_sql::{Catalog, MemTable, TableMeta};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -136,6 +136,11 @@ struct MemstoreState {
     /// created, or faulted it in. Each owner is charged a proportional
     /// share of the table's resident bytes.
     owners: FxHashMap<String, std::collections::BTreeSet<u64>>,
+    /// Exact fully-loaded columnar footprint per table, recorded the first
+    /// time every partition was observed resident at once. Generators are
+    /// deterministic, so this is a *provable* size for any future full load
+    /// of the same table — the quota-infeasibility check keys off it.
+    known_footprints: FxHashMap<String, u64>,
     evictions: u64,
     evicted_partitions: u64,
     partial_evictions: u64,
@@ -143,6 +148,7 @@ struct MemstoreState {
     lineage_recomputes: u64,
     quota_hits: u64,
     quota_evicted_partitions: u64,
+    quota_infeasible_rejections: u64,
     /// Rebuild counts of tables since dropped from the catalog, folded in
     /// so the server-wide rebuild metric stays monotonic.
     retired_rebuilds: u64,
@@ -685,6 +691,62 @@ impl MemstoreManager {
         events
     }
 
+    /// Record the table's exact fully-loaded columnar footprint once every
+    /// partition is resident at the same time. Row generators are
+    /// deterministic, so the measured size is a provable size for any future
+    /// full load of the same table — not an estimate like sampling one
+    /// partition. A no-op while the table is only partially resident.
+    pub fn record_footprint_if_full(&self, table: &TableMeta) {
+        let Some(mem) = table.cached.as_ref() else {
+            return;
+        };
+        if table.num_partitions == 0 || mem.loaded_partitions() != table.num_partitions {
+            return;
+        }
+        let bytes = mem.memory_bytes();
+        if bytes == 0 {
+            return;
+        }
+        self.state
+            .lock()
+            .known_footprints
+            .insert(table.name.clone(), bytes);
+    }
+
+    /// The recorded exact full-load footprint of a table, if a full load
+    /// has been observed since the table (version) was created.
+    pub fn known_footprint(&self, table: &str) -> Option<u64> {
+        self.state.lock().known_footprints.get(table).copied()
+    }
+
+    /// Quota-feasibility check for an explicit full load: when the table's
+    /// recorded footprint provably exceeds the per-session quota, admitting
+    /// the load could only thrash — every loaded partition would be evicted
+    /// again by quota enforcement before the load even finishes. Returns
+    /// `Some((footprint, quota))` (and bumps the rejection gauge) when the
+    /// load must be rejected; `None` when it may proceed, including when no
+    /// full load has been observed yet (a first load is how the footprint
+    /// becomes known).
+    pub fn reject_infeasible_load(&self, table: &str) -> Option<(u64, u64)> {
+        if self.session_quota_bytes == u64::MAX {
+            return None;
+        }
+        let mut state = self.state.lock();
+        let footprint = *state.known_footprints.get(table)?;
+        if footprint > self.session_quota_bytes {
+            state.quota_infeasible_rejections += 1;
+            Some((footprint, self.session_quota_bytes))
+        } else {
+            None
+        }
+    }
+
+    /// Loads rejected at admission time because their recorded footprint
+    /// provably exceeded the per-session quota.
+    pub fn quota_infeasible_rejections(&self) -> u64 {
+        self.state.lock().quota_infeasible_rejections
+    }
+
     /// Reclaim every dropped table version whose last referencing catalog
     /// snapshot has been released, then fold the catalog's reclamation log
     /// into this manager's accounting, emitting one
@@ -736,6 +798,7 @@ impl MemstoreManager {
         state.partition_pins.retain(|(name, _), _| name != table);
         state.awaiting_recompute.remove(table);
         state.owners.remove(table);
+        state.known_footprints.remove(table);
         drop(state);
         // Spilled frames of the dropped table are unreachable now; a
         // recreated table of the same name must not fault in stale data.
@@ -1040,6 +1103,48 @@ mod tests {
         // Within quota now: enforcing again is a no-op.
         assert!(manager.enforce_session_quota(1, &catalog).is_empty());
         assert_eq!(manager.quota_hits(), 1);
+    }
+
+    #[test]
+    fn infeasible_loads_are_rejected_once_the_footprint_is_known() {
+        let catalog = catalog_with_tables(&["big"]);
+        let table = catalog.get("big").unwrap();
+        let quota = 64u64;
+        let manager = MemstoreManager::new(u64::MAX).with_session_quota(quota);
+        // Nothing recorded yet: the first (discovering) load must be
+        // admitted — that is how the footprint becomes known.
+        manager.record_footprint_if_full(&table);
+        assert_eq!(manager.known_footprint("big"), None);
+        assert_eq!(manager.reject_infeasible_load("big"), None);
+        load_all(&catalog);
+        manager.record_footprint_if_full(&table);
+        let footprint = manager.known_footprint("big").unwrap();
+        assert!(footprint > quota, "test table must exceed the tiny quota");
+        assert_eq!(
+            manager.reject_infeasible_load("big"),
+            Some((footprint, quota))
+        );
+        assert_eq!(manager.quota_infeasible_rejections(), 1);
+        // Dropping the table clears the recorded footprint: a recreated
+        // table of the same name starts clean.
+        manager.forget("big");
+        assert_eq!(manager.known_footprint("big"), None);
+        assert_eq!(manager.reject_infeasible_load("big"), None);
+        assert_eq!(manager.quota_infeasible_rejections(), 1);
+    }
+
+    #[test]
+    fn feasible_and_unlimited_quota_loads_pass_the_check() {
+        let catalog = catalog_with_tables(&["t"]);
+        let table = catalog.get("t").unwrap();
+        load_all(&catalog);
+        let unlimited = MemstoreManager::new(u64::MAX);
+        unlimited.record_footprint_if_full(&table);
+        assert_eq!(unlimited.reject_infeasible_load("t"), None);
+        let roomy = MemstoreManager::new(u64::MAX).with_session_quota(u64::MAX / 2);
+        roomy.record_footprint_if_full(&table);
+        assert_eq!(roomy.reject_infeasible_load("t"), None);
+        assert_eq!(roomy.quota_infeasible_rejections(), 0);
     }
 
     #[test]

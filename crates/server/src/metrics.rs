@@ -29,6 +29,7 @@ struct ObsMetrics {
     recomputed_tables: Arc<Counter>,
     evictions: Arc<Counter>,
     quota_evicted: Arc<Counter>,
+    plan_cache_hits: Arc<Counter>,
     exec_seconds: Arc<Histogram>,
     admission_wait_seconds: Arc<Histogram>,
     ttfr_seconds: Arc<Histogram>,
@@ -75,6 +76,10 @@ fn obs_metrics() -> &'static ObsMetrics {
             quota_evicted: reg.counter(
                 "shark_quota_evicted_partitions_total",
                 "Partitions evicted because a session exceeded its memory quota",
+            ),
+            plan_cache_hits: reg.counter(
+                "shark_plan_cache_hits_total",
+                "Queries answered with a cached plan (parse and plan skipped)",
             ),
             exec_seconds: reg.histogram(
                 "shark_query_exec_seconds",
@@ -141,6 +146,9 @@ pub struct QueryMetrics {
     /// Partitions evicted on completion because this query pushed its
     /// session over its memory quota (own-session LRU partitions go first).
     pub quota_evictions: usize,
+    /// Whether this query's plan came out of the shared plan cache
+    /// (skipping parse and plan entirely).
+    pub plan_cache_hit: bool,
     /// Whether the query failed (parse/plan/execution error).
     pub failed: bool,
 }
@@ -215,6 +223,51 @@ pub struct ServerReport {
     pub quota_hits: u64,
     /// Partitions evicted because their owning session exceeded its quota.
     pub quota_evicted_partitions: u64,
+    /// Table loads rejected at admission time because their recorded full
+    /// footprint provably exceeded the per-session quota (admitting them
+    /// could only thrash).
+    pub quota_infeasible_rejections: u64,
+    /// Whether the shared prepared-statement / plan cache is enabled.
+    pub plan_cache_enabled: bool,
+    /// Executions that reused a cached plan (skipped parse and plan).
+    pub plan_cache_hits: u64,
+    /// Plan-tier lookups that had to compile (cold statements and epoch
+    /// invalidations).
+    pub plan_cache_misses: u64,
+    /// Cache misses caused by a DDL epoch bump invalidating a cached plan.
+    pub plan_cache_stale_plans: u64,
+    /// Statements currently held by the plan cache.
+    pub plan_cache_entries: u64,
+    /// The plan cache's configured capacity (0 = disabled).
+    pub plan_cache_capacity: u64,
+    /// TCP connections ever accepted by the net frontend (0 when the
+    /// server is not serving TCP).
+    pub connections_opened: u64,
+    /// TCP connections fully torn down (client close, error, or reap).
+    pub connections_closed: u64,
+    /// TCP connections currently open.
+    pub connections_active: u64,
+    /// Connections forcibly closed by the idle-deadline reaper.
+    pub connections_reaped: u64,
+    /// Payload + frame-header bytes written to client sockets.
+    pub wire_bytes_sent: u64,
+    /// Payload + frame-header bytes read from client sockets.
+    pub wire_bytes_received: u64,
+    /// Protocol frames written to client sockets.
+    pub net_frames_sent: u64,
+    /// Protocol frames read from client sockets.
+    pub net_frames_received: u64,
+    /// Malformed frames observed (bad magic, oversized length, checksum
+    /// mismatch, garbage payload) — each closes its connection.
+    pub net_protocol_errors: u64,
+    /// Hello handshakes rejected (wrong magic/version/auth token).
+    pub net_auth_failures: u64,
+    /// Query + Execute frames processed by connection handlers.
+    pub net_queries: u64,
+    /// Prepare frames that registered a prepared statement.
+    pub net_prepared_statements: u64,
+    /// Cancel frames honored mid-query.
+    pub net_cancels: u64,
     /// Partitions rebuilt from the base generator by scans (lineage
     /// recovery after eviction or node failure), summed over cached tables.
     pub partition_rebuilds: u64,
@@ -370,8 +423,38 @@ impl ServerReport {
         ));
         if self.session_quota_bytes != u64::MAX {
             out.push_str(&format!(
-                "session quota: {} bytes per session; {} quota hits evicted {} partitions\n",
-                self.session_quota_bytes, self.quota_hits, self.quota_evicted_partitions,
+                "session quota: {} bytes per session; {} quota hits evicted {} partitions; {} infeasible loads rejected\n",
+                self.session_quota_bytes,
+                self.quota_hits,
+                self.quota_evicted_partitions,
+                self.quota_infeasible_rejections,
+            ));
+        }
+        if self.plan_cache_enabled {
+            out.push_str(&format!(
+                "plan cache: {} of {} statements cached; {} hits, {} misses ({} stale after DDL)\n",
+                self.plan_cache_entries,
+                self.plan_cache_capacity,
+                self.plan_cache_hits,
+                self.plan_cache_misses,
+                self.plan_cache_stale_plans,
+            ));
+        }
+        if self.connections_opened > 0 || self.net_protocol_errors > 0 {
+            out.push_str(&format!(
+                "net: {} connections opened ({} active, {} reaped); {} frames / {} bytes sent, {} frames / {} bytes received; {} queries, {} prepares, {} cancels; {} protocol errors, {} auth failures\n",
+                self.connections_opened,
+                self.connections_active,
+                self.connections_reaped,
+                self.net_frames_sent,
+                self.wire_bytes_sent,
+                self.net_frames_received,
+                self.wire_bytes_received,
+                self.net_queries,
+                self.net_prepared_statements,
+                self.net_cancels,
+                self.net_protocol_errors,
+                self.net_auth_failures,
             ));
         }
         let avg_ttfr_ms = if self.streamed_queries > 0 {
@@ -444,6 +527,29 @@ impl ServerReport {
         w.field_u64("lineage_recomputes", self.lineage_recomputes);
         w.field_u64("quota_hits", self.quota_hits);
         w.field_u64("quota_evicted_partitions", self.quota_evicted_partitions);
+        w.field_u64(
+            "quota_infeasible_rejections",
+            self.quota_infeasible_rejections,
+        );
+        w.field_bool("plan_cache_enabled", self.plan_cache_enabled);
+        w.field_u64("plan_cache_hits", self.plan_cache_hits);
+        w.field_u64("plan_cache_misses", self.plan_cache_misses);
+        w.field_u64("plan_cache_stale_plans", self.plan_cache_stale_plans);
+        w.field_u64("plan_cache_entries", self.plan_cache_entries);
+        w.field_u64("plan_cache_capacity", self.plan_cache_capacity);
+        w.field_u64("connections_opened", self.connections_opened);
+        w.field_u64("connections_closed", self.connections_closed);
+        w.field_u64("connections_active", self.connections_active);
+        w.field_u64("connections_reaped", self.connections_reaped);
+        w.field_u64("wire_bytes_sent", self.wire_bytes_sent);
+        w.field_u64("wire_bytes_received", self.wire_bytes_received);
+        w.field_u64("net_frames_sent", self.net_frames_sent);
+        w.field_u64("net_frames_received", self.net_frames_received);
+        w.field_u64("net_protocol_errors", self.net_protocol_errors);
+        w.field_u64("net_auth_failures", self.net_auth_failures);
+        w.field_u64("net_queries", self.net_queries);
+        w.field_u64("net_prepared_statements", self.net_prepared_statements);
+        w.field_u64("net_cancels", self.net_cancels);
         w.field_u64("partition_rebuilds", self.partition_rebuilds);
         w.field_u64("partition_promotions", self.partition_promotions);
         w.field_u64("spilled_partitions", self.spilled_partitions);
@@ -527,6 +633,9 @@ impl MetricsRegistry {
         obs.recomputed_tables.add(metrics.recomputed_tables as u64);
         obs.evictions.add(metrics.evictions_triggered as u64);
         obs.quota_evicted.add(metrics.quota_evictions as u64);
+        if metrics.plan_cache_hit {
+            obs.plan_cache_hits.inc();
+        }
         obs.exec_seconds.observe(metrics.exec_time.as_secs_f64());
         obs.admission_wait_seconds
             .observe(metrics.queue_wait.as_secs_f64());
@@ -612,6 +721,7 @@ mod tests {
             recomputed_tables: 0,
             evictions_triggered: 0,
             quota_evictions: 0,
+            plan_cache_hit: false,
             failed,
         }
     }

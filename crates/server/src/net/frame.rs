@@ -1,0 +1,657 @@
+//! The SHRKNET wire codec: length-prefixed, checksummed frames.
+//!
+//! Every message on a client connection is one **frame**:
+//!
+//! ```text
+//! [len: u32 LE] [type: u8] [checksum: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! `len` counts payload bytes only (13-byte header excluded) and is capped
+//! at [`MAX_FRAME_BYTES`]; `checksum` is FNV-1a 64 over the payload, so a
+//! torn or bit-flipped frame is detected before its payload is
+//! interpreted. Payload scalars are little-endian; strings are
+//! `u32 length + UTF-8 bytes`. The normative spec lives in
+//! `docs/wire-protocol.md` — keep the two in sync.
+//!
+//! The codec is deliberately symmetric (the `shark-client` crate and the
+//! server's connection handlers call the same [`write_frame`] /
+//! [`read_frame`]), and deliberately strict: an unknown frame type, an
+//! oversized length, a checksum mismatch or trailing payload bytes are all
+//! [`FrameError::Protocol`], which the server answers by counting a
+//! protocol error and closing the connection.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use shark_common::{DataType, Row, Schema, Value};
+
+/// Magic bytes opening every [`Frame::Hello`] payload.
+pub const MAGIC: &[u8; 8] = b"SHRKNET1";
+
+/// Protocol version carried in Hello; the server rejects mismatches.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on one frame's payload length. A header announcing more is a
+/// protocol error — it can only be garbage or abuse, never a real message.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Bytes in the fixed frame header (`len + type + checksum`).
+pub const HEADER_BYTES: usize = 4 + 1 + 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over a byte slice — the frame checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (includes `UnexpectedEof` for a torn
+    /// frame cut off by a disconnect).
+    Io(io::Error),
+    /// The bytes arrived but are not a valid frame: unknown type, length
+    /// over [`MAX_FRAME_BYTES`], checksum mismatch, or a payload that does
+    /// not decode to its frame type.
+    Protocol(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// One protocol message. See `docs/wire-protocol.md` for the normative
+/// field-by-field layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server, first frame on every connection: magic + version +
+    /// auth token + tenant (rate-class) name.
+    Hello {
+        /// Shared-secret token; must equal the server's configured token.
+        token: String,
+        /// Tenant name selecting a [`crate::net::RateClass`] ("" = default).
+        tenant: String,
+    },
+    /// Server → client: the handshake was accepted.
+    HelloOk {
+        /// The server-side session id backing this connection.
+        session_id: u64,
+        /// The protocol version the server speaks.
+        version: u32,
+    },
+    /// Client → server: run one SQL statement.
+    Query {
+        /// Statement text.
+        sql: String,
+    },
+    /// Client → server: register a statement for repeated execution.
+    Prepare {
+        /// Statement text.
+        sql: String,
+    },
+    /// Server → client: the statement was registered.
+    Prepared {
+        /// Connection-scoped id to pass to [`Frame::Execute`].
+        statement_id: u64,
+        /// The statement's plan-cache fingerprint (diagnostic).
+        fingerprint: u64,
+    },
+    /// Client → server: run a prepared statement.
+    Execute {
+        /// Id from a previous [`Frame::Prepared`].
+        statement_id: u64,
+    },
+    /// Server → client: the result schema, sent before any batch.
+    ResultSchema {
+        /// The result columns.
+        schema: Schema,
+    },
+    /// Server → client: one batch of result rows.
+    ResultBatch {
+        /// The rows, each matching the announced schema.
+        rows: Vec<Row>,
+    },
+    /// Server → client: the query finished (successfully or cancelled).
+    QueryDone {
+        /// Total rows delivered.
+        rows: u64,
+        /// Result partitions streamed.
+        partitions: u64,
+        /// Whether the plan came from the shared plan cache.
+        plan_cache_hit: bool,
+        /// Simulated cluster seconds the query cost.
+        sim_seconds: f64,
+        /// True when a [`Frame::Cancel`] stopped the stream early.
+        cancelled: bool,
+    },
+    /// Server → client: the request failed. The connection stays usable
+    /// unless the error was a protocol violation.
+    Error {
+        /// Stable error-kind label (`parse`, `execution`, `protocol`, …).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Client → server: stop the in-flight query (checked between
+    /// batches).
+    Cancel,
+    /// Client → server: orderly goodbye.
+    Close,
+}
+
+impl Frame {
+    /// The on-wire type tag.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::HelloOk { .. } => 2,
+            Frame::Query { .. } => 3,
+            Frame::Prepare { .. } => 4,
+            Frame::Prepared { .. } => 5,
+            Frame::Execute { .. } => 6,
+            Frame::ResultSchema { .. } => 7,
+            Frame::ResultBatch { .. } => 8,
+            Frame::QueryDone { .. } => 9,
+            Frame::Error { .. } => 10,
+            Frame::Cancel => 11,
+            Frame::Close => 12,
+        }
+    }
+
+    /// Encode the payload (header excluded).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Frame::Hello { token, tenant } => {
+                buf.extend_from_slice(MAGIC);
+                put_u32(&mut buf, PROTOCOL_VERSION);
+                put_str(&mut buf, token);
+                put_str(&mut buf, tenant);
+            }
+            Frame::HelloOk {
+                session_id,
+                version,
+            } => {
+                put_u64(&mut buf, *session_id);
+                put_u32(&mut buf, *version);
+            }
+            Frame::Query { sql } | Frame::Prepare { sql } => put_str(&mut buf, sql),
+            Frame::Prepared {
+                statement_id,
+                fingerprint,
+            } => {
+                put_u64(&mut buf, *statement_id);
+                put_u64(&mut buf, *fingerprint);
+            }
+            Frame::Execute { statement_id } => put_u64(&mut buf, *statement_id),
+            Frame::ResultSchema { schema } => {
+                put_u32(&mut buf, schema.len() as u32);
+                for field in schema.fields() {
+                    put_str(&mut buf, &field.name);
+                    buf.push(type_code(field.data_type));
+                }
+            }
+            Frame::ResultBatch { rows } => {
+                put_u32(&mut buf, rows.len() as u32);
+                for row in rows {
+                    put_u32(&mut buf, row.len() as u32);
+                    for value in row.values() {
+                        put_value(&mut buf, value);
+                    }
+                }
+            }
+            Frame::QueryDone {
+                rows,
+                partitions,
+                plan_cache_hit,
+                sim_seconds,
+                cancelled,
+            } => {
+                put_u64(&mut buf, *rows);
+                put_u64(&mut buf, *partitions);
+                buf.push(u8::from(*plan_cache_hit));
+                put_u64(&mut buf, sim_seconds.to_bits());
+                buf.push(u8::from(*cancelled));
+            }
+            Frame::Error { kind, message } => {
+                put_str(&mut buf, kind);
+                put_str(&mut buf, message);
+            }
+            Frame::Cancel | Frame::Close => {}
+        }
+        buf
+    }
+
+    /// Decode a payload for `frame_type`. Strict: every byte must be
+    /// consumed, every length must be in bounds.
+    pub fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = Reader::new(payload);
+        let frame = match frame_type {
+            1 => {
+                let magic = r.bytes(MAGIC.len())?;
+                if magic != MAGIC {
+                    return Err(FrameError::Protocol("bad Hello magic".into()));
+                }
+                let version = r.u32()?;
+                if version != PROTOCOL_VERSION {
+                    return Err(FrameError::Protocol(format!(
+                        "unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
+                    )));
+                }
+                Frame::Hello {
+                    token: r.string()?,
+                    tenant: r.string()?,
+                }
+            }
+            2 => Frame::HelloOk {
+                session_id: r.u64()?,
+                version: r.u32()?,
+            },
+            3 => Frame::Query { sql: r.string()? },
+            4 => Frame::Prepare { sql: r.string()? },
+            5 => Frame::Prepared {
+                statement_id: r.u64()?,
+                fingerprint: r.u64()?,
+            },
+            6 => Frame::Execute {
+                statement_id: r.u64()?,
+            },
+            7 => {
+                let columns = r.u32()? as usize;
+                let mut fields = Vec::new();
+                for _ in 0..columns {
+                    let name = r.string()?;
+                    let data_type = data_type(r.u8()?)?;
+                    fields.push(shark_common::Field::new(name, data_type));
+                }
+                Frame::ResultSchema {
+                    schema: Schema::new(fields),
+                }
+            }
+            8 => {
+                let count = r.u32()? as usize;
+                let mut rows = Vec::new();
+                for _ in 0..count {
+                    let width = r.u32()? as usize;
+                    let mut values = Vec::with_capacity(width.min(4096));
+                    for _ in 0..width {
+                        values.push(r.value()?);
+                    }
+                    rows.push(Row::new(values));
+                }
+                Frame::ResultBatch { rows }
+            }
+            9 => Frame::QueryDone {
+                rows: r.u64()?,
+                partitions: r.u64()?,
+                plan_cache_hit: r.u8()? != 0,
+                sim_seconds: f64::from_bits(r.u64()?),
+                cancelled: r.u8()? != 0,
+            },
+            10 => Frame::Error {
+                kind: r.string()?,
+                message: r.string()?,
+            },
+            11 => Frame::Cancel,
+            12 => Frame::Close,
+            other => {
+                return Err(FrameError::Protocol(format!("unknown frame type {other}")));
+            }
+        };
+        if !r.is_empty() {
+            return Err(FrameError::Protocol(format!(
+                "{} trailing payload bytes after frame type {frame_type}",
+                r.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Write one frame; returns total bytes written (header + payload).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<u64> {
+    let payload = frame.encode_payload();
+    let mut header = [0u8; HEADER_BYTES];
+    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4] = frame.frame_type();
+    header[5..13].copy_from_slice(&checksum(&payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok((HEADER_BYTES + payload.len()) as u64)
+}
+
+/// Read one frame; returns it plus total bytes consumed. A clean EOF
+/// before the first header byte surfaces as
+/// [`io::ErrorKind::UnexpectedEof`] like any other torn read — callers
+/// that want to treat it as an orderly close check for zero bytes read
+/// themselves via [`read_header`] + [`read_body`].
+pub fn read_frame(r: &mut impl Read) -> Result<(Frame, u64), FrameError> {
+    let header = read_header(r)?;
+    read_body(r, header)
+}
+
+/// A parsed, validated frame header.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameHeader {
+    /// Payload length in bytes (≤ [`MAX_FRAME_BYTES`]).
+    pub len: u32,
+    /// Frame type tag.
+    pub frame_type: u8,
+    /// Expected FNV-1a 64 of the payload.
+    pub checksum: u64,
+}
+
+/// Read and validate the 13-byte header.
+pub fn read_header(r: &mut impl Read) -> Result<FrameHeader, FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    parse_header(&header)
+}
+
+/// Parse a header from a buffer (used by the server's non-blocking
+/// cancel-peek, which inspects buffered bytes before consuming them).
+pub fn parse_header(header: &[u8; HEADER_BYTES]) -> Result<FrameHeader, FrameError> {
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    Ok(FrameHeader {
+        len,
+        frame_type: header[4],
+        checksum: u64::from_le_bytes(header[5..13].try_into().unwrap()),
+    })
+}
+
+/// Read the payload for a validated header and decode the frame.
+pub fn read_body(r: &mut impl Read, header: FrameHeader) -> Result<(Frame, u64), FrameError> {
+    let mut payload = vec![0u8; header.len as usize];
+    r.read_exact(&mut payload)?;
+    if checksum(&payload) != header.checksum {
+        return Err(FrameError::Protocol(format!(
+            "checksum mismatch on frame type {}",
+            header.frame_type
+        )));
+    }
+    let frame = Frame::decode_payload(header.frame_type, &payload)?;
+    Ok((frame, (HEADER_BYTES + payload.len()) as u64))
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => buf.push(0),
+        Value::Int(v) => {
+            buf.push(1);
+            put_u64(buf, *v as u64);
+        }
+        Value::Float(v) => {
+            buf.push(2);
+            put_u64(buf, v.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+        Value::Bool(v) => {
+            buf.push(4);
+            buf.push(u8::from(*v));
+        }
+        Value::Date(v) => {
+            buf.push(5);
+            put_u32(buf, *v as u32);
+        }
+    }
+}
+
+fn type_code(t: DataType) -> u8 {
+    match t {
+        DataType::Null => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+        DataType::Bool => 4,
+        DataType::Date => 5,
+    }
+}
+
+fn data_type(code: u8) -> Result<DataType, FrameError> {
+    Ok(match code {
+        0 => DataType::Null,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Str,
+        4 => DataType::Bool,
+        5 => DataType::Date,
+        other => {
+            return Err(FrameError::Protocol(format!("unknown type code {other}")));
+        }
+    })
+}
+
+/// Bounds-checked payload reader.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Protocol("truncated payload".into()));
+        }
+        let out = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FrameError::Protocol("string payload is not UTF-8".into()))
+    }
+
+    fn value(&mut self) -> Result<Value, FrameError> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Int(self.u64()? as i64),
+            2 => Value::Float(f64::from_bits(self.u64()?)),
+            3 => Value::Str(Arc::from(self.string()?.as_str())),
+            4 => Value::Bool(self.u8()? != 0),
+            5 => Value::Date(self.u32()? as i32),
+            other => {
+                return Err(FrameError::Protocol(format!("unknown value tag {other}")));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(written as usize, buf.len());
+        let (decoded, consumed) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(consumed as usize, buf.len());
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(Frame::Hello {
+            token: "secret".into(),
+            tenant: "dashboards".into(),
+        });
+        round_trip(Frame::HelloOk {
+            session_id: 42,
+            version: PROTOCOL_VERSION,
+        });
+        round_trip(Frame::Query {
+            sql: "SELECT 1".into(),
+        });
+        round_trip(Frame::Prepare {
+            sql: "SELECT * FROM t WHERE k = 7".into(),
+        });
+        round_trip(Frame::Prepared {
+            statement_id: 3,
+            fingerprint: 0xdead_beef,
+        });
+        round_trip(Frame::Execute { statement_id: 3 });
+        round_trip(Frame::ResultSchema {
+            schema: Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]),
+        });
+        round_trip(Frame::ResultBatch {
+            rows: vec![
+                Row::new(vec![
+                    Value::Int(-7),
+                    Value::str("x"),
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Float(2.5),
+                    Value::Date(-3),
+                ]),
+                Row::new(vec![]),
+            ],
+        });
+        round_trip(Frame::QueryDone {
+            rows: 100,
+            partitions: 4,
+            plan_cache_hit: true,
+            sim_seconds: 0.25,
+            cancelled: false,
+        });
+        round_trip(Frame::Error {
+            kind: "parse".into(),
+            message: "nope".into(),
+        });
+        round_trip(Frame::Cancel);
+        round_trip(Frame::Close);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Query {
+                sql: "SELECT 1".into(),
+            },
+        )
+        .unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xff;
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Protocol(msg)) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        buf.push(3);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Protocol(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("expected oversize rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &Frame::Query {
+                sql: "SELECT 1".into(),
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        match read_frame(&mut buf.as_slice()) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected torn-frame EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_bad_magic_are_protocol_errors() {
+        let mut payload = Frame::Cancel.encode_payload();
+        payload.push(9);
+        assert!(matches!(
+            Frame::decode_payload(11, &payload),
+            Err(FrameError::Protocol(_))
+        ));
+        let mut hello = Frame::Hello {
+            token: String::new(),
+            tenant: String::new(),
+        }
+        .encode_payload();
+        hello[0] = b'X';
+        assert!(matches!(
+            Frame::decode_payload(1, &hello),
+            Err(FrameError::Protocol(_))
+        ));
+    }
+}

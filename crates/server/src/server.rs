@@ -26,13 +26,14 @@ use shark_common::{Result, Row, Schema, SharkError};
 use shark_rdd::{RddConfig, RddContext};
 use shark_sql::exec::LoadReport;
 use shark_sql::{
-    Catalog, ExecConfig, QueryResult, QueryStream, RowGenerator, SqlSession, StreamProgress,
-    TableMeta,
+    Catalog, ExecConfig, PlanCache, QueryResult, QueryStream, RowGenerator, SqlSession,
+    StreamProgress, TableMeta,
 };
 
 use crate::admission::{AdmissionController, AdmissionPermit};
 use crate::memstore::{EvictionEvent, MemstoreManager};
 use crate::metrics::{MetricsRegistry, QueryMetrics, ServerReport};
+use crate::net::{NetConfig, NetCounters, NetServer};
 use crate::spill::{SpillEvent, SpillManager};
 use crate::wal::{
     read_manifest, read_snapshot, recovery_metrics, replay_wal, write_manifest, write_snapshot,
@@ -85,6 +86,11 @@ pub struct ServerConfig {
     /// replay work at restore; higher values amortize checkpoint I/O.
     /// Only meaningful when `spill_dir` is set (the WAL lives there).
     pub wal_snapshot_every_records: u64,
+    /// Capacity of the shared prepared-statement / plan cache (distinct
+    /// statements). Every session participates: repeated statements skip
+    /// parse and — at an unchanged catalog epoch — planning too. `0`
+    /// disables the cache.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +107,7 @@ impl Default for ServerConfig {
             spill_dir: None,
             spill_budget_bytes: u64::MAX,
             wal_snapshot_every_records: 256,
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -154,6 +161,12 @@ impl ServerConfig {
         self.wal_snapshot_every_records = records;
         self
     }
+
+    /// Size the shared prepared-statement / plan cache (0 disables it).
+    pub fn with_plan_cache_capacity(mut self, statements: usize) -> ServerConfig {
+        self.plan_cache_capacity = statements;
+        self
+    }
 }
 
 /// The durable-catalog machinery of one server: the open WAL appender plus
@@ -204,6 +217,13 @@ pub(crate) struct ServerShared {
     recovery: RecoveryStats,
     snapshots_written: AtomicU64,
     wal_append_failures: AtomicU64,
+    /// The shared prepared-statement / plan cache every session of this
+    /// server participates in (`None` when disabled by configuration).
+    plan_cache: Option<Arc<PlanCache>>,
+    /// Wire/connection counters of the TCP frontend; all-zero until
+    /// [`SharkServer::serve`] is called, so [`SharkServer::report`] always
+    /// carries the gauges.
+    pub(crate) net: NetCounters,
 }
 
 impl ServerShared {
@@ -534,6 +554,9 @@ impl SharkServer {
                 recovery,
                 snapshots_written: AtomicU64::new(0),
                 wal_append_failures: AtomicU64::new(0),
+                plan_cache: (config.plan_cache_capacity > 0)
+                    .then(|| Arc::new(PlanCache::new(config.plan_cache_capacity))),
+                net: NetCounters::default(),
             }),
         };
         // Boot checkpoint: snapshot, manifest and (fresh) WAL now agree
@@ -581,15 +604,38 @@ impl SharkServer {
     /// Open a new session. Sessions are cheap; open one per user/thread.
     pub fn session(&self) -> SessionHandle {
         let id = self.shared.next_session_id.fetch_add(1, Ordering::Relaxed);
+        let mut sql = SqlSession::with_catalog(
+            self.shared.ctx.clone(),
+            self.shared.exec.clone(),
+            self.shared.catalog.clone(),
+        );
+        if let Some(cache) = &self.shared.plan_cache {
+            sql.set_plan_cache(cache.clone());
+        }
         SessionHandle {
             id,
-            sql: SqlSession::with_catalog(
-                self.shared.ctx.clone(),
-                self.shared.exec.clone(),
-                self.shared.catalog.clone(),
-            ),
+            sql,
             shared: self.shared.clone(),
         }
+    }
+
+    /// Start serving this server's sessions over TCP (see
+    /// `docs/wire-protocol.md` for the frame format). Returns the running
+    /// frontend; call [`NetServer::shutdown`] to stop accepting, reap every
+    /// connection and join the service threads.
+    pub fn serve(&self, config: NetConfig) -> Result<NetServer> {
+        NetServer::start(self.clone(), config)
+    }
+
+    /// The shared plan cache, when enabled.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.shared.plan_cache.as_ref()
+    }
+
+    /// Wire/connection counters of the TCP frontend (all-zero when
+    /// [`SharkServer::serve`] was never called).
+    pub(crate) fn net_counters(&self) -> &NetCounters {
+        &self.shared.net
     }
 
     /// The shared catalog.
@@ -628,6 +674,10 @@ impl SharkServer {
         // memtable itself: the load's puts refresh each partition's tick.)
         let (pins, _) = PinGuard::pin(&self.shared.memstore, vec![table.name.clone()]);
         let report = shark_sql::exec::load_table(&self.shared.ctx, &table);
+        // Record the exact full-load footprint while every partition is
+        // still resident (before enforcement may evict): it is the provable
+        // bound the quota-infeasibility admission check keys off.
+        self.shared.memstore.record_footprint_if_full(&table);
         drop(pins);
         self.shared
             .memstore
@@ -717,6 +767,28 @@ impl SharkServer {
         report.lineage_recomputes = shared.memstore.lineage_recomputes();
         report.quota_hits = shared.memstore.quota_hits();
         report.quota_evicted_partitions = shared.memstore.quota_evicted_partitions();
+        report.quota_infeasible_rejections = shared.memstore.quota_infeasible_rejections();
+        if let Some(cache) = &shared.plan_cache {
+            report.plan_cache_enabled = true;
+            report.plan_cache_hits = cache.hits();
+            report.plan_cache_misses = cache.misses();
+            report.plan_cache_stale_plans = cache.stale_plans();
+            report.plan_cache_entries = cache.entries() as u64;
+            report.plan_cache_capacity = cache.capacity() as u64;
+        }
+        report.connections_opened = shared.net.opened();
+        report.connections_closed = shared.net.closed();
+        report.connections_active = shared.net.active();
+        report.connections_reaped = shared.net.reaped();
+        report.wire_bytes_sent = shared.net.bytes_sent();
+        report.wire_bytes_received = shared.net.bytes_received();
+        report.net_frames_sent = shared.net.frames_sent();
+        report.net_frames_received = shared.net.frames_received();
+        report.net_protocol_errors = shared.net.protocol_errors();
+        report.net_auth_failures = shared.net.auth_failures();
+        report.net_queries = shared.net.queries();
+        report.net_prepared_statements = shared.net.prepared_statements();
+        report.net_cancels = shared.net.cancels();
         // Live tables' rebuild counters, plus the frozen counts of versions
         // awaiting deferred reclamation, plus the retired counts of
         // versions already reclaimed — a rebuild moves between the three
@@ -831,7 +903,9 @@ impl SessionHandle {
         // Parse up front so we know which tables to touch/pin — and so a
         // syntactically invalid query never occupies an execution slot.
         // Parse failures still count as failed queries in the metrics.
-        let statement = match shark_sql::parser::parse(text) {
+        // With a plan cache attached, a repeated statement skips the parser
+        // through the cache's (epoch-independent) parse tier.
+        let statement = match self.sql.parse_cached(text) {
             Ok(statement) => statement,
             Err(err) => {
                 self.record_parse_failure(text);
@@ -876,11 +950,13 @@ impl SessionHandle {
         let cache_hit_bytes = cache_hit_bytes(&shared.catalog, &pins.tables);
         let residency_before = table_residency(&shared.catalog, &pins.tables);
         let exec_started = Instant::now();
-        let result = self.sql.execute_statement(&statement);
+        let result = self.sql.execute_statement_cached(text, &statement);
         let exec_time = exec_started.elapsed();
         drop(pins);
+        let plan_cache_hit = result.as_ref().map(|(_, hit)| *hit).unwrap_or(false);
+        let result = result.map(|(result, _)| result);
         if result.is_ok() {
-            match &statement {
+            match statement.as_ref() {
                 shark_sql::ast::Statement::DropTable { name } => {
                     // The table is gone from the catalog; clear its LRU/pin/
                     // recompute/owner bookkeeping so a future table reusing
@@ -939,6 +1015,7 @@ impl SessionHandle {
             recomputed_tables,
             evictions_triggered: evictions.len(),
             quota_evictions: quota_events.iter().map(EvictionEvent::partitions).sum(),
+            plan_cache_hit,
             failed: result.is_err(),
         };
         if let Some(root) = root.as_mut() {
@@ -964,11 +1041,22 @@ impl SessionHandle {
     /// morsel runs). A LIMIT stream stops launching partitions early.
     pub fn sql_stream(&self, text: &str) -> Result<QueryCursor<'_>> {
         let shared = &self.shared;
-        let statement = match shark_sql::parser::parse_select(text) {
-            Ok(statement) => statement,
+        // Parse through the cache's parse tier; a non-SELECT statement gets
+        // the same error `parser::parse_select` would produce.
+        let parsed = match self.sql.parse_cached(text) {
+            Ok(parsed) => parsed,
             Err(err) => {
                 self.record_parse_failure(text);
                 return Err(err);
+            }
+        };
+        let statement = match parsed.as_ref() {
+            shark_sql::ast::Statement::Select(statement) => statement,
+            other => {
+                self.record_parse_failure(text);
+                return Err(SharkError::Parse(format!(
+                    "expected a SELECT statement, found {other:?}"
+                )));
             }
         };
         let tables = statement.referenced_tables();
@@ -1010,8 +1098,8 @@ impl SessionHandle {
         // stays bounded alongside total in-flight queries.
         let prefetch = shared.acquire_prefetch(self.sql.stream_prefetch());
         let admitted_at = Instant::now();
-        match self.sql.sql_to_stream(&statement) {
-            Ok(stream) => {
+        match self.sql.sql_to_stream_cached(text, statement) {
+            Ok((stream, plan_cache_hit)) => {
                 let stream = stream.with_prefetch(prefetch);
                 // Single-scan streams swap the whole-table pin for
                 // partition-granular pins on delivered partitions: a
@@ -1040,6 +1128,7 @@ impl SessionHandle {
                     recomputed_tables,
                     cache_hit_bytes,
                     prefetch,
+                    plan_cache_hit,
                     root,
                     failed: false,
                     finalized: false,
@@ -1076,11 +1165,19 @@ impl SessionHandle {
                     recomputed_tables,
                     evictions_triggered: evictions.len(),
                     quota_evictions: 0,
+                    plan_cache_hit: false,
                     failed: true,
                 });
                 Err(err)
             }
         }
+    }
+
+    /// Parse a statement through the plan cache's parse tier without
+    /// executing it — the wire frontend's Prepare path, which wants parse
+    /// errors at prepare time and a warmed cache for the Executes after.
+    pub(crate) fn parse_statement(&self, text: &str) -> Result<Arc<shark_sql::ast::Statement>> {
+        self.sql.parse_cached(text)
     }
 
     /// Record a query that never got past parsing.
@@ -1103,6 +1200,7 @@ impl SessionHandle {
             recomputed_tables: 0,
             evictions_triggered: 0,
             quota_evictions: 0,
+            plan_cache_hit: false,
             failed: true,
         });
     }
@@ -1111,17 +1209,37 @@ impl SessionHandle {
     /// like any other statement would be).
     pub fn load_table(&self, name: &str) -> Result<LoadReport> {
         let shared = &self.shared;
+        let lowered = name.to_lowercase();
+        // Quota-feasibility gate, *before* the admission permit: once a
+        // full load has recorded the table's exact footprint, a session
+        // whose quota provably cannot hold it is rejected outright instead
+        // of being admitted, loading, and thrashing every partition back
+        // out through quota evictions. (The discovering first load is
+        // always admitted — that is how the footprint becomes known.)
+        if let Some((footprint, quota)) = shared.memstore.reject_infeasible_load(&lowered) {
+            shared.metrics.record_rejection(self.id);
+            return Err(SharkError::Execution(format!(
+                "load of table '{lowered}' rejected: its full resident footprint \
+                 ({footprint} bytes) provably exceeds the per-session memory quota \
+                 ({quota} bytes); the load could only thrash through quota evictions"
+            )));
+        }
         let (permit, _wait) = shared
             .admission
             .acquire()
             .map_err(|e| SharkError::Execution(e.to_string()))?;
         // Pin before loading so a concurrent enforcement cannot evict the
         // table out from under the load; charge the load to this session.
-        let lowered = name.to_lowercase();
         let (pins, _) = PinGuard::pin(&shared.memstore, vec![lowered.clone()]);
         let report = self.sql.load_table(name);
         if report.is_ok() {
             shared.memstore.record_owner(&lowered, self.id);
+            // Record the exact full-load footprint while every partition is
+            // still resident (quota enforcement below may evict some): it
+            // becomes the provable bound future feasibility checks use.
+            if let Ok(table) = shared.catalog.get(&lowered) {
+                shared.memstore.record_footprint_if_full(&table);
+            }
         }
         drop(pins);
         shared
@@ -1384,15 +1502,20 @@ fn table_residency(catalog: &Catalog, tables: &[String]) -> Vec<(String, u64)> {
 /// owner wins, so already-charged tables are unaffected.
 fn charge_faulted_tables(shared: &ServerShared, session_id: u64, before: &[(String, u64)]) {
     for (name, bytes_before) in before {
-        let grew = shared
-            .catalog
-            .get(name)
-            .ok()
-            .and_then(|t| t.cached.as_ref().map(|m| m.memory_bytes() > *bytes_before))
+        let Ok(table) = shared.catalog.get(name) else {
+            continue;
+        };
+        let grew = table
+            .cached
+            .as_ref()
+            .map(|m| m.memory_bytes() > *bytes_before)
             .unwrap_or(false);
         if grew {
             shared.memstore.record_owner(name, session_id);
         }
+        // A scan that faulted the whole table in just revealed its exact
+        // footprint — record it for the quota-infeasibility admission gate.
+        shared.memstore.record_footprint_if_full(&table);
     }
 }
 
@@ -1427,6 +1550,8 @@ pub struct QueryCursor<'s> {
     /// Prefetch depth granted out of the server's aggregate budget,
     /// returned to the pool on finalize.
     prefetch: usize,
+    /// Whether this stream's plan came out of the shared plan cache.
+    plan_cache_hit: bool,
     /// Root trace span of the streamed query (when tracing is on),
     /// finished with delivery totals when the cursor finalizes.
     root: Option<shark_obs::DetachedSpan>,
@@ -1448,6 +1573,16 @@ impl QueryCursor<'_> {
     /// Delivery progress so far.
     pub fn progress(&self) -> &StreamProgress {
         self.stream.progress()
+    }
+
+    /// Whether this stream's plan came out of the shared plan cache.
+    pub fn plan_cache_hit(&self) -> bool {
+        self.plan_cache_hit
+    }
+
+    /// Simulated cluster seconds accumulated by the partitions run so far.
+    pub fn sim_seconds(&self) -> f64 {
+        self.stream.sim_seconds()
     }
 
     /// Fetch the next batch of rows. Returns `Ok(None)` when the stream is
@@ -1572,6 +1707,7 @@ impl QueryCursor<'_> {
             recomputed_tables: self.recomputed_tables,
             evictions_triggered: evictions.len(),
             quota_evictions: quota_events.iter().map(EvictionEvent::partitions).sum(),
+            plan_cache_hit: self.plan_cache_hit,
             failed: self.failed,
         });
     }

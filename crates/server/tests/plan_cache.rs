@@ -1,0 +1,146 @@
+//! Plan-cache correctness: answers served from a cached plan must be
+//! byte-identical to freshly planned ones across a seeded grid of
+//! statements, and a DDL epoch bump (DROP + re-CTAS) must invalidate the
+//! cached plan — observable as a `stale_plans` bump with hits staying flat
+//! — while the replanned query sees the *new* table contents.
+
+use shark_common::{row, DataType, Row, Schema};
+use shark_server::{ServerConfig, SharkServer};
+use shark_sql::TableMeta;
+
+const PARTITIONS: usize = 4;
+const ROWS_PER_PARTITION: usize = 64;
+
+/// Deterministic pseudo-random fill so "seeded grid" means the same rows
+/// on every server the test builds.
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    }
+}
+
+fn build_server(plan_cache_capacity: usize, seed: u64) -> SharkServer {
+    let server =
+        SharkServer::new(ServerConfig::default().with_plan_cache_capacity(plan_cache_capacity));
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("grp", DataType::Str),
+        ("amount", DataType::Float),
+    ]);
+    server.register_table(
+        TableMeta::new("grid", schema, PARTITIONS, move |p| {
+            let mut next = lcg(seed ^ (p as u64));
+            (0..ROWS_PER_PARTITION)
+                .map(|i| {
+                    row![
+                        (p * ROWS_PER_PARTITION + i) as i64,
+                        ["alpha", "beta", "gamma", "delta"][(next() % 4) as usize],
+                        (next() % 10_000) as f64 / 100.0
+                    ]
+                })
+                .collect()
+        })
+        .with_cache(PARTITIONS)
+        .with_row_count_hint((PARTITIONS * ROWS_PER_PARTITION) as u64),
+    );
+    server.load_table("grid").unwrap();
+    server
+}
+
+/// The statement grid: selections x predicates x shapes, all deterministic.
+fn query_grid() -> Vec<String> {
+    let mut grid = Vec::new();
+    for pred in ["k < 100", "amount > 50.0", "grp = 'beta'"] {
+        grid.push(format!(
+            "SELECT k, grp, amount FROM grid WHERE {pred} ORDER BY k"
+        ));
+        grid.push(format!(
+            "SELECT grp, COUNT(*), SUM(amount) FROM grid WHERE {pred} GROUP BY grp ORDER BY grp"
+        ));
+    }
+    grid.push("SELECT k, amount FROM grid ORDER BY amount DESC LIMIT 7".to_string());
+    grid
+}
+
+#[test]
+fn cached_plans_answer_byte_identically_to_fresh_plans() {
+    let seed = 0x5eed;
+    let cached = build_server(64, seed);
+    let uncached = build_server(0, seed);
+    let cached_session = cached.session();
+    let uncached_session = uncached.session();
+
+    for query in query_grid() {
+        // First run on the cached server plans fresh (miss) ...
+        let first: Vec<Row> = cached_session.sql(&query).unwrap().result.rows;
+        // ... repeats execute the cached plan ...
+        let second: Vec<Row> = cached_session.sql(&query).unwrap().result.rows;
+        let third: Vec<Row> = cached_session.sql(&query).unwrap().result.rows;
+        // ... and a cache-disabled server plans every time.
+        let fresh: Vec<Row> = uncached_session.sql(&query).unwrap().result.rows;
+        assert_eq!(first, second, "cached re-run diverged: {query}");
+        assert_eq!(first, third, "cached re-run diverged: {query}");
+        assert_eq!(first, fresh, "cached vs uncached diverged: {query}");
+    }
+
+    let report = cached.report();
+    let grid_len = query_grid().len() as u64;
+    assert!(report.plan_cache_enabled);
+    assert_eq!(report.plan_cache_misses, grid_len, "one miss per statement");
+    assert_eq!(
+        report.plan_cache_hits,
+        2 * grid_len,
+        "two hits per statement"
+    );
+    assert_eq!(report.plan_cache_stale_plans, 0, "no DDL ran");
+
+    let disabled = uncached.report();
+    assert!(!disabled.plan_cache_enabled);
+    assert_eq!(disabled.plan_cache_hits, 0);
+}
+
+#[test]
+fn ddl_epoch_bump_invalidates_cached_plans() {
+    let server = build_server(64, 42);
+    let session = server.session();
+
+    session
+        .sql("CREATE TABLE derived AS SELECT k, amount FROM grid WHERE k < 100")
+        .unwrap();
+    let query = "SELECT COUNT(*), SUM(amount) FROM derived";
+
+    // Warm the plan: miss, then hit.
+    let before = session.sql(query).unwrap().result.rows;
+    let warmed = session.sql(query).unwrap().result.rows;
+    assert_eq!(before, warmed);
+    let report = server.report();
+    assert_eq!(report.plan_cache_hits, 1);
+    assert_eq!(report.plan_cache_stale_plans, 0);
+
+    // DROP + re-CTAS with different contents bumps the catalog epoch.
+    session.sql("DROP TABLE derived").unwrap();
+    session
+        .sql("CREATE TABLE derived AS SELECT k, amount FROM grid WHERE k < 10")
+        .unwrap();
+
+    // The fingerprint still matches, but the cached plan is pinned to the
+    // old epoch: this execution must replan (stale bump, hits flat) and
+    // see the new, smaller table.
+    let after = session.sql(query).unwrap().result.rows;
+    assert_ne!(before, after, "replanned query must see the new table");
+    let report = server.report();
+    assert_eq!(report.plan_cache_hits, 1, "hits stay flat across the DDL");
+    assert_eq!(
+        report.plan_cache_stale_plans, 1,
+        "the invalidation is counted"
+    );
+
+    // And the replanned plan caches again at the new epoch.
+    let again = session.sql(query).unwrap().result.rows;
+    assert_eq!(after, again);
+    assert_eq!(server.report().plan_cache_hits, 2);
+}

@@ -1,0 +1,89 @@
+//! Quota-aware admission: once one full load has discovered a table's
+//! exact resident footprint, a later load whose per-session quota provably
+//! cannot hold it is rejected *at admission* — before it burns an
+//! execution permit thrashing partitions in and straight back out.
+
+use shark_common::{row, DataType, Schema};
+use shark_server::{ServerConfig, SharkServer};
+use shark_sql::TableMeta;
+
+const PARTITIONS: usize = 4;
+const ROWS_PER_PARTITION: usize = 256;
+
+fn register_big(server: &SharkServer) {
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("payload", DataType::Str)]);
+    server.register_table(
+        TableMeta::new("big", schema, PARTITIONS, move |p| {
+            (0..ROWS_PER_PARTITION)
+                .map(|i| {
+                    row![
+                        (p * ROWS_PER_PARTITION + i) as i64,
+                        format!("payload-{p}-{i}-padding-padding-padding")
+                    ]
+                })
+                .collect()
+        })
+        .with_cache(PARTITIONS)
+        .with_row_count_hint((PARTITIONS * ROWS_PER_PARTITION) as u64),
+    );
+}
+
+#[test]
+fn provably_infeasible_loads_are_rejected_at_admission() {
+    // Measure the table's true footprint with no limits in the way.
+    let sizing = SharkServer::local();
+    register_big(&sizing);
+    sizing.load_table("big").unwrap();
+    let footprint = sizing.catalog().memstore_bytes();
+    assert!(footprint > 0);
+
+    // A quota half the footprint: the table provably cannot fit a session.
+    let server = SharkServer::new(ServerConfig::default().with_session_quota(footprint / 2));
+    register_big(&server);
+
+    // The discovering load is admitted — that is how the footprint becomes
+    // known — and then thrashes against the quota as before.
+    let first = server.session();
+    first.load_table("big").unwrap();
+    assert_eq!(server.report().quota_infeasible_rejections, 0);
+
+    // Every later load is rejected outright, with the proof in the error.
+    let second = server.session();
+    let err = second.load_table("big").unwrap_err().to_string();
+    assert!(
+        err.contains("provably exceeds the per-session memory quota"),
+        "got: {err}"
+    );
+
+    let report = server.report();
+    assert_eq!(report.quota_infeasible_rejections, 1);
+    assert_eq!(report.rejected_queries, 1, "the rejection is a rejection");
+    assert!(
+        report
+            .to_json()
+            .contains("\"quota_infeasible_rejections\":1"),
+        "the gauge must surface in the JSON report"
+    );
+
+    // Queries (as opposed to loads) still work for the rejected session:
+    // partition-at-a-time execution never needs the full footprint.
+    let rows = second.sql("SELECT COUNT(*) FROM big").unwrap().result.rows;
+    assert_eq!(rows.len(), 1);
+}
+
+#[test]
+fn feasible_loads_pass_the_admission_gate() {
+    let sizing = SharkServer::local();
+    register_big(&sizing);
+    sizing.load_table("big").unwrap();
+    let footprint = sizing.catalog().memstore_bytes();
+
+    // Quota comfortably above the footprint: both loads are admitted.
+    let server = SharkServer::new(ServerConfig::default().with_session_quota(footprint * 2));
+    register_big(&server);
+    server.session().load_table("big").unwrap();
+    server.session().load_table("big").unwrap();
+    let report = server.report();
+    assert_eq!(report.quota_infeasible_rejections, 0);
+    assert_eq!(report.rejected_queries, 0);
+}

@@ -13,11 +13,12 @@ use shark_common::{Result, Row, SharkError};
 use shark_rdd::RddContext;
 
 use crate::ast::Statement;
-use crate::catalog::{Catalog, TableMeta};
+use crate::catalog::{Catalog, CatalogSnapshot, TableMeta};
 use crate::exec::{self, ExecConfig, LoadReport, QueryResult, QueryStream, TableRdd};
 use crate::expr::UdfRegistry;
 use crate::parser;
-use crate::plan::plan_select;
+use crate::plan::{plan_select, QueryPlan};
+use crate::plancache::{statement_fingerprint, PlanCache};
 
 /// A SQL session: catalog + UDFs + execution configuration over an
 /// [`RddContext`].
@@ -26,6 +27,16 @@ pub struct SqlSession {
     catalog: Arc<Catalog>,
     udfs: UdfRegistry,
     exec: ExecConfig,
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+/// A SELECT compiled (or fetched from the plan cache) against one pinned
+/// catalog snapshot; holding it keeps the snapshot's tables alive until the
+/// plan executes.
+struct Planned {
+    plan: Arc<QueryPlan>,
+    snapshot: Arc<CatalogSnapshot>,
+    cache_hit: bool,
 }
 
 impl SqlSession {
@@ -47,7 +58,21 @@ impl SqlSession {
             catalog,
             udfs: UdfRegistry::new(),
             exec,
+            plan_cache: None,
         }
+    }
+
+    /// Attach a shared [`PlanCache`]. Parse results are always reusable
+    /// through it; compiled plans are reused only when their recorded
+    /// catalog epoch matches the executing snapshot's, and never for
+    /// sessions with registered UDFs (plans bind per-session UDF closures).
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>) {
+        self.plan_cache = Some(cache);
+    }
+
+    /// The attached plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
     }
 
     /// The underlying RDD context.
@@ -118,7 +143,47 @@ impl SqlSession {
 
     /// Execute any supported SQL statement.
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
-        self.execute_statement(&parser::parse(text)?)
+        let statement = self.parse_cached(text)?;
+        Ok(self.execute_statement_cached(text, &statement)?.0)
+    }
+
+    /// Parse a statement, reusing the plan cache's parse tier when one is
+    /// attached (parsing never consults the catalog, so parse reuse is
+    /// epoch-independent and safe even for UDF sessions).
+    pub fn parse_cached(&self, text: &str) -> Result<Arc<Statement>> {
+        match &self.plan_cache {
+            Some(cache) if cache.capacity() > 0 => {
+                let fingerprint = statement_fingerprint(text);
+                if let Some(entry) = cache.statement(fingerprint) {
+                    return Ok(entry.statement.clone());
+                }
+                let statement = parser::parse(text)?;
+                Ok(cache
+                    .insert_statement(fingerprint, statement)
+                    .statement
+                    .clone())
+            }
+            _ => Ok(Arc::new(parser::parse(text)?)),
+        }
+    }
+
+    /// Execute an already-parsed statement with plan-cache participation,
+    /// returning the result and whether a cached plan was reused (the
+    /// serving layer reports this per query and over the wire). `text` must
+    /// be the statement's original SQL — it keys the cache.
+    pub fn execute_statement_cached(
+        &self,
+        text: &str,
+        statement: &Statement,
+    ) -> Result<(QueryResult, bool)> {
+        match statement {
+            Statement::Select(stmt) => {
+                let planned = self.plan_select_cached(Some(text), stmt)?;
+                let hit = planned.cache_hit;
+                Ok((self.execute_planned(planned)?, hit))
+            }
+            other => Ok((self.execute_statement(other)?, false)),
+        }
     }
 
     /// Execute an already-parsed statement (lets a serving layer parse once
@@ -126,20 +191,8 @@ impl SqlSession {
     pub fn execute_statement(&self, statement: &Statement) -> Result<QueryResult> {
         match statement {
             Statement::Select(stmt) => {
-                // Pin one snapshot for the query's whole lifetime: every
-                // table resolves once against it, and a concurrent DROP
-                // TABLE can neither change what the running plan sees nor
-                // reclaim the dropped version's memstore before the query
-                // finishes (the pin is released when `snapshot` drops).
-                let snapshot = self.catalog.snapshot();
-                if shark_obs::active() {
-                    shark_obs::event("snapshot-pin", &[("epoch", &snapshot.epoch().to_string())]);
-                }
-                let plan = {
-                    let _span = shark_obs::span("plan");
-                    plan_select(stmt, &snapshot, &self.udfs)?
-                };
-                exec::execute(&self.ctx, &plan, &self.exec)
+                let planned = self.plan_select_cached(None, stmt)?;
+                self.execute_planned(planned)
             }
             Statement::DropTable { name } => {
                 self.catalog.drop_table(name)?;
@@ -172,6 +225,11 @@ impl SqlSession {
     /// that delivers row batches as partitions finish (and, for LIMIT
     /// queries, stops launching partitions once enough rows streamed).
     pub fn sql_stream(&self, text: &str) -> Result<QueryStream> {
+        if self.plan_cache.is_some() {
+            if let Statement::Select(stmt) = self.parse_cached(text)?.as_ref() {
+                return Ok(self.sql_to_stream_cached(text, stmt)?.0);
+            }
+        }
         self.sql_to_stream(&parser::parse_select(text)?)
     }
 
@@ -181,15 +239,106 @@ impl SqlSession {
     /// catalog snapshot its plan resolved against until it closes, so a
     /// concurrent `DROP TABLE` + recreate can never change what it drains.
     pub fn sql_to_stream(&self, stmt: &crate::ast::SelectStmt) -> Result<QueryStream> {
+        let planned = self.plan_select_cached(None, stmt)?;
+        self.stream_planned(planned)
+    }
+
+    /// Stream an already-parsed SELECT with plan-cache participation,
+    /// returning the cursor and whether a cached plan was reused. `text`
+    /// must be the statement's original SQL — it keys the cache.
+    pub fn sql_to_stream_cached(
+        &self,
+        text: &str,
+        stmt: &crate::ast::SelectStmt,
+    ) -> Result<(QueryStream, bool)> {
+        let planned = self.plan_select_cached(Some(text), stmt)?;
+        let hit = planned.cache_hit;
+        Ok((self.stream_planned(planned)?, hit))
+    }
+
+    /// Pin a snapshot and produce the plan for `stmt` — from the cache when
+    /// `text` is provided, a cache is attached, the session has no UDFs, and
+    /// the cached plan's epoch matches the pinned snapshot's; compiled
+    /// fresh (and cached for the next execution) otherwise.
+    fn plan_select_cached(
+        &self,
+        text: Option<&str>,
+        stmt: &crate::ast::SelectStmt,
+    ) -> Result<Planned> {
+        // Pin one snapshot for the query's whole lifetime: every table
+        // resolves once against it, and a concurrent DROP TABLE can neither
+        // change what the running plan sees nor reclaim the dropped
+        // version's memstore before the query finishes. A cached plan is
+        // only reused at the exact epoch it was compiled at, so it holds
+        // the same `Arc<TableMeta>`s this snapshot resolves to.
         let snapshot = self.catalog.snapshot();
         if shark_obs::active() {
             shark_obs::event("snapshot-pin", &[("epoch", &snapshot.epoch().to_string())]);
         }
+        let cacheable = match (&self.plan_cache, text) {
+            (Some(cache), Some(text)) if self.udfs.is_empty() && cache.capacity() > 0 => {
+                Some((cache, text))
+            }
+            _ => None,
+        };
+        if let Some((cache, text)) = cacheable {
+            let fingerprint = statement_fingerprint(text);
+            let entry = match cache.statement(fingerprint) {
+                Some(entry) => entry,
+                None => cache.insert_statement(fingerprint, Statement::Select(stmt.clone())),
+            };
+            if let Some(plan) = entry.plan_for_epoch(snapshot.epoch()) {
+                cache.record_plan_lookup(Some(&entry), true);
+                if shark_obs::active() {
+                    shark_obs::event(
+                        "plan-cache-hit",
+                        &[("epoch", &snapshot.epoch().to_string())],
+                    );
+                }
+                return Ok(Planned {
+                    plan,
+                    snapshot,
+                    cache_hit: true,
+                });
+            }
+            let plan = {
+                let _span = shark_obs::span("plan");
+                Arc::new(plan_select(stmt, &snapshot, &self.udfs)?)
+            };
+            // Record the miss before storing the fresh plan: once the plan
+            // is in, `has_plan()` can no longer distinguish a cold miss
+            // from a DDL-staled one.
+            cache.record_plan_lookup(Some(&entry), false);
+            entry.store_plan(snapshot.epoch(), plan.clone());
+            return Ok(Planned {
+                plan,
+                snapshot,
+                cache_hit: false,
+            });
+        }
         let plan = {
             let _span = shark_obs::span("plan");
-            plan_select(stmt, &snapshot, &self.udfs)?
+            Arc::new(plan_select(stmt, &snapshot, &self.udfs)?)
         };
-        Ok(exec::execute_stream(&self.ctx, &plan, &self.exec)?.with_snapshot(snapshot))
+        Ok(Planned {
+            plan,
+            snapshot,
+            cache_hit: false,
+        })
+    }
+
+    /// Execute a planned SELECT while its snapshot pin is held.
+    fn execute_planned(&self, planned: Planned) -> Result<QueryResult> {
+        let result = exec::execute(&self.ctx, &planned.plan, &self.exec);
+        drop(planned.snapshot);
+        result
+    }
+
+    /// Turn a planned SELECT into a streaming cursor that keeps the
+    /// snapshot pinned until it closes.
+    fn stream_planned(&self, planned: Planned) -> Result<QueryStream> {
+        Ok(exec::execute_stream(&self.ctx, &planned.plan, &self.exec)?
+            .with_snapshot(planned.snapshot))
     }
 
     /// Execute a query and return its result as an RDD plus schema — the

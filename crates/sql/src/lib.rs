@@ -23,6 +23,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pde;
 pub mod plan;
+pub mod plancache;
 pub mod scan;
 pub mod vector;
 
@@ -38,4 +39,5 @@ pub use exec::{
 pub use expr::{BoundExpr, ScalarFunc, UdfRegistry};
 pub use pde::{choose_join_strategy, coalesce_buckets, JoinStrategy};
 pub use plan::{plan_select, QueryPlan};
+pub use plancache::{statement_fingerprint, CachedStatement, PlanCache};
 pub use vector::FilterKernel;

@@ -101,6 +101,7 @@ fn main() -> shark_common::Result<()> {
         spill_dir: None,
         spill_budget_bytes: u64::MAX,
         wal_snapshot_every_records: 256,
+        plan_cache_capacity: 128,
     });
     register_tpch(&server, &tpch_cfg, partitions);
 

@@ -1,0 +1,111 @@
+//! Client-library round trip: `shark-client` against an in-process
+//! `SharkServer` served over real TCP. Complements the raw-socket protocol
+//! tests in `crates/server/tests/net_protocol.rs` — here both ends use the
+//! shipped code paths, end to end.
+
+use shark_client::SharkClient;
+use shark_common::{row, DataType, Schema, Value};
+use shark_server::{NetConfig, RateClass, ServerConfig, SharkServer};
+use shark_sql::TableMeta;
+use std::time::Duration;
+
+const PARTITIONS: usize = 4;
+const ROWS_PER_PARTITION: usize = 100;
+
+fn serve() -> (SharkServer, shark_server::NetServer) {
+    let server = SharkServer::new(ServerConfig::default());
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("grp", DataType::Str)]);
+    server.register_table(
+        TableMeta::new("t0", schema, PARTITIONS, move |p| {
+            (0..ROWS_PER_PARTITION)
+                .map(|i| row![(p * ROWS_PER_PARTITION + i) as i64, ["x", "y"][i % 2]])
+                .collect()
+        })
+        .with_cache(PARTITIONS)
+        .with_row_count_hint((PARTITIONS * ROWS_PER_PARTITION) as u64),
+    );
+    server.load_table("t0").unwrap();
+    let net = server
+        .serve(
+            NetConfig::default()
+                .with_rate_class(RateClass {
+                    name: "drip".to_string(),
+                    stream_prefetch: 1,
+                    max_batch_rows: 8,
+                    idle_timeout: Duration::from_secs(60),
+                })
+                .with_max_batch_rows(64),
+        )
+        .unwrap();
+    (server, net)
+}
+
+#[test]
+fn wire_results_match_in_process_results() {
+    let (server, mut net) = serve();
+    let mut client = SharkClient::connect(net.local_addr(), "", "").unwrap();
+    let session = server.session();
+
+    for query in [
+        "SELECT k, grp FROM t0 WHERE k < 150 ORDER BY k",
+        "SELECT grp, COUNT(*) FROM t0 GROUP BY grp ORDER BY grp",
+        "SELECT k FROM t0 ORDER BY k DESC LIMIT 13",
+    ] {
+        let local = session.sql(query).unwrap().result;
+        let wire = client.query(query).unwrap();
+        assert_eq!(wire.schema, local.schema, "schema mismatch: {query}");
+        assert_eq!(wire.rows, local.rows, "row mismatch: {query}");
+    }
+    client.close().unwrap();
+    net.shutdown();
+}
+
+#[test]
+fn streamed_batches_respect_the_rate_class_and_sum_to_the_result() {
+    let (server, mut net) = serve();
+    // The "drip" tenant is capped at 8-row batches.
+    let mut client = SharkClient::connect(net.local_addr(), "", "drip").unwrap();
+    let mut stream = client.query_stream("SELECT k FROM t0 ORDER BY k").unwrap();
+    let mut rows = Vec::new();
+    let mut max_batch = 0usize;
+    while let Some(batch) = stream.next_batch().unwrap() {
+        max_batch = max_batch.max(batch.len());
+        rows.extend(batch);
+    }
+    let summary = stream.finish().unwrap();
+    assert!(
+        max_batch <= 8,
+        "rate class must cap batches, saw {max_batch}"
+    );
+    assert_eq!(rows.len() as u64, summary.rows);
+    assert_eq!(rows.len(), PARTITIONS * ROWS_PER_PARTITION);
+    assert_eq!(rows[0].values()[0], Value::Int(0));
+    client.close().unwrap();
+    net.shutdown();
+    drop(server);
+}
+
+#[test]
+fn prepared_statements_reuse_plans_and_survive_errors() {
+    let (server, mut net) = serve();
+    let mut client = SharkClient::connect(net.local_addr(), "", "").unwrap();
+
+    // A parse error is an Error frame, not a hangup.
+    assert!(client.prepare("SELEC nope").is_err());
+    assert!(client.query("SELECT COUNT(*) FROM no_such_table").is_err());
+
+    // The connection is still usable afterwards.
+    let prepared = client
+        .prepare("SELECT grp, COUNT(*) FROM t0 GROUP BY grp ORDER BY grp")
+        .unwrap();
+    let first = client.execute(prepared).unwrap();
+    let second = client.execute(prepared).unwrap();
+    assert_eq!(first.rows, second.rows);
+    assert!(
+        second.plan_cache_hit,
+        "re-execution must hit the plan cache"
+    );
+    assert!(server.report().plan_cache_hits >= 1);
+    client.close().unwrap();
+    net.shutdown();
+}
